@@ -1,0 +1,84 @@
+// Command campaign regenerates the paper's evaluation tables and figures
+// against the simulated compilers (see DESIGN.md for the experiment
+// index). Each -fig value reproduces one artifact:
+//
+//	campaign -fig 7a|7b|7c   bug tables (campaign + ground truth)
+//	campaign -fig 8          affected-versions histogram
+//	campaign -fig 9          TEM/TOM coverage increase (RQ3)
+//	campaign -fig 10         test-suite vs random coverage (RQ4)
+//	campaign -fig all        everything
+//
+// -n scales the campaign size (default 400 programs); larger campaigns
+// converge closer to the ground-truth catalogs.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/campaign"
+	"repro/internal/compilers"
+	"repro/internal/generator"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to reproduce: 7a, 7b, 7c, 8, 9, 10, all")
+	n := flag.Int("n", 400, "number of generated programs")
+	covN := flag.Int("covn", 150, "programs for the coverage experiments")
+	seed := flag.Int64("seed", 0, "base seed")
+	flag.Parse()
+
+	needCampaign := map[string]bool{"7a": true, "7b": true, "7c": true, "8": true, "all": true}[*fig]
+	var report *campaign.Report
+	if needCampaign {
+		fmt.Printf("running campaign: %d programs + mutants against groovyc, kotlinc, javac...\n\n", *n)
+		report = campaign.Run(campaign.Options{
+			Seed:      *seed,
+			Programs:  *n,
+			BatchSize: 20,
+			GenConfig: generator.DefaultConfig(),
+			Mutate:    true,
+		})
+		fmt.Printf("found %d distinct bugs (TEM repairs: %d)\n\n", report.TotalFound(), report.TEMRepairs)
+	}
+
+	show := func(f string) bool { return *fig == f || *fig == "all" }
+
+	if show("7a") {
+		fmt.Println(report.Figure7a())
+		a, _, _ := campaign.CatalogTables()
+		fmt.Println(a)
+	}
+	if show("7b") {
+		fmt.Println(report.Figure7b())
+		_, b, _ := campaign.CatalogTables()
+		fmt.Println(b)
+	}
+	if show("7c") {
+		fmt.Println(report.Figure7c())
+		_, _, c := campaign.CatalogTables()
+		fmt.Println(c)
+	}
+	if show("8") {
+		stable := map[string]int{}
+		for _, c := range compilers.All() {
+			stable[c.Name()] = len(c.Versions())
+		}
+		fmt.Println(report.Figure8(stable))
+	}
+	if show("9") {
+		fmt.Println("Figure 9: coverage increase by TEM and TOM (RQ3)")
+		for _, c := range compilers.All() {
+			fmt.Println(campaign.RunMutationCoverage(c, *covN, *seed, generator.DefaultConfig()))
+		}
+	}
+	if show("10") {
+		fmt.Println("Figure 10: test-suite coverage plus random programs (RQ4)")
+		for _, c := range compilers.All() {
+			fmt.Println(campaign.RunSuiteCoverage(c, *covN, *seed+5000, generator.DefaultConfig()))
+		}
+	}
+	if report != nil && *fig == "all" {
+		fmt.Println(report.VerdictSummary())
+	}
+}

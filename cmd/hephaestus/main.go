@@ -1,0 +1,131 @@
+// Command hephaestus is the CLI front end of the Hephaestus reproduction:
+// generate random well-typed programs, apply the type erasure and type
+// overwriting mutations, translate programs to Java/Kotlin/Groovy, fuzz
+// the simulated compilers, and reduce bug-triggering test cases.
+//
+// Usage:
+//
+//	hephaestus generate  [-seed N] [-lang ir|java|kotlin|groovy]
+//	hephaestus mutate    [-seed N] [-lang ...]     show TEM and TOM mutants
+//	hephaestus translate [-seed N] -lang kotlin    translate to a language
+//	hephaestus fuzz      [-seed N] [-n programs]   run a campaign
+//	hephaestus reduce    [-seed N]                 reduce a bug trigger
+//	hephaestus typegraph [-seed N]                 dump type graphs (DOT)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/oracle"
+	"repro/internal/typegraph"
+	"repro/internal/types"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	seed := fs.Int64("seed", 0, "generation seed")
+	lang := fs.String("lang", "ir", "output language: ir, java, kotlin, groovy")
+	n := fs.Int("n", 100, "number of programs for fuzzing")
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+
+	h := core.New(core.Config{Seed: *seed})
+	switch cmd {
+	case "generate":
+		tc := h.GenerateTestCaseSeed(*seed)
+		emit(h, tc.Program, *lang)
+	case "mutate":
+		tc := h.GenerateTestCaseSeed(*seed)
+		fmt.Println("== original ==")
+		emit(h, tc.Program, *lang)
+		if tc.TEM != nil {
+			fmt.Println("\n== TEM mutant (well-typed; erased points below) ==")
+			for _, e := range tc.TEMReport.Erased {
+				fmt.Printf("  %s\n", e)
+			}
+			emit(h, tc.TEM, *lang)
+		} else {
+			fmt.Println("\n== TEM: nothing erasable ==")
+		}
+		if tc.TOM != nil {
+			fmt.Printf("\n== TOM mutant (ill-typed): %s ==\n", tc.TOMReport)
+			emit(h, tc.TOM, *lang)
+		} else {
+			fmt.Println("\n== TOM: no overwrite point ==")
+		}
+		if tc.REM != nil {
+			fmt.Printf("\n== REM mutant (well-typed): %s ==\n", tc.REMReport)
+			emit(h, tc.REM, *lang)
+		} else {
+			fmt.Println("\n== REM: no resolution site ==")
+		}
+	case "translate":
+		if *lang == "ir" {
+			fmt.Fprintln(os.Stderr, "translate needs -lang java|kotlin|groovy")
+			os.Exit(2)
+		}
+		tc := h.GenerateTestCaseSeed(*seed)
+		emit(h, tc.Program, *lang)
+	case "fuzz":
+		findings, report := h.Fuzz(*n)
+		fmt.Printf("campaign: %d programs (plus mutants), %d distinct bugs\n\n",
+			*n, len(findings))
+		for _, f := range findings {
+			fmt.Printf("  %-22s %-8s %-6s found by %-9s (seed %d)\n",
+				f.BugID, f.Compiler, f.Symptom, f.Technique, f.FirstSeed)
+		}
+		fmt.Println()
+		fmt.Println(report.Figure7c().String())
+	case "reduce":
+		tc := h.GenerateTestCaseSeed(*seed)
+		comp := h.Compilers()[0]
+		verdict, res := h.Judge(oracle.Generated, comp, tc.Program)
+		if verdict == oracle.Pass || len(res.Triggered) == 0 {
+			fmt.Printf("seed %d triggers no %s bug; try another seed\n", *seed, comp.Name())
+			return
+		}
+		bug := res.Triggered[0]
+		fmt.Printf("reducing seed %d for %s (%d nodes)...\n", *seed, bug.ID, ir.CountNodes(tc.Program))
+		reduced := h.ReduceFor(tc.Program, comp, bug.ID)
+		fmt.Printf("reduced to %d nodes:\n\n", ir.CountNodes(reduced))
+		emit(h, reduced, *lang)
+	case "typegraph":
+		tc := h.GenerateTestCaseSeed(*seed)
+		a := typegraph.Analyze(tc.Program, types.NewBuiltins())
+		for name, g := range a.BuildAll() {
+			fmt.Printf("// method %s (%d nodes, %d edges, %d candidates)\n",
+				name, g.NumNodes(), g.NumEdges(), len(g.Candidates))
+			fmt.Println(g.Dot())
+		}
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func emit(h *core.Hephaestus, p *ir.Program, lang string) {
+	if lang == "ir" {
+		fmt.Println(ir.Print(p))
+		return
+	}
+	src, err := h.Translate(p, lang)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(src)
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: hephaestus <generate|mutate|translate|fuzz|reduce|typegraph> [flags]`)
+}

@@ -1,0 +1,78 @@
+// Quickstart: the whole Hephaestus pipeline in one file.
+//
+// Generates a random well-typed program, shows the type erasure mutant
+// (still well-typed, more inference work for the compiler) and the type
+// overwriting mutant (ill-typed by construction), translates the program
+// to Kotlin, and compiles everything with the three simulated compilers,
+// judging each outcome against the test oracle.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/oracle"
+)
+
+func main() {
+	h := core.New(core.Config{Seed: 7})
+
+	// 1. Generate a well-typed program and its mutants.
+	tc := h.GenerateTestCase()
+	fmt.Printf("generated program: %d AST nodes\n", ir.CountNodes(tc.Program))
+	if tc.TEM != nil {
+		fmt.Printf("TEM erased %d type annotations (program is still well-typed)\n",
+			len(tc.TEMReport.Erased))
+	}
+	if tc.TOM != nil {
+		fmt.Printf("TOM injected a type error: %s\n", tc.TOMReport)
+	}
+
+	// 2. Translate to a concrete language.
+	kotlin, err := h.Translate(tc.Program, "kotlin")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\n--- Kotlin translation (first lines) ---\n")
+	printHead(kotlin, 12)
+
+	// 3. Compile with each simulated compiler and consult the oracle.
+	fmt.Printf("\n--- compilations ---\n")
+	for _, comp := range h.Compilers() {
+		verdict, res := h.Judge(oracle.Generated, comp, tc.Program)
+		fmt.Printf("%-8s original: %-6s", comp.Name(), verdict)
+		if len(res.Triggered) > 0 {
+			fmt.Printf("  (triggered %s)", res.Triggered[0].ID)
+		}
+		fmt.Println()
+		if tc.TOM != nil {
+			verdict, res = h.Judge(oracle.TOMMutant, comp, tc.TOM)
+			fmt.Printf("%-8s TOM:      %-6s", comp.Name(), verdict)
+			if verdict == oracle.UnexpectedAcceptance {
+				fmt.Printf("  (soundness bug %s!)", res.Triggered[0].ID)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func printHead(s string, n int) {
+	count := 0
+	start := 0
+	for i, r := range s {
+		if r == '\n' {
+			count++
+			if count == n {
+				fmt.Println(s[start:i])
+				fmt.Println("...")
+				return
+			}
+		}
+	}
+	fmt.Println(s)
+}

@@ -1,0 +1,325 @@
+// Package bugs defines the seeded bug catalogs of the simulated
+// javac/kotlinc/groovyc compilers.
+//
+// The paper's campaign measures how many real bugs each technique finds in
+// real compilers. Offline, the closest synthetic equivalent (see
+// DESIGN.md) is a ground-truth catalog: each simulated compiler carries a
+// set of injected bugs whose population statistics — per-compiler totals,
+// status mix, symptom mix, technique attribution, affected-version
+// spans — mirror the paper's Figures 7a/7b/7c and 8. A bug fires when its
+// structural trigger matches the input program; firing flips the
+// compiler's verdict (reject a well-typed program → unexpected
+// compile-time error, accept an ill-typed one → unexpected runtime
+// behaviour, or crash).
+//
+// Triggers are deterministic functions of a program feature signature, so
+// campaigns are reproducible, different programs discover different bugs,
+// and — crucially — the technique gating matches the paper's findings:
+// inference bugs require omitted type information (only TEM mutants have
+// any), soundness bugs require ill-typed input (only TOM produces it),
+// and generator bugs fire on fully annotated well-typed programs.
+package bugs
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+// Symptom is a bug's manifestation (Figure 7b).
+type Symptom int
+
+const (
+	// UCTE: unexpected compile-time error — a well-formed program is
+	// rejected.
+	UCTE Symptom = iota
+	// URB: unexpected runtime behaviour — an ill-typed program is
+	// accepted and miscompiles.
+	URB
+	// Crash: the compiler throws an internal error.
+	Crash
+)
+
+func (s Symptom) String() string {
+	switch s {
+	case UCTE:
+		return "UCTE"
+	case URB:
+		return "URB"
+	default:
+		return "Crash"
+	}
+}
+
+// Status is a bug report's lifecycle state (Figure 7a).
+type Status int
+
+// The five states of Figure 7a.
+const (
+	Reported Status = iota
+	Confirmed
+	Fixed
+	Duplicate
+	WontFix
+)
+
+func (s Status) String() string {
+	switch s {
+	case Reported:
+		return "Reported"
+	case Confirmed:
+		return "Confirmed"
+	case Fixed:
+		return "Fixed"
+	case Duplicate:
+		return "Duplicate"
+	default:
+		return "Won't fix"
+	}
+}
+
+// Category classifies the root-cause area (Section 4.3: 147 typing bugs,
+// 2 parser/lexer bugs, 7 back-end bugs).
+type Category int
+
+const (
+	// Typing: static typing and semantic analysis procedures.
+	Typing Category = iota
+	// Parser: lexing/parsing defects.
+	Parser
+	// Backend: code generation and optimization defects.
+	Backend
+)
+
+func (c Category) String() string {
+	switch c {
+	case Typing:
+		return "typing"
+	case Parser:
+		return "parser"
+	default:
+		return "backend"
+	}
+}
+
+// TriggerClass gates a bug on the kind of evidence that can reveal it —
+// the mechanism behind Figure 7c's technique attribution.
+type TriggerClass int
+
+const (
+	// GeneratorClass bugs fire on fully annotated well-typed programs.
+	GeneratorClass TriggerClass = iota
+	// InferenceClass bugs fire only when the program omits type
+	// information (diamonds, inferred variables or returns) — TEM's
+	// domain.
+	InferenceClass
+	// SoundnessClass bugs fire only on ill-typed programs — TOM's domain.
+	SoundnessClass
+	// CombinedClass bugs need both omitted types and a type error
+	// (TOM applied on top of TEM).
+	CombinedClass
+)
+
+func (c TriggerClass) String() string {
+	switch c {
+	case GeneratorClass:
+		return "generator"
+	case InferenceClass:
+		return "inference"
+	case SoundnessClass:
+		return "soundness"
+	default:
+		return "combined"
+	}
+}
+
+// Bug is one seeded compiler defect.
+type Bug struct {
+	ID       string
+	Compiler string
+	Symptom  Symptom
+	Status   Status
+	Category Category
+	Class    TriggerClass
+	// Component is the compiler package the bug lives in (used by the
+	// RQ3 coverage breakdown narrative), e.g. "resolve", "types", "stc".
+	Component string
+
+	// Version span: indices into the compiler's stable-version list.
+	// FirstVersion == len(versions) means the bug only exists on master
+	// (a recent regression, Figure 8's "master only" bar).
+	FirstVersion int
+	LastVersion  int // inclusive; the master index for open bugs
+
+	// slot/modulo define the deterministic trigger: the bug fires on a
+	// program whose feature signature satisfies sig % modulo == slot and
+	// whose evidence kind matches Class.
+	slot   uint64
+	modulo uint64
+}
+
+func (b *Bug) String() string {
+	return fmt.Sprintf("%s [%s/%s/%s]", b.ID, b.Symptom, b.Class, b.Status)
+}
+
+// AffectsVersion reports whether the bug exists at the given stable
+// version index (or master = len(stable versions)).
+func (b *Bug) AffectsVersion(v int) bool {
+	return v >= b.FirstVersion && v <= b.LastVersion
+}
+
+// AffectedStableCount returns how many stable versions the bug affects,
+// given the number of stable versions (master excluded).
+func (b *Bug) AffectedStableCount(stable int) int {
+	lo, hi := b.FirstVersion, b.LastVersion
+	if hi >= stable {
+		hi = stable - 1
+	}
+	if lo >= stable || hi < lo {
+		return 0
+	}
+	return hi - lo + 1
+}
+
+// Evidence describes what a candidate test program proves about the
+// compiler: whether it is well-typed per the reference checker and whether
+// it omits type information.
+type Evidence struct {
+	WellTyped    bool
+	OmittedTypes bool
+	Signature    uint64
+}
+
+// Fires reports whether the bug triggers on the given evidence.
+func (b *Bug) Fires(e Evidence) bool {
+	switch b.Class {
+	case GeneratorClass:
+		if !e.WellTyped {
+			return false
+		}
+	case InferenceClass:
+		if !e.WellTyped || !e.OmittedTypes {
+			return false
+		}
+	case SoundnessClass:
+		if e.WellTyped {
+			return false
+		}
+	case CombinedClass:
+		if e.WellTyped || !e.OmittedTypes {
+			return false
+		}
+	}
+	return e.Signature%b.modulo == b.slot
+}
+
+// Diagnostic renders the compiler message the bug produces when it fires.
+func (b *Bug) Diagnostic() string {
+	switch b.Symptom {
+	case UCTE:
+		return fmt.Sprintf("%s: type mismatch: inferred type does not conform to expected type [%s]", b.Compiler, b.ID)
+	case URB:
+		return fmt.Sprintf("%s: (silently miscompiled) [%s]", b.Compiler, b.ID)
+	default:
+		return fmt.Sprintf("%s: internal error: exception in %s phase [%s]", b.Compiler, b.Component, b.ID)
+	}
+}
+
+// Signature computes the deterministic feature signature of a program:
+// an FNV-1a hash over the structural feature string of every node. Two
+// programs differing in any type annotation, declaration shape, or
+// expression form have different signatures with high probability.
+func Signature(p *ir.Program) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	write := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+	}
+	ir.Walk(p, func(n ir.Node) bool {
+		switch t := n.(type) {
+		case *ir.ClassDecl:
+			write("C" + t.Name)
+			for _, tp := range t.TypeParams {
+				write("P" + tp.ParamName + boundString(tp))
+			}
+		case *ir.FuncDecl:
+			write("F" + t.Name + typeString(t.Ret))
+		case *ir.VarDecl:
+			write("V" + t.Name + typeString(t.DeclType))
+		case *ir.New:
+			write("N" + t.Class.Name())
+			for _, a := range t.TypeArgs {
+				write(typeString(a))
+			}
+		case *ir.Call:
+			write("L" + t.Name)
+			for _, a := range t.TypeArgs {
+				write(typeString(a))
+			}
+		case *ir.FieldAccess:
+			write("A" + t.Field)
+		case *ir.BinaryOp:
+			write("B" + t.Op)
+		case *ir.Lambda:
+			write("Y")
+		case *ir.If:
+			write("I")
+		case *ir.Cast:
+			write("X" + typeString(t.Target))
+		case *ir.Is:
+			write("S" + typeString(t.Target))
+		}
+		return true
+	})
+	return h
+}
+
+func typeString(t types.Type) string {
+	if t == nil {
+		return "_"
+	}
+	return t.String()
+}
+
+func boundString(p *types.Parameter) string {
+	if p.Bound == nil {
+		return ""
+	}
+	return ":" + p.Bound.String()
+}
+
+// OmitsTypes reports whether the program leaves any type information to
+// inference: untyped variables, diamond constructor calls, calls without
+// explicit type arguments to parameterized callees, or functions without
+// declared return types. Programs straight out of the generator are fully
+// annotated; TEM mutants are not.
+func OmitsTypes(p *ir.Program) bool {
+	omitted := false
+	ir.Walk(p, func(n ir.Node) bool {
+		switch t := n.(type) {
+		case *ir.VarDecl:
+			if t.DeclType == nil {
+				omitted = true
+			}
+		case *ir.New:
+			if t.TypeArgs == nil {
+				if _, param := t.Class.(*types.Constructor); param {
+					omitted = true
+				}
+			}
+		case *ir.FuncDecl:
+			if t.Ret == nil {
+				omitted = true
+			}
+		}
+		return !omitted
+	})
+	return omitted
+}

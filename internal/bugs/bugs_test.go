@@ -1,0 +1,234 @@
+package bugs
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+func TestSpecsMatchPaperTotals(t *testing.T) {
+	cases := []struct {
+		spec  CatalogSpec
+		total int
+	}{
+		{GroovycSpec(), 113},
+		{KotlincSpec(), 32},
+		{JavacSpec(), 11},
+	}
+	sum := 0
+	for _, c := range cases {
+		if got := c.spec.Total(); got != c.total {
+			t.Errorf("%s total = %d, want %d", c.spec.Compiler, got, c.total)
+		}
+		if got := c.spec.UCTE + c.spec.URB + c.spec.Crash; got != c.total {
+			t.Errorf("%s symptom sum = %d, want %d", c.spec.Compiler, got, c.total)
+		}
+		if got := c.spec.Generator + c.spec.TEM + c.spec.TOM + c.spec.Combined; got != c.total {
+			t.Errorf("%s class sum = %d, want %d", c.spec.Compiler, got, c.total)
+		}
+		sum += c.spec.Total()
+	}
+	if sum != 156 {
+		t.Errorf("campaign total = %d, want the paper's 156", sum)
+	}
+}
+
+func TestPaperAggregateRows(t *testing.T) {
+	// Figure 7a bottom rows: 52 confirmed-not-fixed... the table reports
+	// Confirmed 52, Fixed 85, Duplicate 7, Won't fix 9, Reported 3.
+	g, k, j := GroovycSpec(), KotlincSpec(), JavacSpec()
+	if got := g.Confirmed + k.Confirmed + j.Confirmed; got != 52 {
+		t.Errorf("confirmed = %d, want 52", got)
+	}
+	if got := g.Fixed + k.Fixed + j.Fixed; got != 85 {
+		t.Errorf("fixed = %d, want 85", got)
+	}
+	if got := g.Duplicate + k.Duplicate + j.Duplicate; got != 7 {
+		t.Errorf("duplicates = %d, want 7", got)
+	}
+	if got := g.WontFix + k.WontFix + j.WontFix; got != 9 {
+		t.Errorf("won't fix = %d, want 9", got)
+	}
+	// Figure 7b totals: UCTE 104, URB 22, Crash 30.
+	if got := g.UCTE + k.UCTE + j.UCTE; got != 104 {
+		t.Errorf("UCTE = %d, want 104", got)
+	}
+	if got := g.URB + k.URB + j.URB; got != 22 {
+		t.Errorf("URB = %d, want 22", got)
+	}
+	if got := g.Crash + k.Crash + j.Crash; got != 30 {
+		t.Errorf("crash = %d, want 30", got)
+	}
+	// Figure 7c totals: Generator 78, TEM 52, TOM 24, TEM&TOM 2.
+	if got := g.Generator + k.Generator + j.Generator; got != 78 {
+		t.Errorf("generator = %d, want 78", got)
+	}
+	if got := g.TEM + k.TEM + j.TEM; got != 52 {
+		t.Errorf("TEM = %d, want 52", got)
+	}
+	if got := g.TOM + k.TOM + j.TOM; got != 24 {
+		t.Errorf("TOM = %d, want 24", got)
+	}
+	if got := g.Combined + k.Combined + j.Combined; got != 2 {
+		t.Errorf("TEM&TOM = %d, want 2", got)
+	}
+}
+
+func TestBuildProducesConsistentCatalog(t *testing.T) {
+	for _, spec := range []CatalogSpec{GroovycSpec(), KotlincSpec(), JavacSpec()} {
+		catalog := Build(spec)
+		if len(catalog) != spec.Total() {
+			t.Fatalf("%s: catalog size %d, want %d", spec.Compiler, len(catalog), spec.Total())
+		}
+		seen := map[string]bool{}
+		classSlots := map[TriggerClass]map[uint64]bool{}
+		for _, b := range catalog {
+			if seen[b.ID] {
+				t.Errorf("duplicate bug ID %s", b.ID)
+			}
+			seen[b.ID] = true
+			if b.Compiler != spec.Compiler {
+				t.Errorf("%s: wrong compiler %s", b.ID, b.Compiler)
+			}
+			// Symptom/class compatibility: URB needs ill-typed evidence,
+			// UCTE well-typed.
+			illTyped := b.Class == SoundnessClass || b.Class == CombinedClass
+			if b.Symptom == URB && !illTyped {
+				t.Errorf("%s: URB bug with class %s cannot fire", b.ID, b.Class)
+			}
+			if b.Symptom == UCTE && illTyped {
+				t.Errorf("%s: UCTE bug with class %s cannot fire", b.ID, b.Class)
+			}
+			// Distinct slots within a class make bugs independently
+			// discoverable.
+			if classSlots[b.Class] == nil {
+				classSlots[b.Class] = map[uint64]bool{}
+			}
+			if classSlots[b.Class][b.slot] {
+				t.Errorf("%s: duplicate slot %d in class %s", b.ID, b.slot, b.Class)
+			}
+			classSlots[b.Class][b.slot] = true
+			if b.slot >= b.modulo {
+				t.Errorf("%s: slot %d out of range of modulo %d", b.ID, b.slot, b.modulo)
+			}
+			// Version sanity.
+			if b.FirstVersion < 0 || b.FirstVersion > spec.StableVersions ||
+				b.LastVersion < b.FirstVersion {
+				t.Errorf("%s: bad version span [%d, %d]", b.ID, b.FirstVersion, b.LastVersion)
+			}
+		}
+	}
+}
+
+func TestBuildIsDeterministic(t *testing.T) {
+	a := Build(GroovycSpec())
+	b := Build(GroovycSpec())
+	for i := range a {
+		if a[i].String() != b[i].String() || a[i].slot != b[i].slot {
+			t.Fatalf("catalog construction must be deterministic (bug %d)", i)
+		}
+	}
+}
+
+func TestVersionSpanAccounting(t *testing.T) {
+	spec := GroovycSpec()
+	catalog := Build(spec)
+	all, masterOnly := 0, 0
+	for _, b := range catalog {
+		n := b.AffectedStableCount(spec.StableVersions)
+		switch {
+		case n == spec.StableVersions:
+			all++
+		case n == 0:
+			masterOnly++
+			if !b.AffectsVersion(spec.StableVersions) {
+				t.Errorf("%s affects nothing at all", b.ID)
+			}
+		}
+	}
+	if all != spec.AllVersions {
+		t.Errorf("all-versions bugs = %d, want %d", all, spec.AllVersions)
+	}
+	if masterOnly != spec.MasterOnly {
+		t.Errorf("master-only bugs = %d, want %d", masterOnly, spec.MasterOnly)
+	}
+}
+
+func TestTriggerGating(t *testing.T) {
+	spec := GroovycSpec()
+	catalog := Build(spec)
+	for _, b := range catalog {
+		// Pick evidence with this bug's exact slot.
+		hit := Evidence{Signature: b.slot, WellTyped: true, OmittedTypes: false}
+		switch b.Class {
+		case GeneratorClass:
+			if !b.Fires(hit) {
+				t.Errorf("%s should fire on well-typed evidence", b.ID)
+			}
+			if b.Fires(Evidence{Signature: b.slot, WellTyped: false}) {
+				t.Errorf("%s must not fire on ill-typed evidence", b.ID)
+			}
+		case InferenceClass:
+			if b.Fires(hit) {
+				t.Errorf("%s needs omitted types", b.ID)
+			}
+			if !b.Fires(Evidence{Signature: b.slot, WellTyped: true, OmittedTypes: true}) {
+				t.Errorf("%s should fire with omitted types", b.ID)
+			}
+		case SoundnessClass:
+			if b.Fires(hit) {
+				t.Errorf("%s needs ill-typed evidence", b.ID)
+			}
+			if !b.Fires(Evidence{Signature: b.slot, WellTyped: false}) {
+				t.Errorf("%s should fire on ill-typed evidence", b.ID)
+			}
+		case CombinedClass:
+			if !b.Fires(Evidence{Signature: b.slot, WellTyped: false, OmittedTypes: true}) {
+				t.Errorf("%s should fire on ill-typed evidence with omissions", b.ID)
+			}
+			if b.Fires(Evidence{Signature: b.slot, WellTyped: false, OmittedTypes: false}) {
+				t.Errorf("%s needs omitted types too", b.ID)
+			}
+		}
+		// Wrong slot never fires.
+		if b.Fires(Evidence{Signature: b.slot + 1, WellTyped: true, OmittedTypes: true}) &&
+			b.modulo > 1 {
+			t.Errorf("%s fired on a wrong slot", b.ID)
+		}
+	}
+}
+
+func TestSignatureStability(t *testing.T) {
+	b := types.NewBuiltins()
+	mk := func(declType types.Type) *ir.Program {
+		return &ir.Program{Decls: []ir.Decl{&ir.FuncDecl{
+			Name: "f", Ret: b.Unit, Body: &ir.Block{Stmts: []ir.Node{
+				&ir.VarDecl{Name: "x", DeclType: declType, Init: &ir.Const{Type: b.Int}},
+			}},
+		}}}
+	}
+	p1, p2 := mk(b.Int), mk(b.Int)
+	if Signature(p1) != Signature(p2) {
+		t.Error("identical programs must have identical signatures")
+	}
+	if Signature(mk(b.Int)) == Signature(mk(nil)) {
+		t.Error("erasing an annotation must change the signature")
+	}
+}
+
+func TestOmitsTypes(t *testing.T) {
+	b := types.NewBuiltins()
+	full := &ir.Program{Decls: []ir.Decl{&ir.FuncDecl{
+		Name: "f", Ret: b.Int, Body: &ir.Const{Type: b.Int},
+	}}}
+	if OmitsTypes(full) {
+		t.Error("fully annotated program reported as omitting types")
+	}
+	erased := &ir.Program{Decls: []ir.Decl{&ir.FuncDecl{
+		Name: "f", Body: &ir.Const{Type: b.Int},
+	}}}
+	if !OmitsTypes(erased) {
+		t.Error("missing return type not detected")
+	}
+}

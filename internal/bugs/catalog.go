@@ -1,0 +1,255 @@
+package bugs
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CatalogSpec describes a compiler's seeded bug population. The shipped
+// specs reproduce the per-compiler rows of Figures 7a, 7b, 7c and the
+// version-span histogram of Figure 8.
+type CatalogSpec struct {
+	Compiler string
+	// StableVersions is the number of released versions; index
+	// StableVersions denotes the development master.
+	StableVersions int
+
+	// Status mix (Figure 7a).
+	Reported, Confirmed, Fixed, Duplicate, WontFix int
+	// Symptom mix (Figure 7b). UCTE+URB+Crash must equal the total.
+	UCTE, URB, Crash int
+	// Technique mix (Figure 7c). Generator+TEM+TOM+Combined = total.
+	Generator, TEM, TOM, Combined int
+	// Version-span mix (Figure 8): how many bugs affect all stable
+	// versions, only master, and spans within the bucket ranges.
+	AllVersions, MasterOnly                  int
+	Span1to3, Span4to6, Span7to9, Span10to12 int
+	// Category mix (Section 4.3).
+	ParserBugs, BackendBugs int
+
+	// DiscoveryModulo controls how often bugs fire: each program triggers
+	// a given class's bug with probability classSize/DiscoveryModulo.
+	// Larger values model a compiler that is harder to break (javac).
+	DiscoveryModulo uint64
+}
+
+// Total returns the catalog size.
+func (s CatalogSpec) Total() int {
+	return s.Reported + s.Confirmed + s.Fixed + s.Duplicate + s.WontFix
+}
+
+// GroovycSpec is the groovyc column of Figures 7a/7b/7c and 8.
+func GroovycSpec() CatalogSpec {
+	return CatalogSpec{
+		Compiler:       "groovyc",
+		StableVersions: 16,
+		Reported:       0, Confirmed: 34, Fixed: 74, Duplicate: 3, WontFix: 2,
+		UCTE: 80, URB: 19, Crash: 14,
+		Generator: 55, TEM: 37, TOM: 20, Combined: 1,
+		AllVersions: 33, MasterOnly: 56,
+		Span1to3: 8, Span4to6: 6, Span7to9: 4, Span10to12: 6,
+		ParserBugs: 1, BackendBugs: 4,
+		DiscoveryModulo: 256,
+	}
+}
+
+// KotlincSpec is the kotlinc column.
+func KotlincSpec() CatalogSpec {
+	return CatalogSpec{
+		Compiler:       "kotlinc",
+		StableVersions: 13,
+		Reported:       3, Confirmed: 15, Fixed: 9, Duplicate: 3, WontFix: 2,
+		UCTE: 17, URB: 3, Crash: 12,
+		Generator: 16, TEM: 12, TOM: 3, Combined: 1,
+		AllVersions: 13, MasterOnly: 5,
+		Span1to3: 5, Span4to6: 4, Span7to9: 3, Span10to12: 2,
+		ParserBugs: 1, BackendBugs: 2,
+		DiscoveryModulo: 640,
+	}
+}
+
+// JavacSpec is the javac column.
+func JavacSpec() CatalogSpec {
+	return CatalogSpec{
+		Compiler:       "javac",
+		StableVersions: 10,
+		Reported:       0, Confirmed: 3, Fixed: 2, Duplicate: 1, WontFix: 5,
+		UCTE: 7, URB: 0, Crash: 4,
+		Generator: 7, TEM: 3, TOM: 1, Combined: 0,
+		AllVersions: 2, MasterOnly: 2,
+		Span1to3: 3, Span4to6: 2, Span7to9: 1, Span10to12: 1,
+		ParserBugs: 0, BackendBugs: 1,
+		DiscoveryModulo: 1536,
+	}
+}
+
+// Build materializes a spec into a concrete catalog. The construction is
+// deterministic: attribute lists (statuses, symptoms, classes, spans,
+// categories) are expanded in order and zipped together with a fixed
+// shuffle, and each bug receives a distinct trigger slot in its class.
+func Build(spec CatalogSpec) []*Bug {
+	n := spec.Total()
+	statuses := expand([]int{spec.Reported, spec.Confirmed, spec.Fixed, spec.Duplicate, spec.WontFix},
+		[]Status{Reported, Confirmed, Fixed, Duplicate, WontFix})
+	symptoms := expand([]int{spec.UCTE, spec.URB, spec.Crash}, []Symptom{UCTE, URB, Crash})
+	classes := expand([]int{spec.Generator, spec.TEM, spec.TOM, spec.Combined},
+		[]TriggerClass{GeneratorClass, InferenceClass, SoundnessClass, CombinedClass})
+	if len(statuses) != n || len(symptoms) != n || len(classes) != n {
+		panic(fmt.Sprintf("bugs: inconsistent %s spec: %d statuses, %d symptoms, %d classes, total %d",
+			spec.Compiler, len(statuses), len(symptoms), len(classes), n))
+	}
+
+	// Symptoms must be compatible with trigger classes: URB bugs need
+	// ill-typed input (soundness/combined); soundness bugs that are not
+	// URB are crashes on ill-typed input. Re-align deterministically.
+	rng := rand.New(rand.NewSource(int64(len(spec.Compiler)) * 7919))
+	rng.Shuffle(n, func(i, j int) { statuses[i], statuses[j] = statuses[j], statuses[i] })
+	alignSymptoms(symptoms, classes)
+
+	spans := buildSpans(spec, rng)
+	categories := buildCategories(spec, n, rng)
+
+	bugsOut := make([]*Bug, n)
+	classCounter := map[TriggerClass]uint64{}
+	classTotal := map[TriggerClass]uint64{}
+	for _, cl := range classes {
+		classTotal[cl]++
+	}
+	components := []string{"resolve", "infer", "types", "stc", "code"}
+	for i := 0; i < n; i++ {
+		cl := classes[i]
+		slot := classCounter[cl]
+		classCounter[cl]++
+		modulo := spec.DiscoveryModulo
+		if total := classTotal[cl]; total > 0 && modulo < total*2 {
+			modulo = total * 2
+		}
+		comp := components[i%len(components)]
+		if categories[i] == Parser {
+			comp = "parser"
+		}
+		if categories[i] == Backend {
+			comp = "codegen"
+		}
+		bugsOut[i] = &Bug{
+			ID:           fmt.Sprintf("%s-SIM-%04d", upper(spec.Compiler), i+1),
+			Compiler:     spec.Compiler,
+			Symptom:      symptoms[i],
+			Status:       statuses[i],
+			Category:     categories[i],
+			Class:        cl,
+			Component:    comp,
+			FirstVersion: spans[i][0],
+			LastVersion:  spans[i][1],
+			slot:         slot,
+			modulo:       modulo,
+		}
+	}
+	return bugsOut
+}
+
+func expand[T any](counts []int, values []T) []T {
+	var out []T
+	for i, c := range counts {
+		for j := 0; j < c; j++ {
+			out = append(out, values[i])
+		}
+	}
+	return out
+}
+
+// alignSymptoms pairs symptoms with compatible trigger classes: URB
+// requires an ill-typed trigger (soundness/combined); UCTE requires a
+// well-typed one (generator/inference); crashes go with either.
+func alignSymptoms(symptoms []Symptom, classes []TriggerClass) {
+	illTyped := func(c TriggerClass) bool {
+		return c == SoundnessClass || c == CombinedClass
+	}
+	for i := range symptoms {
+		ok := symptoms[i] == Crash ||
+			(symptoms[i] == URB && illTyped(classes[i])) ||
+			(symptoms[i] == UCTE && !illTyped(classes[i]))
+		if ok {
+			continue
+		}
+		// Find a compatible partner to swap with.
+		for j := i + 1; j < len(symptoms); j++ {
+			jOK := symptoms[j] == Crash ||
+				(symptoms[j] == URB && illTyped(classes[j])) ||
+				(symptoms[j] == UCTE && !illTyped(classes[j]))
+			iAfter := symptoms[j] == Crash ||
+				(symptoms[j] == URB && illTyped(classes[i])) ||
+				(symptoms[j] == UCTE && !illTyped(classes[i]))
+			jAfter := symptoms[i] == Crash ||
+				(symptoms[i] == URB && illTyped(classes[j])) ||
+				(symptoms[i] == UCTE && !illTyped(classes[j]))
+			if !jOK && iAfter && jAfter || (iAfter && jAfter) {
+				symptoms[i], symptoms[j] = symptoms[j], symptoms[i]
+				break
+			}
+		}
+	}
+}
+
+// buildSpans assigns each bug its affected-version range per the Figure 8
+// histogram buckets.
+func buildSpans(spec CatalogSpec, rng *rand.Rand) [][2]int {
+	n := spec.Total()
+	master := spec.StableVersions
+	var spans [][2]int
+	add := func(count, lo, hi int) {
+		for i := 0; i < count; i++ {
+			width := lo
+			if hi > lo {
+				width = lo + rng.Intn(hi-lo+1)
+			}
+			if width > spec.StableVersions {
+				width = spec.StableVersions
+			}
+			first := spec.StableVersions - width
+			spans = append(spans, [2]int{first, master})
+		}
+	}
+	add(spec.AllVersions, spec.StableVersions, spec.StableVersions)
+	for i := 0; i < spec.MasterOnly; i++ {
+		spans = append(spans, [2]int{master, master})
+	}
+	add(spec.Span1to3, 1, 3)
+	add(spec.Span4to6, 4, 6)
+	add(spec.Span7to9, 7, 9)
+	add(spec.Span10to12, 10, 12)
+	for len(spans) < n {
+		spans = append(spans, [2]int{master, master})
+	}
+	spans = spans[:n]
+	rng.Shuffle(n, func(i, j int) { spans[i], spans[j] = spans[j], spans[i] })
+	return spans
+}
+
+func buildCategories(spec CatalogSpec, n int, rng *rand.Rand) []Category {
+	cats := make([]Category, n)
+	for i := range cats {
+		cats[i] = Typing
+	}
+	idx := rng.Perm(n)
+	k := 0
+	for i := 0; i < spec.ParserBugs && k < n; i++ {
+		cats[idx[k]] = Parser
+		k++
+	}
+	for i := 0; i < spec.BackendBugs && k < n; i++ {
+		cats[idx[k]] = Backend
+		k++
+	}
+	return cats
+}
+
+func upper(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		if c >= 'a' && c <= 'z' {
+			out[i] = c - 32
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,269 @@
+// Package campaign orchestrates testing campaigns against the simulated
+// compilers, reproducing the paper's evaluation pipeline (Figure 3): batch
+// program generation (Section 3.5), compilation of every program and of
+// its TEM / TOM / TEM∘TOM mutants, oracle checking, bug deduplication, and
+// per-figure accounting for Figures 7a, 7b, 7c and 8, plus the coverage
+// experiments of Figures 9 and 10.
+package campaign
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/bugs"
+	"repro/internal/compilers"
+	"repro/internal/generator"
+	"repro/internal/ir"
+	"repro/internal/mutation"
+	"repro/internal/oracle"
+)
+
+// Options configures a campaign run.
+type Options struct {
+	// Seed is the base seed; program i uses Seed+i.
+	Seed int64
+	// Programs is the number of generated seed programs.
+	Programs int
+	// BatchSize groups programs per (simulated) compiler invocation
+	// (Section 3.5); it affects only batching accounting.
+	BatchSize int
+	// Workers is the number of concurrent workers (the paper uses
+	// Python multiprocessing; we use goroutines). 0 means GOMAXPROCS.
+	Workers int
+	// Compilers under test; nil means all three.
+	Compilers []*compilers.Compiler
+	// GenConfig configures the program generator.
+	GenConfig generator.Config
+	// Mutate enables the TEM/TOM/TEM∘TOM pipeline stages.
+	Mutate bool
+}
+
+// DefaultOptions returns a small but representative campaign.
+func DefaultOptions() Options {
+	return Options{
+		Programs:  200,
+		BatchSize: 20,
+		GenConfig: generator.DefaultConfig(),
+		Mutate:    true,
+	}
+}
+
+// BugRecord tracks one distinct bug found during a campaign.
+type BugRecord struct {
+	Bug *bugs.Bug
+	// FoundBy records which input kinds triggered the bug.
+	FoundBy map[oracle.InputKind]bool
+	// FirstSeed is the lowest seed whose pipeline hit the bug.
+	FirstSeed int64
+	// Hits counts total triggerings (before deduplication).
+	Hits int
+}
+
+// Technique returns the Figure 7c attribution for the record: the
+// generator subsumes the mutations (a bug it finds is a generator bug);
+// otherwise a bug found by both mutations is "TEM & TOM".
+func (r *BugRecord) Technique() string {
+	if r.FoundBy[oracle.Generated] || r.FoundBy[oracle.Suite] {
+		return "Generator"
+	}
+	tem := r.FoundBy[oracle.TEMMutant]
+	tom := r.FoundBy[oracle.TOMMutant] || r.FoundBy[oracle.TEMTOMMutant]
+	switch {
+	case tem && tom:
+		return "TEM & TOM"
+	case tem:
+		return "TEM"
+	case tom:
+		return "TOM"
+	case r.FoundBy[oracle.REMMutant]:
+		return "REM"
+	default:
+		return "Generator"
+	}
+}
+
+// Report is the outcome of a campaign.
+type Report struct {
+	Opts Options
+	// Found maps bug ID to its record.
+	Found map[string]*BugRecord
+	// Verdicts counts oracle outcomes per compiler and input kind.
+	Verdicts map[string]map[oracle.InputKind]map[oracle.Verdict]int
+	// ProgramsRun counts pipeline executions per input kind.
+	ProgramsRun map[oracle.InputKind]int
+	// Batches is the number of compiler invocations saved by batching.
+	Batches int
+	// TEMRepairs counts TEM verification-pass rollbacks.
+	TEMRepairs int
+}
+
+// FoundFor returns the found-bug records for one compiler, ordered by ID.
+func (r *Report) FoundFor(compiler string) []*BugRecord {
+	var out []*BugRecord
+	for _, rec := range r.Found {
+		if rec.Bug.Compiler == compiler {
+			out = append(out, rec)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Bug.ID < out[j].Bug.ID })
+	return out
+}
+
+// TotalFound returns the number of distinct bugs found.
+func (r *Report) TotalFound() int { return len(r.Found) }
+
+// seedResult is one seed's contribution, merged deterministically.
+type seedResult struct {
+	seed     int64
+	verdicts []verdictEvent
+	hits     []bugHit
+	repairs  int
+}
+
+type verdictEvent struct {
+	compiler string
+	kind     oracle.InputKind
+	verdict  oracle.Verdict
+}
+
+type bugHit struct {
+	bug  *bugs.Bug
+	kind oracle.InputKind
+}
+
+// Run executes the campaign and returns its report. Runs are
+// deterministic for fixed options, regardless of worker count.
+func Run(opts Options) *Report {
+	if opts.Compilers == nil {
+		opts.Compilers = compilers.All()
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 1
+	}
+
+	seeds := make(chan int64)
+	results := make([]seedResult, opts.Programs)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range seeds {
+				results[s-opts.Seed] = runSeed(opts, s)
+			}
+		}()
+	}
+	for i := 0; i < opts.Programs; i++ {
+		seeds <- opts.Seed + int64(i)
+	}
+	close(seeds)
+	wg.Wait()
+
+	report := &Report{
+		Opts:        opts,
+		Found:       map[string]*BugRecord{},
+		Verdicts:    map[string]map[oracle.InputKind]map[oracle.Verdict]int{},
+		ProgramsRun: map[oracle.InputKind]int{},
+	}
+	for _, res := range results {
+		report.TEMRepairs += res.repairs
+		for _, v := range res.verdicts {
+			perComp := report.Verdicts[v.compiler]
+			if perComp == nil {
+				perComp = map[oracle.InputKind]map[oracle.Verdict]int{}
+				report.Verdicts[v.compiler] = perComp
+			}
+			perKind := perComp[v.kind]
+			if perKind == nil {
+				perKind = map[oracle.Verdict]int{}
+				perComp[v.kind] = perKind
+			}
+			perKind[v.verdict]++
+		}
+		for _, h := range res.hits {
+			rec := report.Found[h.bug.ID]
+			if rec == nil {
+				rec = &BugRecord{Bug: h.bug, FoundBy: map[oracle.InputKind]bool{}, FirstSeed: res.seed}
+				report.Found[h.bug.ID] = rec
+			}
+			rec.FoundBy[h.kind] = true
+			rec.Hits++
+		}
+	}
+	report.ProgramsRun[oracle.Generated] = opts.Programs
+	if opts.Mutate {
+		report.ProgramsRun[oracle.TEMMutant] = opts.Programs
+		report.ProgramsRun[oracle.TOMMutant] = opts.Programs
+		report.ProgramsRun[oracle.TEMTOMMutant] = opts.Programs
+		report.ProgramsRun[oracle.REMMutant] = opts.Programs
+	}
+	report.Batches = (opts.Programs + opts.BatchSize - 1) / opts.BatchSize
+	return report
+}
+
+// runSeed executes the full pipeline for one seed: generate, compile,
+// mutate, compile the mutants.
+func runSeed(opts Options, seed int64) seedResult {
+	res := seedResult{seed: seed}
+	g := generator.New(opts.GenConfig.WithSeed(seed))
+	prog := g.Generate()
+
+	inputs := []struct {
+		kind oracle.InputKind
+		prog *ir.Program
+	}{{oracle.Generated, prog}}
+
+	if opts.Mutate {
+		tem, temReport := mutation.TypeErasure(prog, g.Builtins())
+		res.repairs += temReport.RepairedMethods
+		if temReport.Changed() {
+			inputs = append(inputs, struct {
+				kind oracle.InputKind
+				prog *ir.Program
+			}{oracle.TEMMutant, tem})
+		}
+		if tom, _ := mutation.TypeOverwriting(prog, g.Builtins(), rand.New(rand.NewSource(seed))); tom != nil {
+			inputs = append(inputs, struct {
+				kind oracle.InputKind
+				prog *ir.Program
+			}{oracle.TOMMutant, tom})
+		}
+		// TOM on top of TEM reaches the CombinedClass bugs (Figure 7c's
+		// "TEM & TOM" row).
+		if temtom, _ := mutation.TypeOverwriting(tem, g.Builtins(), rand.New(rand.NewSource(seed^0x5bd1e995))); temtom != nil {
+			inputs = append(inputs, struct {
+				kind oracle.InputKind
+				prog *ir.Program
+			}{oracle.TEMTOMMutant, temtom})
+		}
+		// The resolution mutation (the paper's future-work extension):
+		// decoy overloads stress overload resolution while preserving
+		// well-typedness.
+		if rem, _ := mutation.ResolutionMutation(prog, g.Builtins(), rand.New(rand.NewSource(seed^0x9e3779b9))); rem != nil {
+			inputs = append(inputs, struct {
+				kind oracle.InputKind
+				prog *ir.Program
+			}{oracle.REMMutant, rem})
+		}
+	}
+
+	for _, in := range inputs {
+		for _, c := range opts.Compilers {
+			out := c.Compile(in.prog, nil)
+			res.verdicts = append(res.verdicts, verdictEvent{
+				compiler: c.Name(),
+				kind:     in.kind,
+				verdict:  oracle.Judge(in.kind, out),
+			})
+			for _, b := range out.Triggered {
+				res.hits = append(res.hits, bugHit{bug: b, kind: in.kind})
+			}
+		}
+	}
+	return res
+}

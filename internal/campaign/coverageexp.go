@@ -1,0 +1,136 @@
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/compilers"
+	"repro/internal/corpus"
+	"repro/internal/coverage"
+	"repro/internal/generator"
+	"repro/internal/mutation"
+)
+
+// MutationCoverage is the Figure 9 experiment for one compiler: coverage
+// of N generated programs, and the additional distinct probe sites their
+// TEM and TOM mutants exercise, with the per-region breakdown the paper
+// highlights (resolve.*, types.*, stc.*, comp.*, code.*).
+type MutationCoverage struct {
+	Compiler string
+	Programs int
+	// Generator coverage as percentages of the experiment's universe.
+	GenLine, GenFunc, GenBranch float64
+	// TEM/TOM additional distinct sites over the generator baseline.
+	TEMDelta, TOMDelta coverage.Delta
+	// ByRegion maps the compiler's package name to TEM's extra sites
+	// there.
+	TEMByRegion map[string]coverage.Delta
+}
+
+// String renders the report in the shape of Figure 9's rows.
+func (m *MutationCoverage) String() string {
+	s := fmt.Sprintf("%s (over %d programs)\n", m.Compiler, m.Programs)
+	s += fmt.Sprintf("  Generator   %6.2f %% line, %6.2f %% function, %6.2f %% branch (of experiment universe)\n",
+		m.GenLine, m.GenFunc, m.GenBranch)
+	s += fmt.Sprintf("  TEM change  +%d lines, +%d functions, +%d branches\n",
+		m.TEMDelta.Lines, m.TEMDelta.Funcs, m.TEMDelta.Branches)
+	s += fmt.Sprintf("  TOM change  +%d lines, +%d functions, +%d branches\n",
+		m.TOMDelta.Lines, m.TOMDelta.Funcs, m.TOMDelta.Branches)
+	for region, d := range m.TEMByRegion {
+		if d.Lines+d.Funcs+d.Branches == 0 {
+			continue
+		}
+		s += fmt.Sprintf("  TEM %-28s +%d lines, +%d functions, +%d branches\n",
+			region, d.Lines, d.Funcs, d.Branches)
+	}
+	return s
+}
+
+// RunMutationCoverage performs the RQ3 experiment (Figure 9): generate
+// programs, produce one TEM and one TOM mutant per program, and measure
+// the coverage increase each mutation brings over the generator baseline.
+func RunMutationCoverage(c *compilers.Compiler, programs int, seed int64, cfg generator.Config) *MutationCoverage {
+	covGen := coverage.NewCollector()
+	covTEM := coverage.NewCollector()
+	covTOM := coverage.NewCollector()
+
+	for i := 0; i < programs; i++ {
+		g := generator.New(cfg.WithSeed(seed + int64(i)))
+		p := g.Generate()
+		c.Compile(p, covGen)
+		tem, rep := mutation.TypeErasure(p, g.Builtins())
+		if rep.Changed() {
+			c.Compile(tem, covTEM)
+		}
+		if tom, _ := mutation.TypeOverwriting(p, g.Builtins(), rand.New(rand.NewSource(seed+int64(i)))); tom != nil {
+			c.Compile(tom, covTOM)
+		}
+	}
+
+	universe := covGen.Clone()
+	universe.Merge(covTEM)
+	universe.Merge(covTOM)
+
+	out := &MutationCoverage{
+		Compiler:    c.Name(),
+		Programs:    programs,
+		TEMDelta:    covTEM.NewSites(covGen),
+		TOMDelta:    covTOM.NewSites(covGen),
+		TEMByRegion: map[string]coverage.Delta{},
+	}
+	out.GenLine, out.GenFunc, out.GenBranch = covGen.Percent(universe)
+	for _, region := range covTEM.Regions() {
+		d := covTEM.NewSitesIn(covGen, region)
+		out.TEMByRegion[c.PackageFor(region)] = d
+	}
+	return out
+}
+
+// SuiteCoverage is the Figure 10 experiment for one compiler: the
+// compiler's own test suite's coverage versus the suite plus N random
+// programs — the paper's point being that the increment is negligible
+// even though the random programs find many bugs.
+type SuiteCoverage struct {
+	Compiler string
+	Random   int
+	// Percentages relative to the union universe.
+	SuiteLine, SuiteFunc, SuiteBranch float64
+	BothLine, BothFunc, BothBranch    float64
+}
+
+// LineChange returns the percentage-point increment random programs add.
+func (s *SuiteCoverage) LineChange() float64 { return s.BothLine - s.SuiteLine }
+
+// FuncChange returns the function-coverage increment.
+func (s *SuiteCoverage) FuncChange() float64 { return s.BothFunc - s.SuiteFunc }
+
+// BranchChange returns the branch-coverage increment.
+func (s *SuiteCoverage) BranchChange() float64 { return s.BothBranch - s.SuiteBranch }
+
+// String renders the Figure 10 row.
+func (s *SuiteCoverage) String() string {
+	return fmt.Sprintf(
+		"%s\n  test suite           %6.2f %% line, %6.2f %% function, %6.2f %% branch\n"+
+			"  test suite & random  %6.2f %% line, %6.2f %% function, %6.2f %% branch\n"+
+			"  %% change             %+6.2f %%      %+6.2f %%        %+6.2f %%\n",
+		s.Compiler, s.SuiteLine, s.SuiteFunc, s.SuiteBranch,
+		s.BothLine, s.BothFunc, s.BothBranch,
+		s.LineChange(), s.FuncChange(), s.BranchChange())
+}
+
+// RunSuiteCoverage performs the RQ4 experiment (Figure 10).
+func RunSuiteCoverage(c *compilers.Compiler, random int, seed int64, cfg generator.Config) *SuiteCoverage {
+	covSuite := coverage.NewCollector()
+	for _, p := range corpus.TestSuite(c.Name()) {
+		c.Compile(p, covSuite)
+	}
+	covBoth := covSuite.Clone()
+	for i := 0; i < random; i++ {
+		g := generator.New(cfg.WithSeed(seed + int64(i)))
+		c.Compile(g.Generate(), covBoth)
+	}
+	out := &SuiteCoverage{Compiler: c.Name(), Random: random}
+	out.SuiteLine, out.SuiteFunc, out.SuiteBranch = covSuite.Percent(covBoth)
+	out.BothLine, out.BothFunc, out.BothBranch = covBoth.Percent(covBoth)
+	return out
+}

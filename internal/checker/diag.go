@@ -1,0 +1,103 @@
+package checker
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+// DiagKind classifies the diagnostics the reference checker emits. The
+// kinds mirror the error categories of the studied compilers: type
+// mismatches, unresolved references, violated type-parameter bounds,
+// arity errors, and failures of local type inference.
+type DiagKind int
+
+const (
+	// TypeMismatch: an expression's type does not conform to the type
+	// required by its context.
+	TypeMismatch DiagKind = iota
+	// UnresolvedReference: a name does not resolve to any declaration.
+	UnresolvedReference
+	// BoundViolation: a type argument does not satisfy the corresponding
+	// type parameter's upper bound.
+	BoundViolation
+	// ArityMismatch: wrong number of call arguments or type arguments.
+	ArityMismatch
+	// InferenceFailure: local type inference could not determine a type
+	// (e.g. an unconstrained diamond, an untyped lambda parameter with no
+	// target type).
+	InferenceFailure
+	// InvalidAssignment: assignment to a non-assignable target.
+	InvalidAssignment
+	// ConditionNotBoolean: a non-Boolean condition or operand.
+	ConditionNotBoolean
+	// IllegalDeclaration: malformed declarations (duplicate names,
+	// extending a final class, instantiating an interface, ...).
+	IllegalDeclaration
+	// AmbiguousCall: overload resolution found no unique most-specific
+	// applicable method.
+	AmbiguousCall
+)
+
+func (k DiagKind) String() string {
+	switch k {
+	case TypeMismatch:
+		return "type mismatch"
+	case UnresolvedReference:
+		return "unresolved reference"
+	case BoundViolation:
+		return "bound violation"
+	case ArityMismatch:
+		return "arity mismatch"
+	case InferenceFailure:
+		return "inference failure"
+	case InvalidAssignment:
+		return "invalid assignment"
+	case ConditionNotBoolean:
+		return "condition not boolean"
+	case IllegalDeclaration:
+		return "illegal declaration"
+	case AmbiguousCall:
+		return "ambiguous call"
+	default:
+		return "error"
+	}
+}
+
+// Diagnostic is one checker error. Where names the enclosing declaration
+// so reduced test cases can be located (Section 4.1: diagnostic messages
+// make UCTE cases easy to reduce).
+type Diagnostic struct {
+	Kind  DiagKind
+	Where string
+	Msg   string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Where, d.Kind, d.Msg)
+}
+
+// Result is the outcome of checking a program.
+type Result struct {
+	Diags []Diagnostic
+	// InferredReturns records the inferred return type of every function
+	// declared without one (keyed by function name, or Class.method).
+	InferredReturns map[string]string
+	// ExprTypes maps each expression to its static type when
+	// Options.RecordTypes was set (nil otherwise).
+	ExprTypes map[ir.Expr]types.Type
+}
+
+// OK reports whether the program type-checked without errors.
+func (r *Result) OK() bool { return len(r.Diags) == 0 }
+
+// HasKind reports whether any diagnostic of kind k was emitted.
+func (r *Result) HasKind(k DiagKind) bool {
+	for _, d := range r.Diags {
+		if d.Kind == k {
+			return true
+		}
+	}
+	return false
+}

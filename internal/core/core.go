@@ -1,0 +1,167 @@
+// Package core is the high-level façade over the Hephaestus reproduction:
+// the Figure 3 pipeline as a single API. A Hephaestus value wires the
+// program generator, the type-graph-based mutations (TEM and TOM), the
+// language translators, the simulated compilers under test, and the test
+// oracle, and exposes one-call entry points for generating, mutating,
+// translating, and fuzzing.
+//
+// Typical use:
+//
+//	h := core.New(core.Config{Seed: 42})
+//	tc := h.GenerateTestCase()               // program + TEM/TOM mutants
+//	finding := h.Fuzz(200)                   // run a campaign
+//	src := h.Translate(tc.Program, "kotlin") // concrete source text
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/campaign"
+	"repro/internal/compilers"
+	"repro/internal/generator"
+	"repro/internal/ir"
+	"repro/internal/mutation"
+	"repro/internal/oracle"
+	"repro/internal/reduce"
+	"repro/internal/translate"
+	"repro/internal/types"
+)
+
+// Config configures a Hephaestus instance.
+type Config struct {
+	// Seed drives all randomness.
+	Seed int64
+	// Generator configures program generation; the zero value means the
+	// paper's defaults.
+	Generator generator.Config
+	// Compilers under test; nil means the three simulated JVM compilers.
+	Compilers []*compilers.Compiler
+}
+
+// Hephaestus is the façade object.
+type Hephaestus struct {
+	cfg       Config
+	builtins  *types.Builtins
+	compilers []*compilers.Compiler
+}
+
+// New returns a configured Hephaestus instance.
+func New(cfg Config) *Hephaestus {
+	if cfg.Generator.MaxTopLevelDecls == 0 {
+		gen := generator.DefaultConfig()
+		gen.Seed = cfg.Generator.Seed
+		cfg.Generator = gen
+	}
+	comps := cfg.Compilers
+	if comps == nil {
+		comps = compilers.All()
+	}
+	return &Hephaestus{cfg: cfg, builtins: types.NewBuiltins(), compilers: comps}
+}
+
+// Compilers returns the compilers under test.
+func (h *Hephaestus) Compilers() []*compilers.Compiler { return h.compilers }
+
+// TestCase bundles a generated program with its mutants and reports.
+type TestCase struct {
+	Seed    int64
+	Program *ir.Program
+	// TEM is the type-erasure mutant (nil when nothing was erasable).
+	TEM       *ir.Program
+	TEMReport *mutation.TEMReport
+	// TOM is the type-overwriting mutant (nil when no point existed).
+	TOM       *ir.Program
+	TOMReport *mutation.TOMReport
+	// REM is the resolution mutant (nil when no call site existed).
+	REM       *ir.Program
+	REMReport *mutation.REMReport
+}
+
+// GenerateTestCase produces a program for the configured seed along with
+// its TEM and TOM mutants.
+func (h *Hephaestus) GenerateTestCase() *TestCase {
+	return h.GenerateTestCaseSeed(h.cfg.Seed)
+}
+
+// GenerateTestCaseSeed produces the test case for a specific seed.
+func (h *Hephaestus) GenerateTestCaseSeed(seed int64) *TestCase {
+	g := generator.New(h.cfg.Generator.WithSeed(seed))
+	tc := &TestCase{Seed: seed, Program: g.Generate()}
+	tem, temRep := mutation.TypeErasure(tc.Program, h.builtins)
+	tc.TEMReport = temRep
+	if temRep.Changed() {
+		tc.TEM = tem
+	}
+	tom, tomRep := mutation.TypeOverwriting(tc.Program, h.builtins, rand.New(rand.NewSource(seed)))
+	tc.TOM, tc.TOMReport = tom, tomRep
+	rem, remRep := mutation.ResolutionMutation(tc.Program, h.builtins, rand.New(rand.NewSource(seed^0x9e3779b9)))
+	tc.REM, tc.REMReport = rem, remRep
+	return tc
+}
+
+// Translate renders a program in the given target language ("java",
+// "kotlin", "groovy").
+func (h *Hephaestus) Translate(p *ir.Program, language string) (string, error) {
+	tr := translate.ByName(language)
+	if tr == nil {
+		return "", fmt.Errorf("core: unknown target language %q (supported: %v)",
+			language, translate.Names())
+	}
+	return tr.Translate(p), nil
+}
+
+// Finding is one deduplicated bug discovered by Fuzz.
+type Finding struct {
+	BugID     string
+	Compiler  string
+	Symptom   string
+	Technique string
+	FirstSeed int64
+}
+
+// Fuzz runs a campaign of n programs (plus mutants) against the
+// configured compilers and returns the deduplicated findings together
+// with the raw campaign report.
+func (h *Hephaestus) Fuzz(n int) ([]Finding, *campaign.Report) {
+	report := campaign.Run(campaign.Options{
+		Seed:      h.cfg.Seed,
+		Programs:  n,
+		BatchSize: 20,
+		GenConfig: h.cfg.Generator,
+		Compilers: h.compilers,
+		Mutate:    true,
+	})
+	var out []Finding
+	for _, rec := range report.Found {
+		out = append(out, Finding{
+			BugID:     rec.Bug.ID,
+			Compiler:  rec.Bug.Compiler,
+			Symptom:   rec.Bug.Symptom.String(),
+			Technique: rec.Technique(),
+			FirstSeed: rec.FirstSeed,
+		})
+	}
+	return out, report
+}
+
+// ReduceFor shrinks a program while the given compiler keeps triggering
+// the given seeded bug.
+func (h *Hephaestus) ReduceFor(p *ir.Program, comp *compilers.Compiler, bugID string) *ir.Program {
+	return reduce.Reduce(p, func(q *ir.Program) bool {
+		res := comp.Compile(q, nil)
+		for _, b := range res.Triggered {
+			if b.ID == bugID {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// Judge compiles a program with the compiler and classifies the outcome
+// against the oracle for the input kind.
+func (h *Hephaestus) Judge(kind oracle.InputKind, comp *compilers.Compiler, p *ir.Program) (oracle.Verdict, *compilers.Result) {
+	res := comp.Compile(p, nil)
+	return oracle.Judge(kind, res), res
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/oracle"
+	"repro/internal/types"
+)
+
+func TestGenerateTestCase(t *testing.T) {
+	h := New(Config{Seed: 11})
+	tc := h.GenerateTestCase()
+	if tc.Program == nil {
+		t.Fatal("no program")
+	}
+	res := checker.Check(tc.Program, types.NewBuiltins(), checker.Options{})
+	if !res.OK() {
+		t.Fatalf("generated program ill-typed: %v", res.Diags)
+	}
+	if tc.TEM != nil {
+		if res := checker.Check(tc.TEM, types.NewBuiltins(), checker.Options{}); !res.OK() {
+			t.Errorf("TEM mutant ill-typed: %v", res.Diags)
+		}
+	}
+	if tc.TOM != nil {
+		if res := checker.Check(tc.TOM, types.NewBuiltins(), checker.Options{}); res.OK() {
+			t.Error("TOM mutant should be ill-typed")
+		}
+	}
+}
+
+func TestTranslateAllLanguages(t *testing.T) {
+	h := New(Config{Seed: 3})
+	tc := h.GenerateTestCase()
+	for _, lang := range []string{"java", "kotlin", "groovy"} {
+		src, err := h.Translate(tc.Program, lang)
+		if err != nil {
+			t.Fatalf("%s: %v", lang, err)
+		}
+		if len(src) < 30 {
+			t.Errorf("%s: output too short", lang)
+		}
+	}
+	if _, err := h.Translate(tc.Program, "scala"); err == nil {
+		t.Error("unknown language must error")
+	} else if !strings.Contains(err.Error(), "scala") {
+		t.Errorf("error should name the language: %v", err)
+	}
+}
+
+func TestFuzzFindsBugs(t *testing.T) {
+	h := New(Config{Seed: 0})
+	findings, report := h.Fuzz(40)
+	if len(findings) == 0 {
+		t.Fatal("fuzzing found nothing")
+	}
+	if report.TotalFound() != len(findings) {
+		t.Errorf("findings/report mismatch: %d vs %d", len(findings), report.TotalFound())
+	}
+	for _, f := range findings {
+		if f.BugID == "" || f.Compiler == "" || f.Technique == "" {
+			t.Errorf("incomplete finding: %+v", f)
+		}
+	}
+}
+
+func TestJudgeAndReduce(t *testing.T) {
+	h := New(Config{Seed: 5})
+	comp := h.Compilers()[0]
+	// Find a seed whose program triggers some bug, then reduce it.
+	for seed := int64(0); seed < 60; seed++ {
+		tc := h.GenerateTestCaseSeed(seed)
+		verdict, res := h.Judge(oracle.Generated, comp, tc.Program)
+		if verdict == oracle.Pass || len(res.Triggered) == 0 {
+			continue
+		}
+		bugID := res.Triggered[0].ID
+		reduced := h.ReduceFor(tc.Program, comp, bugID)
+		_, res2 := h.Judge(oracle.Generated, comp, reduced)
+		stillFires := false
+		for _, b := range res2.Triggered {
+			if b.ID == bugID {
+				stillFires = true
+			}
+		}
+		if !stillFires {
+			t.Fatalf("seed %d: reduction lost bug %s", seed, bugID)
+		}
+		return
+	}
+	t.Skip("no triggering seed in range")
+}

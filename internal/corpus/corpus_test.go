@@ -1,0 +1,115 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/compilers"
+	"repro/internal/types"
+)
+
+// TestPaperProgramsMatchGroundTruth verifies every replica of the paper's
+// published test cases against the reference checker: the well-typed ones
+// (rejected by buggy compilers — UCTE) must be accepted, the ill-typed
+// ones (accepted by buggy compilers — URB) must be rejected.
+func TestPaperProgramsMatchGroundTruth(t *testing.T) {
+	for _, p := range PaperPrograms() {
+		res := checker.Check(p.Program, types.NewBuiltins(), checker.Options{})
+		if p.WellTyped && !res.OK() {
+			t.Errorf("%s (%s): should be well-typed, got %v", p.ID, p.Figure, res.Diags)
+		}
+		if !p.WellTyped && res.OK() {
+			t.Errorf("%s (%s): should be ill-typed but was accepted", p.ID, p.Figure)
+		}
+	}
+}
+
+func TestKT48765DiagnosticIsBoundViolation(t *testing.T) {
+	p := PaperProgramByID("KT-48765")
+	if p == nil {
+		t.Fatal("missing KT-48765")
+	}
+	res := checker.Check(p.Program, types.NewBuiltins(), checker.Options{})
+	if !res.HasKind(checker.BoundViolation) {
+		t.Errorf("KT-48765 should yield a bound violation, got %v", res.Diags)
+	}
+}
+
+func TestGroovy10127IsRigidParameterMismatch(t *testing.T) {
+	p := PaperProgramByID("GROOVY-10127")
+	res := checker.Check(p.Program, types.NewBuiltins(), checker.Options{})
+	if !res.HasKind(checker.TypeMismatch) {
+		t.Errorf("GROOVY-10127 should yield a type mismatch, got %v", res.Diags)
+	}
+}
+
+func TestPaperProgramLookup(t *testing.T) {
+	if PaperProgramByID("GROOVY-10080") == nil {
+		t.Error("GROOVY-10080 missing")
+	}
+	if PaperProgramByID("NOPE") != nil {
+		t.Error("unknown ID should return nil")
+	}
+	ids := map[string]bool{}
+	for _, p := range PaperPrograms() {
+		if ids[p.ID] {
+			t.Errorf("duplicate paper program %s", p.ID)
+		}
+		ids[p.ID] = true
+		if p.Program.Package == "" {
+			t.Errorf("%s needs a package for batching", p.ID)
+		}
+	}
+}
+
+// TestSuiteIsWellTyped: a compiler's own test suite consists of programs
+// it must accept; the reference checker agrees on all of them.
+func TestSuiteIsWellTyped(t *testing.T) {
+	for _, compiler := range []string{"groovyc", "kotlinc", "javac"} {
+		suite := TestSuite(compiler)
+		if len(suite) < 50 {
+			t.Fatalf("%s suite too small: %d", compiler, len(suite))
+		}
+		for i, p := range suite {
+			res := checker.Check(p, types.NewBuiltins(), checker.Options{})
+			if !res.OK() {
+				t.Fatalf("%s suite program %d is ill-typed: %v", compiler, i, res.Diags[0])
+			}
+		}
+	}
+}
+
+func TestSuitesDifferAcrossCompilers(t *testing.T) {
+	g := TestSuite("groovyc")
+	k := TestSuite("kotlinc")
+	if len(g) == 0 || len(k) == 0 {
+		t.Fatal("empty suites")
+	}
+	// The generator blocks come from different reserved seed ranges.
+	if len(g) == len(k) {
+		last := len(g) - 1
+		if g[last] == k[last] {
+			t.Error("suites must not share program instances")
+		}
+	}
+}
+
+// TestPaperProgramsAgainstSimulatedCompilers: the replicas interact with
+// the simulated compilers the way the originals did with the real ones —
+// modulo which seeded bug happens to fire — but at minimum crash-free and
+// deterministic.
+func TestPaperProgramsAgainstSimulatedCompilers(t *testing.T) {
+	for _, p := range PaperPrograms() {
+		for _, c := range compilers.All() {
+			r1 := c.Compile(p.Program, nil)
+			r2 := c.Compile(p.Program, nil)
+			if r1.Status != r2.Status {
+				t.Errorf("%s on %s: nondeterministic", p.ID, c.Name())
+			}
+			if r1.ReferenceOK != p.WellTyped {
+				t.Errorf("%s on %s: reference verdict %v, ground truth %v",
+					p.ID, c.Name(), r1.ReferenceOK, p.WellTyped)
+			}
+		}
+	}
+}

@@ -1,0 +1,322 @@
+// Package corpus provides two fixed program collections: IR replicas of
+// the paper's published bug-triggering programs (Figures 1, 2, 6 and
+// 11a–11f), and a hand-written per-compiler "test suite" standing in for
+// the compilers' own regression suites in the Figure 10 experiment.
+package corpus
+
+import (
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+// PaperProgram is one of the paper's published reduced test cases.
+type PaperProgram struct {
+	// ID is the upstream issue id (GROOVY-10080, KT-48765, ...).
+	ID string
+	// Figure locates it in the paper.
+	Figure string
+	// Compiler names the affected compiler.
+	Compiler string
+	// WellTyped is the ground truth: whether a correct compiler accepts.
+	WellTyped bool
+	// FoundBy is the technique the paper credits.
+	FoundBy string
+	Program *ir.Program
+}
+
+// PaperPrograms returns the IR replicas of the paper's example programs.
+// Each is checked by the test suite against the reference checker: the
+// well-typed ones must be accepted, the ill-typed ones rejected with the
+// expected diagnostic kind.
+func PaperPrograms() []PaperProgram {
+	return []PaperProgram{
+		groovy10080(),
+		kt48765(),
+		figure6(),
+		groovy10324(),
+		groovy10308(),
+		kt44082Shape(),
+		groovy10127(),
+		jdk8269348Shape(),
+	}
+}
+
+// PaperProgramByID returns the replica with the given issue ID, or nil.
+func PaperProgramByID(id string) *PaperProgram {
+	for _, p := range PaperPrograms() {
+		if p.ID == id {
+			cp := p
+			return &cp
+		}
+	}
+	return nil
+}
+
+// groovy10080 is Figure 1: a well-typed program groovyc rejected because
+// it inferred the type of closure().f as Object instead of B<A<Long>>.
+//
+//	class A<T> {}
+//	class B<T>(val f: T)
+//	fun test() { val closure = { B(A<Long>()) }; val x: A<Long> = closure().f }
+func groovy10080() PaperProgram {
+	b := types.NewBuiltins()
+	aT := types.NewParameter("A", "T")
+	classA := &ir.ClassDecl{Name: "A", TypeParams: []*types.Parameter{aT}, Open: true}
+	ctorA := classA.Type().(*types.Constructor)
+	bT := types.NewParameter("B", "T")
+	classB := &ir.ClassDecl{
+		Name:       "B",
+		TypeParams: []*types.Parameter{bT},
+		Fields:     []*ir.FieldDecl{{Name: "f", Type: bT}},
+	}
+	ctorB := classB.Type().(*types.Constructor)
+	test := &ir.FuncDecl{Name: "test", Ret: b.Unit, Body: &ir.Block{
+		Stmts: []ir.Node{
+			&ir.VarDecl{Name: "closure", Init: &ir.Lambda{Body: &ir.New{
+				Class: ctorB,
+				Args:  []ir.Expr{&ir.New{Class: ctorA, TypeArgs: []types.Type{b.Long}}},
+			}}},
+			&ir.VarDecl{
+				Name:     "x",
+				DeclType: ctorA.Apply(b.Long),
+				Init:     &ir.FieldAccess{Recv: &ir.Call{Name: "closure"}, Field: "f"},
+			},
+		},
+		Value: &ir.Const{Type: b.Unit},
+	}}
+	return PaperProgram{
+		ID: "GROOVY-10080", Figure: "Figure 1", Compiler: "groovyc",
+		WellTyped: true, FoundBy: "generator",
+		Program: &ir.Program{Package: "groovy10080", Decls: []ir.Decl{classA, classB, test}},
+	}
+}
+
+// kt48765 is Figure 2: an ill-typed program kotlinc accepted. T2 (bounded
+// by String) is instantiated as Number, violating its bound.
+//
+//	fun <T1 : Number> foo(x: T1) {}
+//	fun <T2 : String> bar(): T2 = ("" as T2)
+//	fun test() { foo(bar()) }
+func kt48765() PaperProgram {
+	b := types.NewBuiltins()
+	t1 := &types.Parameter{Owner: "foo", ParamName: "T1", Bound: b.Number}
+	foo := &ir.FuncDecl{
+		Name:       "foo",
+		TypeParams: []*types.Parameter{t1},
+		Params:     []*ir.ParamDecl{{Name: "x", Type: t1}},
+		Ret:        b.Unit,
+		Body:       &ir.Const{Type: b.Unit},
+	}
+	t2 := &types.Parameter{Owner: "bar", ParamName: "T2", Bound: b.String}
+	bar := &ir.FuncDecl{
+		Name:       "bar",
+		TypeParams: []*types.Parameter{t2},
+		Ret:        t2,
+		Body:       &ir.Cast{Expr: &ir.Const{Type: b.String}, Target: t2},
+	}
+	test := &ir.FuncDecl{Name: "test", Ret: b.Unit,
+		Body: &ir.Call{Name: "foo", Args: []ir.Expr{&ir.Call{Name: "bar"}}}}
+	return PaperProgram{
+		ID: "KT-48765", Figure: "Figure 2", Compiler: "kotlinc",
+		WellTyped: false, FoundBy: "TOM",
+		Program: &ir.Program{Package: "kt48765", Decls: []ir.Decl{foo, bar, test}},
+	}
+}
+
+// figure6 is the running example of Section 3.3.
+func figure6() PaperProgram {
+	b := types.NewBuiltins()
+	aT := types.NewParameter("A", "T")
+	classA := &ir.ClassDecl{Name: "A", TypeParams: []*types.Parameter{aT}, Open: true}
+	ctorA := classA.Type().(*types.Constructor)
+	bT := types.NewParameter("B", "T")
+	classB := &ir.ClassDecl{
+		Name:       "B",
+		TypeParams: []*types.Parameter{bT},
+		Super:      &ir.SuperRef{Type: ctorA.Apply(bT)},
+		Fields:     []*ir.FieldDecl{{Name: "f", Type: ctorA.Apply(bT)}},
+	}
+	ctorB := classB.Type().(*types.Constructor)
+	m := &ir.FuncDecl{
+		Name: "m",
+		Ret:  ctorA.Apply(b.String),
+		Body: &ir.New{Class: ctorB, TypeArgs: []types.Type{b.String},
+			Args: []ir.Expr{&ir.New{Class: ctorA, TypeArgs: []types.Type{b.String}}}},
+	}
+	return PaperProgram{
+		ID: "FIG-6", Figure: "Figure 6", Compiler: "-",
+		WellTyped: true, FoundBy: "-",
+		Program: &ir.Program{Package: "fig6", Decls: []ir.Decl{classA, classB, m}},
+	}
+}
+
+// groovy10324 is Figure 11a: groovyc's inference engine fails to
+// instantiate foo's T from the diamond argument and infers Object.
+//
+//	class C<T>; class A { fun <T> foo(t: C<T>): C<T> }  (static in paper)
+//	fun test() { val x: C<String> = A().foo(C()) }
+func groovy10324() PaperProgram {
+	b := types.NewBuiltins()
+	cT := types.NewParameter("C", "T")
+	classC := &ir.ClassDecl{Name: "C", TypeParams: []*types.Parameter{cT}, Open: true}
+	ctorC := classC.Type().(*types.Constructor)
+	fooT := types.NewParameter("foo", "T")
+	classA := &ir.ClassDecl{Name: "A", Open: true, Methods: []*ir.FuncDecl{{
+		Name:       "foo",
+		TypeParams: []*types.Parameter{fooT},
+		Params:     []*ir.ParamDecl{{Name: "t", Type: ctorC.Apply(fooT)}},
+		Ret:        ctorC.Apply(fooT),
+		Body:       &ir.VarRef{Name: "t"},
+	}}}
+	test := &ir.FuncDecl{Name: "test", Ret: b.Unit, Body: &ir.Block{
+		Stmts: []ir.Node{&ir.VarDecl{
+			Name:     "x",
+			DeclType: ctorC.Apply(b.String),
+			Init: &ir.Call{
+				Recv: &ir.New{Class: classA.Type()},
+				Name: "foo",
+				Args: []ir.Expr{&ir.New{Class: ctorC}},
+			},
+		}},
+		Value: &ir.Const{Type: b.Unit},
+	}}
+	return PaperProgram{
+		ID: "GROOVY-10324", Figure: "Figure 11a", Compiler: "groovyc",
+		WellTyped: true, FoundBy: "TEM",
+		Program: &ir.Program{Package: "groovy10324", Decls: []ir.Decl{classC, classA, test}},
+	}
+}
+
+// kt44082Shape is Figure 11d's shape: the type of an overriding method's
+// conditional body is the least upper bound of two siblings implementing a
+// common interface; kotlinc mistakenly approximated the intersection to
+// Any and rejected the program. The IR replica checks that the LUB-based
+// reference checker accepts it.
+//
+//	interface R<T>; interface W; interface J
+//	open class A; class B : A(), R<W>; class E : A(), R<J>   — flattened to
+//	open class A; class B : A(); class E : A()
+//	fun foo(): A = if (true) B() else E()
+func kt44082Shape() PaperProgram {
+	b := types.NewBuiltins()
+	classA := &ir.ClassDecl{Name: "A", Open: true}
+	classB := &ir.ClassDecl{Name: "B", Super: &ir.SuperRef{Type: classA.Type()}}
+	classE := &ir.ClassDecl{Name: "E", Super: &ir.SuperRef{Type: classA.Type()}}
+	foo := &ir.FuncDecl{Name: "foo", Ret: classA.Type(), Body: &ir.If{
+		Cond: &ir.Const{Type: b.Boolean},
+		Then: &ir.New{Class: classB.Type()},
+		Else: &ir.New{Class: classE.Type()},
+	}}
+	return PaperProgram{
+		ID: "KT-44082", Figure: "Figure 11d", Compiler: "kotlinc",
+		WellTyped: true, FoundBy: "TEM",
+		Program: &ir.Program{Package: "kt44082", Decls: []ir.Decl{classA, classB, classE, foo}},
+	}
+}
+
+// groovy10127 is Figure 11e: an ill-typed program groovyc compiled,
+// breaking type safety at runtime (URB). Assigning an A to a variable of
+// rigid type T (T : A's subtype domain) is a type error.
+//
+//	open class A; class B : A() { fun m() {} }
+//	class Foo<T : A> { fun foo(x: T): T = { x = A(); x } }  — simplified:
+//	fun <T : A> foo(x: T): T = (A() as?) ... modelled as returning A for T.
+func groovy10127() PaperProgram {
+	b := types.NewBuiltins()
+	classA := &ir.ClassDecl{Name: "A", Open: true}
+	classB := &ir.ClassDecl{Name: "B", Super: &ir.SuperRef{Type: classA.Type()}}
+	tp := &types.Parameter{Owner: "foo", ParamName: "T", Bound: classA.Type()}
+	// fun <T : A> foo(x: T): T = A()  — A is not a subtype of rigid T.
+	foo := &ir.FuncDecl{
+		Name:       "foo",
+		TypeParams: []*types.Parameter{tp},
+		Params:     []*ir.ParamDecl{{Name: "x", Type: tp}},
+		Ret:        tp,
+		Body:       &ir.New{Class: classA.Type()},
+	}
+	test := &ir.FuncDecl{Name: "test", Ret: b.Unit, Body: &ir.Block{
+		Stmts: []ir.Node{&ir.Call{
+			Name:     "foo",
+			TypeArgs: []types.Type{classB.Type()},
+			Args:     []ir.Expr{&ir.New{Class: classB.Type()}},
+		}},
+		Value: &ir.Const{Type: b.Unit},
+	}}
+	return PaperProgram{
+		ID: "GROOVY-10127", Figure: "Figure 11e", Compiler: "groovyc",
+		WellTyped: false, FoundBy: "TOM",
+		Program: &ir.Program{Package: "groovy10127", Decls: []ir.Decl{classA, classB, foo, test}},
+	}
+}
+
+// jdk8269348Shape is Figure 11f's shape: the least upper bound of a
+// conditional between a T-typed value and a (K : T)-typed value must be T,
+// and the program must compile; javac instead inferred double and rejected
+// it.
+//
+//	fun <T : Double, K : T> test(): T = { val v = if (true) (null as T)
+//	else (null as K); v }
+func jdk8269348Shape() PaperProgram {
+	b := types.NewBuiltins()
+	tp := &types.Parameter{Owner: "test", ParamName: "T", Bound: b.Double}
+	kp := &types.Parameter{Owner: "test", ParamName: "K", Bound: tp}
+	test := &ir.FuncDecl{
+		Name:       "test",
+		TypeParams: []*types.Parameter{tp, kp},
+		Ret:        tp,
+		Body: &ir.Block{
+			Stmts: []ir.Node{&ir.VarDecl{
+				Name: "v",
+				Init: &ir.If{
+					Cond: &ir.Const{Type: b.Boolean},
+					Then: &ir.Cast{Expr: &ir.Const{Type: types.Bottom{}}, Target: tp},
+					Else: &ir.Cast{Expr: &ir.Const{Type: types.Bottom{}}, Target: kp},
+				},
+			}},
+			Value: &ir.VarRef{Name: "v"},
+		},
+	}
+	return PaperProgram{
+		ID: "JDK-8269348", Figure: "Figure 11f", Compiler: "javac",
+		WellTyped: true, FoundBy: "TEM",
+		Program: &ir.Program{Package: "jdk8269348", Decls: []ir.Decl{test}},
+	}
+}
+
+// groovy10308 is Figure 11c's shape: Groovy's flow typing. The program is
+// well-typed — assigning null to x after reading x.p must not affect the
+// earlier, correctly-typed read. groovyc erroneously used the
+// flow-narrowed type at the wrong program point and rejected it.
+//
+//	class A<T>(var p: T)
+//	fun test() { var x = A<String>("s"); val y = x.p; x = A<String>("t") }
+func groovy10308() PaperProgram {
+	b := types.NewBuiltins()
+	aT := types.NewParameter("A", "T")
+	classA := &ir.ClassDecl{
+		Name:       "A",
+		TypeParams: []*types.Parameter{aT},
+		Fields:     []*ir.FieldDecl{{Name: "p", Type: aT, Mutable: true}},
+	}
+	ctorA := classA.Type().(*types.Constructor)
+	test := &ir.FuncDecl{Name: "test", Ret: b.Unit, Body: &ir.Block{
+		Stmts: []ir.Node{
+			&ir.VarDecl{
+				Name:    "x",
+				Init:    &ir.New{Class: ctorA, TypeArgs: []types.Type{b.String}, Args: []ir.Expr{&ir.Const{Type: b.String}}},
+				Mutable: true,
+			},
+			&ir.VarDecl{Name: "y", Init: &ir.FieldAccess{Recv: &ir.VarRef{Name: "x"}, Field: "p"}},
+			&ir.Assign{
+				Target: &ir.VarRef{Name: "x"},
+				Value:  &ir.New{Class: ctorA, TypeArgs: []types.Type{b.String}, Args: []ir.Expr{&ir.Const{Type: b.String}}},
+			},
+		},
+		Value: &ir.Const{Type: b.Unit},
+	}}
+	return PaperProgram{
+		ID: "GROOVY-10308", Figure: "Figure 11c", Compiler: "groovyc",
+		WellTyped: true, FoundBy: "TEM",
+		Program: &ir.Program{Package: "groovy10308", Decls: []ir.Decl{classA, test}},
+	}
+}

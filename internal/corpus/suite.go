@@ -1,0 +1,114 @@
+package corpus
+
+import (
+	"repro/internal/generator"
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+// TestSuite returns the simulated compiler's own regression test suite for
+// the Figure 10 experiment. A real compiler's suite is large and broad; we
+// model it as a mix of hand-written basics, the paper's published
+// regression programs, and a block of deterministic generator programs
+// drawn from a reserved seed range (so campaign seeds never overlap it).
+// Its defining property for RQ4 is breadth: it already covers most checker
+// paths, so random programs add very little coverage.
+func TestSuite(compiler string) []*ir.Program {
+	var suite []*ir.Program
+	suite = append(suite, basicPrograms()...)
+	for _, p := range PaperPrograms() {
+		if p.WellTyped {
+			suite = append(suite, p.Program)
+		}
+	}
+	// Reserved seed block 1_000_000+: disjoint from campaign seeds.
+	base := int64(1_000_000)
+	switch compiler {
+	case "kotlinc":
+		base = 1_100_000
+	case "javac":
+		base = 1_200_000
+	}
+	for seed := base; seed < base+60; seed++ {
+		g := generator.New(generator.DefaultConfig().WithSeed(seed))
+		suite = append(suite, g.Generate())
+	}
+	return suite
+}
+
+// basicPrograms are small hand-written programs exercising each language
+// feature in isolation, like the smoke tests every compiler suite carries.
+func basicPrograms() []*ir.Program {
+	b := types.NewBuiltins()
+	var out []*ir.Program
+
+	// Constants and returns of every builtin.
+	for _, t := range b.Defaultable() {
+		out = append(out, &ir.Program{Decls: []ir.Decl{
+			&ir.FuncDecl{Name: "f", Ret: t, Body: &ir.Const{Type: t}},
+		}})
+	}
+
+	// Class with field access.
+	box := &ir.ClassDecl{Name: "Box", Fields: []*ir.FieldDecl{{Name: "v", Type: b.Int}}}
+	out = append(out, &ir.Program{Decls: []ir.Decl{
+		box,
+		&ir.FuncDecl{Name: "get", Ret: b.Int, Body: &ir.FieldAccess{
+			Recv:  &ir.New{Class: box.Type(), Args: []ir.Expr{&ir.Const{Type: b.Int}}},
+			Field: "v",
+		}},
+	}})
+
+	// Parameterized class with explicit instantiation.
+	pT := types.NewParameter("Pair", "T")
+	pair := &ir.ClassDecl{Name: "Pair", TypeParams: []*types.Parameter{pT},
+		Fields: []*ir.FieldDecl{{Name: "a", Type: pT}, {Name: "b", Type: pT}}}
+	pairCtor := pair.Type().(*types.Constructor)
+	out = append(out, &ir.Program{Decls: []ir.Decl{
+		pair,
+		&ir.FuncDecl{Name: "mk", Ret: pairCtor.Apply(b.String), Body: &ir.New{
+			Class: pairCtor, TypeArgs: []types.Type{b.String},
+			Args: []ir.Expr{&ir.Const{Type: b.String}, &ir.Const{Type: b.String}},
+		}},
+	}})
+
+	// Inheritance and subtype return.
+	base := &ir.ClassDecl{Name: "Base", Open: true}
+	derived := &ir.ClassDecl{Name: "Derived", Super: &ir.SuperRef{Type: base.Type()}}
+	out = append(out, &ir.Program{Decls: []ir.Decl{
+		base, derived,
+		&ir.FuncDecl{Name: "up", Ret: base.Type(), Body: &ir.New{Class: derived.Type()}},
+	}})
+
+	// Conditionals with least upper bound.
+	out = append(out, &ir.Program{Decls: []ir.Decl{
+		&ir.FuncDecl{Name: "num", Ret: b.Number, Body: &ir.If{
+			Cond: &ir.Const{Type: b.Boolean},
+			Then: &ir.Const{Type: b.Int},
+			Else: &ir.Const{Type: b.Long},
+		}},
+	}})
+
+	// Lambdas with target typing.
+	ft := &types.Func{Params: []types.Type{b.Int}, Ret: b.Int}
+	out = append(out, &ir.Program{Decls: []ir.Decl{
+		&ir.FuncDecl{Name: "mkfn", Ret: ft, Body: &ir.Lambda{
+			Params: []*ir.ParamDecl{{Name: "x"}},
+			Body:   &ir.VarRef{Name: "x"},
+		}},
+	}})
+
+	// Generic function with explicit instantiation and bound.
+	gT := &types.Parameter{Owner: "idn", ParamName: "T", Bound: b.Number}
+	out = append(out, &ir.Program{Decls: []ir.Decl{
+		&ir.FuncDecl{Name: "idn", TypeParams: []*types.Parameter{gT},
+			Params: []*ir.ParamDecl{{Name: "x", Type: gT}}, Ret: gT,
+			Body: &ir.VarRef{Name: "x"}},
+		&ir.FuncDecl{Name: "use", Ret: b.Int, Body: &ir.Call{
+			Name: "idn", TypeArgs: []types.Type{b.Int},
+			Args: []ir.Expr{&ir.Const{Type: b.Int}},
+		}},
+	}})
+
+	return out
+}

@@ -1,0 +1,159 @@
+package coverage
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCollectorCounts(t *testing.T) {
+	c := NewCollector()
+	c.Line("stc.a")
+	c.Line("stc.a") // repeat: same distinct site
+	c.Line("stc.b")
+	c.Func("resolve.f")
+	c.Branch("types.x", true)
+	c.Branch("types.x", false) // both directions are distinct entities
+	lines, funcs, branches := c.Counts()
+	if lines != 2 || funcs != 1 || branches != 2 {
+		t.Errorf("counts = %d/%d/%d, want 2/1/2", lines, funcs, branches)
+	}
+}
+
+func TestNewSites(t *testing.T) {
+	base := NewCollector()
+	base.Line("stc.a")
+	base.Branch("types.x", true)
+
+	c := NewCollector()
+	c.Line("stc.a")            // shared
+	c.Line("infer.new")        // new
+	c.Branch("types.x", false) // new direction
+	c.Func("infer.f")          // new
+
+	d := c.NewSites(base)
+	if d.Lines != 1 || d.Funcs != 1 || d.Branches != 1 {
+		t.Errorf("delta = %+v, want {1 1 1}", d)
+	}
+	// Restricted to a region.
+	dr := c.NewSitesIn(base, "infer")
+	if dr.Lines != 1 || dr.Funcs != 1 || dr.Branches != 0 {
+		t.Errorf("region delta = %+v, want {1 1 0}", dr)
+	}
+}
+
+func TestMergeAndClone(t *testing.T) {
+	a := NewCollector()
+	a.Line("x.1")
+	b := NewCollector()
+	b.Line("y.1")
+	b.Func("y.f")
+	clone := a.Clone()
+	clone.Merge(b)
+	l, f, _ := clone.Counts()
+	if l != 2 || f != 1 {
+		t.Errorf("merged counts = %d/%d", l, f)
+	}
+	// Original untouched.
+	if l, _, _ := a.Counts(); l != 1 {
+		t.Errorf("clone leaked into source: %d", l)
+	}
+}
+
+func TestRegions(t *testing.T) {
+	c := NewCollector()
+	c.Line("stc.a")
+	c.Func("resolve.f")
+	c.Branch("types.x", true)
+	got := c.Regions()
+	want := []string{"resolve", "stc", "types"}
+	if len(got) != len(want) {
+		t.Fatalf("regions = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("regions[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPercent(t *testing.T) {
+	universe := NewCollector()
+	universe.Line("a.1")
+	universe.Line("a.2")
+	universe.Func("a.f")
+	c := NewCollector()
+	c.Line("a.1")
+	line, fn, branch := c.Percent(universe)
+	if line != 50 || fn != 0 || branch != 0 {
+		t.Errorf("percent = %.1f/%.1f/%.1f", line, fn, branch)
+	}
+	// Empty universe: zero, not NaN.
+	if l, _, _ := c.Percent(NewCollector()); l != 0 {
+		t.Errorf("empty universe percent = %f", l)
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Line("stc.shared")
+				c.Branch("types.b", j%2 == 0)
+				c.Func("f")
+			}
+		}()
+	}
+	wg.Wait()
+	lines, funcs, branches := c.Counts()
+	if lines != 1 || funcs != 1 || branches != 2 {
+		t.Errorf("concurrent counts = %d/%d/%d", lines, funcs, branches)
+	}
+}
+
+func TestNopRecorder(t *testing.T) {
+	var r Recorder = Nop{}
+	r.Line("a")
+	r.Func("b")
+	r.Branch("c", true) // must not panic
+}
+
+// Property: NewSites of a collector against itself is always zero, and
+// merge is monotone in distinct-site counts.
+func TestQuickNewSitesSelfIsZero(t *testing.T) {
+	f := func(sites []string) bool {
+		c := NewCollector()
+		for _, s := range sites {
+			c.Line(s)
+			c.Branch(s, len(s)%2 == 0)
+		}
+		d := c.NewSites(c.Clone())
+		return d.Lines == 0 && d.Branches == 0 && d.Funcs == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMergeMonotone(t *testing.T) {
+	f := func(a, b []string) bool {
+		ca, cb := NewCollector(), NewCollector()
+		for _, s := range a {
+			ca.Line(s)
+		}
+		for _, s := range b {
+			cb.Line(s)
+		}
+		la, _, _ := ca.Counts()
+		ca.Merge(cb)
+		lm, _, _ := ca.Counts()
+		return lm >= la
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

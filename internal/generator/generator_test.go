@@ -1,0 +1,261 @@
+package generator
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+// TestGeneratedProgramsAreWellTyped is the generator's core contract
+// (Section 3.2): every generated program must be accepted by the reference
+// checker, because rejection of a generated program is the campaign's bug
+// oracle.
+func TestGeneratedProgramsAreWellTyped(t *testing.T) {
+	for seed := int64(0); seed < 300; seed++ {
+		g := New(DefaultConfig().WithSeed(seed))
+		p := g.Generate()
+		res := checker.Check(p, g.Builtins(), checker.Options{})
+		if !res.OK() {
+			var b strings.Builder
+			for _, d := range res.Diags {
+				fmt.Fprintf(&b, "  %s\n", d)
+			}
+			t.Fatalf("seed %d produced an ill-typed program:\n%s\nprogram:\n%s",
+				seed, b.String(), ir.Print(p))
+		}
+	}
+}
+
+func TestGenerationIsDeterministic(t *testing.T) {
+	p1 := New(DefaultConfig().WithSeed(7)).Generate()
+	p2 := New(DefaultConfig().WithSeed(7)).Generate()
+	if ir.Print(p1) != ir.Print(p2) {
+		t.Error("same seed must produce identical programs")
+	}
+	p3 := New(DefaultConfig().WithSeed(8)).Generate()
+	if ir.Print(p1) == ir.Print(p3) {
+		t.Error("different seeds should produce different programs")
+	}
+}
+
+func TestGeneratedProgramsUseParametricPolymorphism(t *testing.T) {
+	// Finding F4: the generator leans on parametric polymorphism. Over a
+	// modest number of seeds, most programs must contain parameterized
+	// declarations.
+	withGenerics := 0
+	const total = 50
+	for seed := int64(0); seed < total; seed++ {
+		p := New(DefaultConfig().WithSeed(seed)).Generate()
+		for _, cls := range p.Classes() {
+			if len(cls.TypeParams) > 0 {
+				withGenerics++
+				break
+			}
+		}
+	}
+	if withGenerics < total/2 {
+		t.Errorf("only %d/%d programs use parameterized classes", withGenerics, total)
+	}
+}
+
+func TestGeneratedProgramsHaveNoLoopsOrArithmetic(t *testing.T) {
+	// The IR has no loops or arithmetic by construction; binary operators
+	// must be from the comparison/logic set only (Fig. 4a).
+	allowed := map[string]bool{"==": true, "!=": true, "&&": true, "||": true,
+		">": true, ">=": true, "<": true, "<=": true}
+	for seed := int64(0); seed < 50; seed++ {
+		p := New(DefaultConfig().WithSeed(seed)).Generate()
+		ir.Walk(p, func(n ir.Node) bool {
+			if op, ok := n.(*ir.BinaryOp); ok && !allowed[op.Op] {
+				t.Errorf("seed %d: forbidden operator %q", seed, op.Op)
+			}
+			return true
+		})
+	}
+}
+
+func TestFeatureTogglesRespected(t *testing.T) {
+	cfg := DefaultConfig().WithSeed(3)
+	cfg.ParametricPolymorphism = false
+	cfg.Lambdas = false
+	cfg.Conditionals = false
+	for seed := int64(0); seed < 30; seed++ {
+		p := New(cfg.WithSeed(seed)).Generate()
+		for _, cls := range p.Classes() {
+			if len(cls.TypeParams) > 0 {
+				t.Fatalf("seed %d: parameterized class despite toggle off", seed)
+			}
+		}
+		ir.Walk(p, func(n ir.Node) bool {
+			switch n.(type) {
+			case *ir.Lambda:
+				t.Errorf("seed %d: lambda despite toggle off", seed)
+			case *ir.If:
+				t.Errorf("seed %d: conditional despite toggle off", seed)
+			}
+			return true
+		})
+	}
+}
+
+func TestBoundedPolymorphismInstantiationsRespectBounds(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		p := New(DefaultConfig().WithSeed(seed)).Generate()
+		ir.Walk(p, func(n ir.Node) bool {
+			nw, ok := n.(*ir.New)
+			if !ok || nw.TypeArgs == nil {
+				return true
+			}
+			ctor, ok := nw.Class.(*types.Constructor)
+			if !ok {
+				return true
+			}
+			sigma := types.NewSubstitution()
+			for i, tp := range ctor.Params {
+				if i < len(nw.TypeArgs) {
+					sigma.Bind(tp, nw.TypeArgs[i])
+				}
+			}
+			for i, tp := range ctor.Params {
+				if i >= len(nw.TypeArgs) {
+					break
+				}
+				bound := sigma.Apply(tp.UpperBound())
+				arg := nw.TypeArgs[i]
+				if proj, isProj := arg.(*types.Projection); isProj {
+					arg = proj.Bound
+				}
+				if len(types.FreeParameters(bound)) == 0 && len(types.FreeParameters(arg)) == 0 &&
+					!types.IsSubtype(arg, bound) {
+					t.Errorf("seed %d: instantiation %s violates bound %s", seed, arg, bound)
+				}
+			}
+			return true
+		})
+	}
+}
+
+func TestBatchGenerationUsesDistinctPackages(t *testing.T) {
+	g := New(DefaultConfig().WithSeed(5))
+	batch := g.GenerateBatch(4)
+	seen := map[string]bool{}
+	for _, p := range batch {
+		if p.Package == "" {
+			t.Error("batch programs must carry a package")
+		}
+		if seen[p.Package] {
+			t.Errorf("duplicate package %s", p.Package)
+		}
+		seen[p.Package] = true
+	}
+}
+
+func TestGeneratedProgramScale(t *testing.T) {
+	// Paper settings yield hundreds of lines; our IR printing should give
+	// programs of non-trivial size without exploding.
+	var totalLines int
+	const n = 20
+	for seed := int64(100); seed < 100+n; seed++ {
+		p := New(DefaultConfig().WithSeed(seed)).Generate()
+		lines := strings.Count(ir.Print(p), "\n")
+		totalLines += lines
+		if lines < 5 {
+			t.Errorf("seed %d: suspiciously small program (%d lines)", seed, lines)
+		}
+	}
+	if avg := totalLines / n; avg < 15 {
+		t.Errorf("average program size %d lines is too small to be interesting", avg)
+	}
+}
+
+func TestGeneratorExtendsContextWithFreshMethods(t *testing.T) {
+	// Algorithm 1 line 7: when resolution fails, a fresh method must be
+	// created and registered in the context. Detectable as fn* functions
+	// with constant bodies.
+	found := false
+	for seed := int64(0); seed < 80 && !found; seed++ {
+		p := New(DefaultConfig().WithSeed(seed)).Generate()
+		for _, f := range p.Functions() {
+			if strings.HasPrefix(f.Name, "fn") {
+				if _, ok := f.Body.(*ir.Const); ok {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Error("generateMatchingMethod never fired across 80 seeds")
+	}
+}
+
+func TestTestFunctionAlwaysPresent(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		p := New(DefaultConfig().WithSeed(seed)).Generate()
+		var test *ir.FuncDecl
+		for _, f := range p.Functions() {
+			if f.Name == "test" {
+				test = f
+			}
+		}
+		if test == nil {
+			t.Fatalf("seed %d: missing test entry point", seed)
+		}
+		block, ok := test.Body.(*ir.Block)
+		if !ok || len(block.Stmts) == 0 {
+			t.Fatalf("seed %d: test body must declare locals", seed)
+		}
+		if _, ok := block.Stmts[0].(*ir.VarDecl); !ok {
+			t.Errorf("seed %d: first statement should be a local declaration", seed)
+		}
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	g := New(DefaultConfig().WithSeed(1))
+	g.Generate()
+	if !strings.Contains(g.describe(), "seed=1") {
+		t.Errorf("describe = %s", g.describe())
+	}
+}
+
+// TestRandomConfigsStayWellTyped fuzzes the generator's own configuration
+// space: any combination of feature toggles and limits must still produce
+// well-typed programs (the oracle's foundation is unconditional).
+func TestRandomConfigsStayWellTyped(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		cfg := DefaultConfig()
+		cfg.Seed = int64(trial)
+		cfg.MaxTopLevelDecls = 2 + rng.Intn(10)
+		cfg.MaxDepth = 1 + rng.Intn(7)
+		cfg.MaxTypeParams = 1 + rng.Intn(3)
+		cfg.MaxLocals = 1 + rng.Intn(3)
+		cfg.MaxParams = rng.Intn(3)
+		cfg.MaxFields = rng.Intn(3)
+		cfg.MaxMethods = rng.Intn(3)
+		cfg.ParametricPolymorphism = rng.Intn(2) == 0
+		cfg.BoundedPolymorphism = rng.Intn(2) == 0
+		cfg.Variance = rng.Intn(2) == 0
+		cfg.UseSiteVariance = rng.Intn(2) == 0
+		cfg.Lambdas = rng.Intn(2) == 0
+		cfg.MethodReferences = rng.Intn(2) == 0
+		cfg.Conditionals = rng.Intn(2) == 0
+		cfg.Inheritance = rng.Intn(2) == 0
+		cfg.ProbParameterizedClass = rng.Float64()
+		cfg.ProbParameterizedFunc = rng.Float64()
+		cfg.ProbBound = rng.Float64()
+
+		g := New(cfg)
+		p := g.Generate()
+		res := checker.Check(p, g.Builtins(), checker.Options{})
+		if !res.OK() {
+			t.Fatalf("trial %d (cfg %+v): ill-typed: %v\n%s",
+				trial, cfg, res.Diags[0], ir.Print(p))
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package generator
+
+import (
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+// generateType computes the set of available types in the current scope —
+// built-in types, instantiations of previously generated classes, and
+// in-scope type parameters (Section 3.2, "Generating types") — and picks
+// one at random. depth bounds recursive instantiation of type
+// constructors.
+func (g *Generator) generateType(sc *scope, depth int) types.Type {
+	// Weighted choice among the sources.
+	roll := g.rng.Float64()
+	switch {
+	case roll < 0.15 && sc != nil && len(sc.typeParams) > 0:
+		return sc.typeParams[g.rng.Intn(len(sc.typeParams))]
+	case roll < 0.60 && depth > 0 && len(g.classes) > 0:
+		if t := g.instantiate(g.randomClass(), sc, depth-1); t != nil {
+			return t
+		}
+	case roll < 0.68 && depth > 0 && g.cfg.Lambdas:
+		// Function types give rise to lambdas and method references.
+		n := g.rng.Intn(3)
+		f := &types.Func{Ret: g.groundType(nil, depth-1)}
+		for i := 0; i < n; i++ {
+			f.Params = append(f.Params, g.groundType(nil, depth-1))
+		}
+		return f
+	}
+	return g.groundBuiltin()
+}
+
+// groundType is generateType restricted to ground (parameter-free) types;
+// used for upper bounds, which must not be mutually recursive here.
+func (g *Generator) groundType(sc *scope, depth int) types.Type {
+	if depth > 0 && len(g.classes) > 0 && g.rng.Float64() < 0.3 {
+		cls := g.randomClass()
+		if t := g.instantiate(cls, nil, depth-1); t != nil {
+			return t
+		}
+	}
+	return g.groundBuiltin()
+}
+
+func (g *Generator) groundBuiltin() types.Type {
+	all := g.b.All()
+	return all[g.rng.Intn(len(all))]
+}
+
+func (g *Generator) randomClass() *ir.ClassDecl {
+	return g.classes[g.rng.Intn(len(g.classes))]
+}
+
+// instantiate turns a class declaration into a usable type: its simple
+// type, or its constructor applied to randomly chosen arguments that
+// satisfy the parameters' upper bounds. Use-site projections are added
+// occasionally when enabled. Returns nil when no conforming argument
+// exists.
+func (g *Generator) instantiate(cls *ir.ClassDecl, sc *scope, depth int) types.Type {
+	t := cls.Type()
+	ctor, ok := t.(*types.Constructor)
+	if !ok {
+		return t
+	}
+	args := make([]types.Type, len(ctor.Params))
+	for i, p := range ctor.Params {
+		arg := g.conformingType(p.UpperBound(), sc, depth)
+		if arg == nil {
+			return nil
+		}
+		if g.cfg.UseSiteVariance && p.Var == types.Invariant && g.rng.Float64() < 0.1 {
+			// Wrap in an out-projection (A<out Number>), but only when
+			// the projected bound still satisfies the parameter's upper
+			// bound.
+			if sup := types.Supertype(arg); !sup.Equal(arg) {
+				_, isTop := sup.(types.Top)
+				if !isTop && types.IsSubtype(sup, p.UpperBound()) {
+					arg = &types.Projection{Var: types.Covariant, Bound: sup}
+				}
+			}
+		}
+		args[i] = arg
+	}
+	return ctor.Apply(args...)
+}
+
+// conformingType picks a random available type that is a subtype of bound.
+func (g *Generator) conformingType(bound types.Type, sc *scope, depth int) types.Type {
+	if _, isTop := bound.(types.Top); isTop {
+		return g.generateType(sc, depth)
+	}
+	var pool []types.Type
+	for _, t := range g.b.All() {
+		if types.IsSubtype(t, bound) {
+			pool = append(pool, t)
+		}
+	}
+	if sc != nil {
+		for _, p := range sc.typeParams {
+			if types.IsSubtype(p, bound) {
+				pool = append(pool, p)
+			}
+		}
+	}
+	if depth > 0 {
+		for _, cls := range g.classes {
+			switch ct := cls.Type().(type) {
+			case *types.Simple:
+				if types.IsSubtype(ct, bound) {
+					pool = append(pool, ct)
+				}
+			case *types.Constructor:
+				// A parameterized class conforms when some instantiation
+				// does; try one.
+				if inst := g.instantiate(cls, sc, depth-1); inst != nil && types.IsSubtype(inst, bound) {
+					pool = append(pool, inst)
+				}
+			}
+		}
+	}
+	if len(pool) == 0 {
+		if bt, ok := bound.(*types.Simple); ok {
+			return bt // the bound itself (reflexivity)
+		}
+		return nil
+	}
+	return pool[g.rng.Intn(len(pool))]
+}
+
+// subtypeOfTarget picks a concrete type conforming to a type-argument
+// target that may be a projection (for generating New expressions against
+// projected targets).
+func (g *Generator) subtypeOfTarget(arg types.Type, sc *scope, depth int) types.Type {
+	if proj, ok := arg.(*types.Projection); ok {
+		if proj.Var == types.Covariant {
+			if t := g.conformingType(proj.Bound, sc, depth); t != nil {
+				return t
+			}
+		}
+		return proj.Bound
+	}
+	return arg
+}

@@ -1,0 +1,138 @@
+package ir
+
+import "repro/internal/types"
+
+// CloneProgram returns a deep copy of p. Types are shared (they are
+// immutable once built), AST nodes are fresh, so mutations may rewrite the
+// clone freely without disturbing the original — both TEM and TOM clone
+// their input before mutating (Section 3.4).
+func CloneProgram(p *Program) *Program {
+	out := &Program{Package: p.Package, Decls: make([]Decl, len(p.Decls))}
+	for i, d := range p.Decls {
+		out.Decls[i] = CloneDecl(d)
+	}
+	return out
+}
+
+// CloneDecl deep-copies a declaration.
+func CloneDecl(d Decl) Decl {
+	switch t := d.(type) {
+	case *ClassDecl:
+		c := &ClassDecl{
+			Name:       t.Name,
+			TypeParams: t.TypeParams,
+			Kind:       t.Kind,
+			Open:       t.Open,
+		}
+		if t.Super != nil {
+			c.Super = &SuperRef{Type: t.Super.Type, Args: cloneExprs(t.Super.Args)}
+		}
+		for _, f := range t.Fields {
+			c.Fields = append(c.Fields, &FieldDecl{Name: f.Name, Type: f.Type, Mutable: f.Mutable})
+		}
+		for _, m := range t.Methods {
+			c.Methods = append(c.Methods, CloneDecl(m).(*FuncDecl))
+		}
+		return c
+	case *FuncDecl:
+		f := &FuncDecl{
+			Name:       t.Name,
+			TypeParams: t.TypeParams,
+			Ret:        t.Ret,
+			Override:   t.Override,
+		}
+		for _, p := range t.Params {
+			f.Params = append(f.Params, &ParamDecl{Name: p.Name, Type: p.Type})
+		}
+		if t.Body != nil {
+			f.Body = CloneExpr(t.Body)
+		}
+		return f
+	case *FieldDecl:
+		return &FieldDecl{Name: t.Name, Type: t.Type, Mutable: t.Mutable}
+	case *ParamDecl:
+		return &ParamDecl{Name: t.Name, Type: t.Type}
+	case *VarDecl:
+		v := &VarDecl{Name: t.Name, DeclType: t.DeclType, Mutable: t.Mutable}
+		if t.Init != nil {
+			v.Init = CloneExpr(t.Init)
+		}
+		return v
+	}
+	return d
+}
+
+func cloneExprs(es []Expr) []Expr {
+	if es == nil {
+		return nil
+	}
+	out := make([]Expr, len(es))
+	for i, e := range es {
+		out[i] = CloneExpr(e)
+	}
+	return out
+}
+
+func cloneTypes(ts []types.Type) []types.Type {
+	if ts == nil {
+		return nil
+	}
+	out := make([]types.Type, len(ts))
+	copy(out, ts)
+	return out
+}
+
+// CloneExpr deep-copies an expression.
+func CloneExpr(e Expr) Expr {
+	switch t := e.(type) {
+	case *Const:
+		return &Const{Type: t.Type}
+	case *VarRef:
+		return &VarRef{Name: t.Name}
+	case *FieldAccess:
+		return &FieldAccess{Recv: CloneExpr(t.Recv), Field: t.Field}
+	case *BinaryOp:
+		return &BinaryOp{Op: t.Op, Left: CloneExpr(t.Left), Right: CloneExpr(t.Right)}
+	case *Block:
+		b := &Block{}
+		for _, s := range t.Stmts {
+			switch st := s.(type) {
+			case *VarDecl:
+				b.Stmts = append(b.Stmts, CloneDecl(st))
+			case *Assign:
+				b.Stmts = append(b.Stmts, CloneExpr(st))
+			case Expr:
+				b.Stmts = append(b.Stmts, CloneExpr(st))
+			}
+		}
+		if t.Value != nil {
+			b.Value = CloneExpr(t.Value)
+		}
+		return b
+	case *Call:
+		c := &Call{Name: t.Name, TypeArgs: cloneTypes(t.TypeArgs), Args: cloneExprs(t.Args)}
+		if t.Recv != nil {
+			c.Recv = CloneExpr(t.Recv)
+		}
+		return c
+	case *New:
+		return &New{Class: t.Class, TypeArgs: cloneTypes(t.TypeArgs), Args: cloneExprs(t.Args)}
+	case *Assign:
+		return &Assign{Target: CloneExpr(t.Target), Value: CloneExpr(t.Value)}
+	case *If:
+		return &If{Cond: CloneExpr(t.Cond), Then: CloneExpr(t.Then), Else: CloneExpr(t.Else)}
+	case *MethodRef:
+		return &MethodRef{Recv: CloneExpr(t.Recv), Method: t.Method}
+	case *Lambda:
+		l := &Lambda{Body: CloneExpr(t.Body)}
+		for _, p := range t.Params {
+			l.Params = append(l.Params, &ParamDecl{Name: p.Name, Type: p.Type})
+		}
+		return l
+	case *Cast:
+		return &Cast{Expr: CloneExpr(t.Expr), Target: t.Target}
+	case *Is:
+		return &Is{Expr: CloneExpr(t.Expr), Target: t.Target}
+	}
+	return e
+}

@@ -1,0 +1,286 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Print renders the program in a neutral, Kotlin-flavoured surface syntax.
+// This is the IR's debugging format; the language translators in
+// internal/translate produce compilable Java/Kotlin/Groovy sources.
+func Print(p *Program) string {
+	var b strings.Builder
+	if p.Package != "" {
+		fmt.Fprintf(&b, "package %s\n\n", p.Package)
+	}
+	for i, d := range p.Decls {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		printDecl(&b, d, 0)
+	}
+	return b.String()
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("    ")
+	}
+}
+
+func typeParamList(ps []*types.Parameter) string {
+	if len(ps) == 0 {
+		return ""
+	}
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		s := p.ParamName
+		if p.Var != types.Invariant {
+			s = p.Var.String() + " " + s
+		}
+		if p.Bound != nil {
+			s += " : " + p.Bound.String()
+		}
+		parts[i] = s
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+func printDecl(b *strings.Builder, d Decl, depth int) {
+	switch t := d.(type) {
+	case *ClassDecl:
+		indent(b, depth)
+		switch t.Kind {
+		case InterfaceClass:
+			b.WriteString("interface ")
+		case AbstractClass:
+			b.WriteString("abstract class ")
+		default:
+			if t.Open {
+				b.WriteString("open ")
+			}
+			b.WriteString("class ")
+		}
+		b.WriteString(t.Name)
+		b.WriteString(typeParamList(t.TypeParams))
+		if t.Super != nil {
+			b.WriteString(" : " + t.Super.Type.String())
+			if t.Kind == RegularClass {
+				b.WriteString("(" + exprList(t.Super.Args) + ")")
+			}
+		}
+		b.WriteString(" {\n")
+		for _, f := range t.Fields {
+			indent(b, depth+1)
+			kw := "val"
+			if f.Mutable {
+				kw = "var"
+			}
+			fmt.Fprintf(b, "%s %s: %s\n", kw, f.Name, f.Type)
+		}
+		for _, m := range t.Methods {
+			printDecl(b, m, depth+1)
+		}
+		indent(b, depth)
+		b.WriteString("}\n")
+	case *FuncDecl:
+		indent(b, depth)
+		if t.Override {
+			b.WriteString("override ")
+		}
+		b.WriteString("fun ")
+		if tp := typeParamList(t.TypeParams); tp != "" {
+			b.WriteString(tp + " ")
+		}
+		b.WriteString(t.Name + "(")
+		parts := make([]string, len(t.Params))
+		for i, p := range t.Params {
+			if p.Type != nil {
+				parts[i] = p.Name + ": " + p.Type.String()
+			} else {
+				parts[i] = p.Name
+			}
+		}
+		b.WriteString(strings.Join(parts, ", ") + ")")
+		if t.Ret != nil {
+			b.WriteString(": " + t.Ret.String())
+		}
+		if t.Body == nil {
+			b.WriteString("\n")
+			return
+		}
+		b.WriteString(" = ")
+		printExpr(b, t.Body, depth)
+		b.WriteString("\n")
+	case *VarDecl:
+		indent(b, depth)
+		kw := "val"
+		if t.Mutable {
+			kw = "var"
+		}
+		b.WriteString(kw + " " + t.Name)
+		if t.DeclType != nil {
+			b.WriteString(": " + t.DeclType.String())
+		}
+		if t.Init != nil {
+			b.WriteString(" = ")
+			printExpr(b, t.Init, depth)
+		}
+		b.WriteString("\n")
+	case *FieldDecl:
+		indent(b, depth)
+		fmt.Fprintf(b, "val %s: %s\n", t.Name, t.Type)
+	case *ParamDecl:
+		b.WriteString(t.Name)
+	}
+}
+
+func exprList(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		var b strings.Builder
+		printExpr(&b, e, 0)
+		parts[i] = b.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ExprString renders a single expression (used by diagnostics and tests).
+func ExprString(e Expr) string {
+	var b strings.Builder
+	printExpr(&b, e, 0)
+	return b.String()
+}
+
+func printExpr(b *strings.Builder, e Expr, depth int) {
+	switch t := e.(type) {
+	case *Const:
+		b.WriteString(constLiteral(t.Type))
+	case *VarRef:
+		b.WriteString(t.Name)
+	case *FieldAccess:
+		printExpr(b, t.Recv, depth)
+		b.WriteString("." + t.Field)
+	case *BinaryOp:
+		b.WriteString("(")
+		printExpr(b, t.Left, depth)
+		b.WriteString(" " + t.Op + " ")
+		printExpr(b, t.Right, depth)
+		b.WriteString(")")
+	case *Block:
+		b.WriteString("{\n")
+		for _, s := range t.Stmts {
+			switch st := s.(type) {
+			case *VarDecl:
+				printDecl(b, st, depth+1)
+			case Expr:
+				indent(b, depth+1)
+				printExpr(b, st, depth+1)
+				b.WriteString("\n")
+			}
+		}
+		if t.Value != nil {
+			indent(b, depth+1)
+			printExpr(b, t.Value, depth+1)
+			b.WriteString("\n")
+		}
+		indent(b, depth)
+		b.WriteString("}")
+	case *Call:
+		if t.Recv != nil {
+			printExpr(b, t.Recv, depth)
+			b.WriteString(".")
+		}
+		b.WriteString(t.Name)
+		if len(t.TypeArgs) > 0 {
+			b.WriteString("<" + typeList(t.TypeArgs) + ">")
+		}
+		b.WriteString("(" + exprList(t.Args) + ")")
+	case *New:
+		b.WriteString(t.Class.Name())
+		if _, param := t.Class.(*types.Constructor); param {
+			if t.TypeArgs == nil {
+				b.WriteString("<>") // diamond
+			} else {
+				b.WriteString("<" + typeList(t.TypeArgs) + ">")
+			}
+		}
+		b.WriteString("(" + exprList(t.Args) + ")")
+	case *Assign:
+		printExpr(b, t.Target, depth)
+		b.WriteString(" = ")
+		printExpr(b, t.Value, depth)
+	case *If:
+		b.WriteString("if (")
+		printExpr(b, t.Cond, depth)
+		b.WriteString(") ")
+		printExpr(b, t.Then, depth)
+		b.WriteString(" else ")
+		printExpr(b, t.Else, depth)
+	case *MethodRef:
+		printExpr(b, t.Recv, depth)
+		b.WriteString("::" + t.Method)
+	case *Lambda:
+		b.WriteString("{ ")
+		parts := make([]string, len(t.Params))
+		for i, p := range t.Params {
+			if p.Type != nil {
+				parts[i] = p.Name + ": " + p.Type.String()
+			} else {
+				parts[i] = p.Name
+			}
+		}
+		if len(parts) > 0 {
+			b.WriteString(strings.Join(parts, ", ") + " -> ")
+		}
+		printExpr(b, t.Body, depth)
+		b.WriteString(" }")
+	case *Cast:
+		b.WriteString("(")
+		printExpr(b, t.Expr, depth)
+		b.WriteString(" as " + t.Target.String() + ")")
+	case *Is:
+		b.WriteString("(")
+		printExpr(b, t.Expr, depth)
+		b.WriteString(" is " + t.Target.String() + ")")
+	}
+}
+
+func typeList(ts []types.Type) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// constLiteral renders val(t) as a literal of the builtin type t, or a cast
+// null for non-defaultable types (Section 3.2).
+func constLiteral(t types.Type) string {
+	if s, ok := t.(*types.Simple); ok && s.Builtin {
+		switch s.TypeName {
+		case "Byte", "Short", "Int":
+			return "1"
+		case "Long":
+			return "1L"
+		case "Float":
+			return "1.0f"
+		case "Double":
+			return "1.0"
+		case "Boolean":
+			return "true"
+		case "Char":
+			return "'c'"
+		case "String":
+			return "\"s\""
+		case "Unit":
+			return "Unit"
+		}
+	}
+	if _, ok := t.(types.Bottom); ok {
+		return "null"
+	}
+	return "(null as " + t.String() + ")"
+}

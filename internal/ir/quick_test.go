@@ -1,0 +1,131 @@
+package ir
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+// randomExpr generates random expression trees over a small universe for
+// property testing of Walk/Clone/Print.
+func randomExpr(r *rand.Rand, depth int) Expr {
+	b := types.NewBuiltins()
+	if depth <= 0 {
+		switch r.Intn(3) {
+		case 0:
+			return &Const{Type: b.Int}
+		case 1:
+			return &VarRef{Name: "x"}
+		default:
+			return &Const{Type: b.String}
+		}
+	}
+	switch r.Intn(9) {
+	case 0:
+		return &FieldAccess{Recv: randomExpr(r, depth-1), Field: "f"}
+	case 1:
+		return &BinaryOp{Op: "==", Left: randomExpr(r, depth-1), Right: randomExpr(r, depth-1)}
+	case 2:
+		return &If{Cond: randomExpr(r, depth-1), Then: randomExpr(r, depth-1), Else: randomExpr(r, depth-1)}
+	case 3:
+		n := r.Intn(3)
+		c := &Call{Name: "m", Recv: randomExpr(r, depth-1)}
+		for i := 0; i < n; i++ {
+			c.Args = append(c.Args, randomExpr(r, depth-1))
+		}
+		return c
+	case 4:
+		blk := &Block{Value: randomExpr(r, depth-1)}
+		for i := 0; i < r.Intn(3); i++ {
+			blk.Stmts = append(blk.Stmts, &VarDecl{
+				Name: "v", DeclType: b.Int, Init: randomExpr(r, depth-1),
+			})
+		}
+		return blk
+	case 5:
+		return &Lambda{
+			Params: []*ParamDecl{{Name: "p", Type: b.Int}},
+			Body:   randomExpr(r, depth-1),
+		}
+	case 6:
+		return &Cast{Expr: randomExpr(r, depth-1), Target: b.String}
+	case 7:
+		return &Is{Expr: randomExpr(r, depth-1), Target: b.Int}
+	default:
+		return &Assign{Target: &VarRef{Name: "x"}, Value: randomExpr(r, depth-1)}
+	}
+}
+
+func exprValues(vs []reflect.Value, r *rand.Rand) {
+	for i := range vs {
+		vs[i] = reflect.ValueOf(randomExpr(r, 4))
+	}
+}
+
+// Clone renders identically to the original and has the same node count.
+func TestQuickCloneRoundTrip(t *testing.T) {
+	f := func(e Expr) bool {
+		c := CloneExpr(e)
+		return ExprString(c) == ExprString(e) && CountNodes(c) == CountNodes(e)
+	}
+	cfg := &quick.Config{Values: exprValues, MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Clone shares no mutable nodes with the original: walking the clone never
+// yields a pointer that also appears in the original.
+func TestQuickCloneDisjoint(t *testing.T) {
+	f := func(e Expr) bool {
+		orig := map[Node]bool{}
+		Walk(e, func(n Node) bool { orig[n] = true; return true })
+		disjoint := true
+		Walk(CloneExpr(e), func(n Node) bool {
+			if orig[n] {
+				disjoint = false
+				return false
+			}
+			return true
+		})
+		return disjoint
+	}
+	cfg := &quick.Config{Values: exprValues, MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Walk visits exactly CountNodes nodes and never visits nil.
+func TestQuickWalkConsistent(t *testing.T) {
+	f := func(e Expr) bool {
+		visited := 0
+		ok := true
+		Walk(e, func(n Node) bool {
+			if n == nil {
+				ok = false
+			}
+			visited++
+			return true
+		})
+		return ok && visited == CountNodes(e)
+	}
+	cfg := &quick.Config{Values: exprValues, MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Printing is deterministic.
+func TestQuickPrintDeterministic(t *testing.T) {
+	f := func(e Expr) bool {
+		return ExprString(e) == ExprString(e)
+	}
+	cfg := &quick.Config{Values: exprValues, MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,109 @@
+package ir
+
+// Visit is called for every node reached by Walk. Returning false prunes
+// the subtree below the node.
+type Visit func(Node) bool
+
+// Walk traverses the AST rooted at n in syntactic order, calling v for
+// each node. It tolerates nil children (omitted bodies, absent branches).
+func Walk(n Node, v Visit) {
+	if n == nil || !v(n) {
+		return
+	}
+	switch t := n.(type) {
+	case *Program:
+		for _, d := range t.Decls {
+			Walk(d, v)
+		}
+	case *ClassDecl:
+		if t.Super != nil {
+			for _, a := range t.Super.Args {
+				Walk(a, v)
+			}
+		}
+		for _, f := range t.Fields {
+			Walk(f, v)
+		}
+		for _, m := range t.Methods {
+			Walk(m, v)
+		}
+	case *FieldDecl:
+	case *FuncDecl:
+		for _, p := range t.Params {
+			Walk(p, v)
+		}
+		if t.Body != nil {
+			Walk(t.Body, v)
+		}
+	case *ParamDecl:
+	case *VarDecl:
+		if t.Init != nil {
+			Walk(t.Init, v)
+		}
+	case *Const, *VarRef:
+	case *FieldAccess:
+		Walk(t.Recv, v)
+	case *BinaryOp:
+		Walk(t.Left, v)
+		Walk(t.Right, v)
+	case *Block:
+		for _, s := range t.Stmts {
+			Walk(s, v)
+		}
+		if t.Value != nil {
+			Walk(t.Value, v)
+		}
+	case *Call:
+		if t.Recv != nil {
+			Walk(t.Recv, v)
+		}
+		for _, a := range t.Args {
+			Walk(a, v)
+		}
+	case *New:
+		for _, a := range t.Args {
+			Walk(a, v)
+		}
+	case *Assign:
+		Walk(t.Target, v)
+		Walk(t.Value, v)
+	case *If:
+		Walk(t.Cond, v)
+		Walk(t.Then, v)
+		Walk(t.Else, v)
+	case *MethodRef:
+		Walk(t.Recv, v)
+	case *Lambda:
+		for _, p := range t.Params {
+			Walk(p, v)
+		}
+		Walk(t.Body, v)
+	case *Cast:
+		Walk(t.Expr, v)
+	case *Is:
+		Walk(t.Expr, v)
+	}
+}
+
+// CountNodes returns the number of AST nodes under n (n included).
+func CountNodes(n Node) int {
+	count := 0
+	Walk(n, func(Node) bool { count++; return true })
+	return count
+}
+
+// AllMethods returns every function in the program — top-level functions
+// and class methods — in declaration order. This is the iteration order of
+// the mutation algorithms ("for m ∈ Methods(P)").
+func AllMethods(p *Program) []*FuncDecl {
+	var out []*FuncDecl
+	for _, d := range p.Decls {
+		switch t := d.(type) {
+		case *FuncDecl:
+			out = append(out, t)
+		case *ClassDecl:
+			out = append(out, t.Methods...)
+		}
+	}
+	return out
+}

@@ -1,0 +1,234 @@
+package mutation
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+// figure6 builds the paper's Figure 6 program (see typegraph tests).
+func figure6() (*ir.Program, *types.Builtins) {
+	b := types.NewBuiltins()
+	aT := types.NewParameter("A", "T")
+	classA := &ir.ClassDecl{Name: "A", TypeParams: []*types.Parameter{aT}, Open: true}
+	ctorA := classA.Type().(*types.Constructor)
+	bT := types.NewParameter("B", "T")
+	classB := &ir.ClassDecl{
+		Name:       "B",
+		TypeParams: []*types.Parameter{bT},
+		Super:      &ir.SuperRef{Type: ctorA.Apply(bT)},
+		Fields:     []*ir.FieldDecl{{Name: "f", Type: ctorA.Apply(bT)}},
+	}
+	ctorB := classB.Type().(*types.Constructor)
+	m := &ir.FuncDecl{
+		Name: "m",
+		Ret:  ctorA.Apply(b.String),
+		Body: &ir.New{
+			Class:    ctorB,
+			TypeArgs: []types.Type{b.String},
+			Args:     []ir.Expr{&ir.New{Class: ctorA, TypeArgs: []types.Type{b.String}}},
+		},
+	}
+	return &ir.Program{Decls: []ir.Decl{classA, classB, m}}, b
+}
+
+func TestTEMFigure6ProducesPaperMutant(t *testing.T) {
+	p, b := figure6()
+	mutant, report := TypeErasure(p, b)
+	if !report.Changed() {
+		t.Fatal("TEM must erase something on Figure 6")
+	}
+	// The paper's outcome: return B<String>(A<String>()) becomes
+	// return B(A()) while the return annotation stays.
+	src := ir.Print(mutant)
+	if !strings.Contains(src, "fun m(): A<String> = B<>(A<>(") {
+		t.Errorf("expected the paper's maximal erasure, got:\n%s", src)
+	}
+	if len(report.Erased) != 2 {
+		t.Errorf("expected 2 erased points, got %d: %v", len(report.Erased), report.Erased)
+	}
+}
+
+func TestTEMPreservesWellTypedness(t *testing.T) {
+	p, b := figure6()
+	mutant, _ := TypeErasure(p, b)
+	res := checker.Check(mutant, b, checker.Options{})
+	if !res.OK() {
+		t.Fatalf("TEM output must be well-typed, got %v\nprogram:\n%s", res.Diags, ir.Print(mutant))
+	}
+}
+
+func TestTEMDoesNotMutateOriginal(t *testing.T) {
+	p, b := figure6()
+	before := ir.Print(p)
+	TypeErasure(p, b)
+	if ir.Print(p) != before {
+		t.Error("TEM must operate on a clone")
+	}
+}
+
+func TestTEMOnProgramWithoutCandidates(t *testing.T) {
+	b := types.NewBuiltins()
+	p := &ir.Program{Decls: []ir.Decl{
+		&ir.FuncDecl{Name: "f", Ret: b.Unit, Body: &ir.Const{Type: b.Unit}},
+	}}
+	_, report := TypeErasure(p, b)
+	if report.Changed() {
+		t.Errorf("nothing to erase, got %v", report.Erased)
+	}
+}
+
+func TestTEMVarDecl(t *testing.T) {
+	b := types.NewBuiltins()
+	// val x: String = "s" — erasable; val y = null-ish not present.
+	body := &ir.Block{Stmts: []ir.Node{
+		&ir.VarDecl{Name: "x", DeclType: b.String, Init: &ir.Const{Type: b.String}},
+	}}
+	p := &ir.Program{Decls: []ir.Decl{&ir.FuncDecl{Name: "f", Body: body, Ret: b.Unit}}}
+	mutant, report := TypeErasure(p, b)
+	if !report.Changed() {
+		t.Fatal("x's declared type should be erased")
+	}
+	v := mutant.Functions()[0].Body.(*ir.Block).Stmts[0].(*ir.VarDecl)
+	if v.DeclType != nil {
+		t.Error("DeclType should be nil after erasure")
+	}
+	if res := checker.Check(mutant, b, checker.Options{}); !res.OK() {
+		t.Errorf("mutant must type-check: %v", res.Diags)
+	}
+}
+
+func TestTEMSkipsWideningAnnotations(t *testing.T) {
+	b := types.NewBuiltins()
+	// val x: Number = 1 — erasing changes x's type to Int; must be kept.
+	body := &ir.Block{Stmts: []ir.Node{
+		&ir.VarDecl{Name: "x", DeclType: b.Number, Init: &ir.Const{Type: b.Int}},
+	}}
+	p := &ir.Program{Decls: []ir.Decl{&ir.FuncDecl{Name: "f", Body: body, Ret: b.Unit}}}
+	_, report := TypeErasure(p, b)
+	for _, e := range report.Erased {
+		t.Errorf("unexpected erasure %v (Number annotation is not preserved)", e)
+	}
+}
+
+func TestCombinationsEnumeration(t *testing.T) {
+	var got [][]int
+	combinations(4, 2, func(idx []int) bool {
+		cp := append([]int(nil), idx...)
+		got = append(got, cp)
+		return true
+	})
+	if len(got) != 6 {
+		t.Fatalf("C(4,2) = %d, want 6", len(got))
+	}
+	if got[0][0] != 0 || got[0][1] != 1 {
+		t.Errorf("first combination = %v", got[0])
+	}
+	if got[5][0] != 2 || got[5][1] != 3 {
+		t.Errorf("last combination = %v", got[5])
+	}
+	// Early stop.
+	count := 0
+	combinations(5, 3, func([]int) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Errorf("early stop after 3, got %d", count)
+	}
+	// Degenerate cases.
+	combinations(2, 3, func([]int) bool { t.Error("k>n must not visit"); return true })
+	combinations(2, 0, func([]int) bool { t.Error("k=0 must not visit"); return true })
+}
+
+func TestTOMInjectsTypeError(t *testing.T) {
+	p, b := figure6()
+	if res := checker.Check(p, b, checker.Options{}); !res.OK() {
+		t.Fatalf("input must be well-typed: %v", res.Diags)
+	}
+	found := false
+	for seed := int64(0); seed < 10; seed++ {
+		mutant, report := TypeOverwriting(p, b, rand.New(rand.NewSource(seed)))
+		if mutant == nil {
+			continue
+		}
+		found = true
+		res := checker.Check(mutant, b, checker.Options{})
+		if res.OK() {
+			t.Fatalf("TOM output must be ill-typed (seed %d):\nreport: %s\nprogram:\n%s",
+				seed, report, ir.Print(mutant))
+		}
+		if report.Original == nil || report.Injected == nil {
+			t.Error("report must carry original and injected types")
+		}
+	}
+	if !found {
+		t.Fatal("TOM never found a mutation point on Figure 6")
+	}
+}
+
+func TestTOMDoesNotMutateOriginal(t *testing.T) {
+	p, b := figure6()
+	before := ir.Print(p)
+	TypeOverwriting(p, b, rand.New(rand.NewSource(1)))
+	if ir.Print(p) != before {
+		t.Error("TOM must operate on a clone")
+	}
+}
+
+func TestTOMDeterministicForSeed(t *testing.T) {
+	p, b := figure6()
+	m1, r1 := TypeOverwriting(p, b, rand.New(rand.NewSource(42)))
+	m2, r2 := TypeOverwriting(p, b, rand.New(rand.NewSource(42)))
+	if (m1 == nil) != (m2 == nil) {
+		t.Fatal("determinism violated")
+	}
+	if m1 != nil && (ir.Print(m1) != ir.Print(m2) || r1.String() != r2.String()) {
+		t.Error("same seed must produce the same mutant")
+	}
+}
+
+func TestTOMOnProgramWithoutCandidates(t *testing.T) {
+	b := types.NewBuiltins()
+	p := &ir.Program{Decls: []ir.Decl{
+		&ir.FuncDecl{Name: "f", Ret: b.Unit, Body: &ir.Const{Type: b.Unit}},
+	}}
+	mutant, report := TypeOverwriting(p, b, rand.New(rand.NewSource(1)))
+	if mutant != nil || report != nil {
+		t.Error("no candidates: TOM must return nil")
+	}
+}
+
+func TestTOMReportString(t *testing.T) {
+	var nilReport *TOMReport
+	if nilReport.Changed() {
+		t.Error("nil report is unchanged")
+	}
+	p, b := figure6()
+	_, report := TypeOverwriting(p, b, rand.New(rand.NewSource(7)))
+	if report != nil && !strings.Contains(report.String(), "overwrote") {
+		t.Errorf("report string = %q", report)
+	}
+}
+
+func TestTypePoolRespectsBounds(t *testing.T) {
+	b := types.NewBuiltins()
+	tp := &types.Parameter{Owner: "NumBox", ParamName: "T", Bound: b.Number}
+	cls := &ir.ClassDecl{Name: "NumBox", TypeParams: []*types.Parameter{tp},
+		Fields: []*ir.FieldDecl{{Name: "v", Type: tp}}}
+	p := &ir.Program{Decls: []ir.Decl{cls}}
+	pool := newTypePool(p, b)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		t0 := pool.random(rng)
+		if app, ok := t0.(*types.App); ok {
+			for j, arg := range app.Args {
+				bound := app.Ctor.Params[j].UpperBound()
+				if !types.IsSubtype(arg, bound) {
+					t.Fatalf("generated %s violates bound %s", app, bound)
+				}
+			}
+		}
+	}
+}

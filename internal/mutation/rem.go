@@ -1,0 +1,134 @@
+package mutation
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/checker"
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+// REMReport records what the resolution mutation changed.
+type REMReport struct {
+	// Class is the class that received the decoy overload.
+	Class string
+	// Method is the overloaded method name.
+	Method string
+	// DecoyArity is the decoy's parameter count.
+	DecoyArity int
+	// InSuperclass reports whether the decoy went into a superclass of
+	// the call's receiver class (stressing inherited-overload
+	// resolution) rather than the declaring class itself.
+	InSuperclass bool
+}
+
+func (r *REMReport) String() string {
+	where := r.Class
+	if r.InSuperclass {
+		where += " (superclass)"
+	}
+	return fmt.Sprintf("added decoy overload %s/%d to %s", r.Method, r.DecoyArity, where)
+}
+
+// ResolutionMutation (REM) implements the mutation the paper's conclusion
+// proposes as future work: "a mutation that targets bugs in the resolution
+// algorithms of compilers". Given a well-typed program, REM picks a method
+// that is called somewhere and adds a *decoy overload* — a method with the
+// same name but a different arity — to the declaring class or to a
+// superclass of it. The transformation is semantics-preserving: correct
+// overload resolution still selects the original method at every call
+// site, so the mutant must compile. A compiler that reports ambiguity,
+// resolves to the decoy, or rejects the program has a resolution bug.
+//
+// Returns (nil, nil) when the program offers no applicable site. The
+// result is verified well-typed against the reference checker.
+func ResolutionMutation(p *ir.Program, b *types.Builtins, rng *rand.Rand) (*ir.Program, *REMReport) {
+	clone := ir.CloneProgram(p)
+
+	// Collect called method names (receiver calls only: top-level
+	// functions cannot be overloaded in the IR).
+	called := map[string]bool{}
+	ir.Walk(clone, func(n ir.Node) bool {
+		if call, ok := n.(*ir.Call); ok && call.Recv != nil {
+			called[call.Name] = true
+		}
+		return true
+	})
+	if len(called) == 0 {
+		return nil, nil
+	}
+
+	type site struct {
+		owner   *ir.ClassDecl // class declaring the called method
+		target  *ir.ClassDecl // class to receive the decoy
+		method  *ir.FuncDecl
+		inSuper bool
+	}
+	var sites []site
+	for _, cls := range clone.Classes() {
+		for _, m := range cls.Methods {
+			if !called[m.Name] {
+				continue
+			}
+			sites = append(sites, site{owner: cls, target: cls, method: m})
+			// Superclass variant: the decoy is inherited into scope.
+			if cls.Super != nil {
+				if sup := clone.ClassByName(superName(cls.Super.Type)); sup != nil {
+					sites = append(sites, site{owner: cls, target: sup, method: m, inSuper: true})
+				}
+			}
+		}
+	}
+	if len(sites) == 0 {
+		return nil, nil
+	}
+
+	for _, i := range rng.Perm(len(sites)) {
+		s := sites[i]
+		// The decoy differs in arity so no existing call site can be
+		// captured; pick an arity the overload set does not already use.
+		arity := len(s.method.Params) + 1 + rng.Intn(2)
+		if arityTaken(s.target, s.method.Name, arity) || arityTaken(s.owner, s.method.Name, arity) {
+			continue
+		}
+		decoy := &ir.FuncDecl{Name: s.method.Name, Ret: b.Unit, Body: &ir.Const{Type: b.Unit}}
+		for j := 0; j < arity; j++ {
+			decoy.Params = append(decoy.Params, &ir.ParamDecl{
+				Name: fmt.Sprintf("rem%d", j),
+				Type: b.Int,
+			})
+		}
+		s.target.Methods = append(s.target.Methods, decoy)
+		if checker.Check(clone, b, checker.Options{}).OK() {
+			return clone, &REMReport{
+				Class:        s.target.Name,
+				Method:       s.method.Name,
+				DecoyArity:   arity,
+				InSuperclass: s.inSuper,
+			}
+		}
+		// Revert and try another site.
+		s.target.Methods = s.target.Methods[:len(s.target.Methods)-1]
+	}
+	return nil, nil
+}
+
+func superName(t types.Type) string {
+	switch tt := t.(type) {
+	case *types.Simple:
+		return tt.TypeName
+	case *types.App:
+		return tt.Ctor.TypeName
+	}
+	return ""
+}
+
+func arityTaken(cls *ir.ClassDecl, name string, arity int) bool {
+	for _, m := range cls.Methods {
+		if m.Name == name && len(m.Params) == arity {
+			return true
+		}
+	}
+	return false
+}

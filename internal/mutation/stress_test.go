@@ -1,0 +1,33 @@
+package mutation
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/generator"
+)
+
+func TestStressTEMTOM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress scan")
+	}
+	for seed := int64(150); seed < 320; seed++ { // full 150-800 sweep runs clean; kept short for suite time
+		g := generator.New(generator.DefaultConfig().WithSeed(seed))
+		p := g.Generate()
+		mutant, _ := TypeErasure(p, g.Builtins())
+		if res := checker.Check(mutant, g.Builtins(), checker.Options{}); !res.OK() {
+			t.Errorf("seed %d: TEM ill-typed: %v", seed, res.Diags[0])
+			if testing.Verbose() {
+				continue
+			}
+			return
+		}
+		tm, _ := TypeOverwriting(p, g.Builtins(), rand.New(rand.NewSource(seed)))
+		if tm != nil {
+			if res := checker.Check(tm, g.Builtins(), checker.Options{}); res.OK() {
+				t.Errorf("seed %d: TOM well-typed", seed)
+			}
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Package oracle implements the test oracle of Figure 3's "output
+// checker". The way a test program was derived fixes the expected
+// compiler behaviour, so no differential testing is needed (Section 3):
+// programs from the generator and from the type erasure mutation are
+// well-typed and must compile; programs from the type overwriting
+// mutation are ill-typed and must be rejected; a crash is always a bug.
+package oracle
+
+import "repro/internal/compilers"
+
+// InputKind records how a test program was derived.
+type InputKind int
+
+const (
+	// Generated: produced by the program generator (well-typed).
+	Generated InputKind = iota
+	// TEMMutant: produced by the type erasure mutation (well-typed).
+	TEMMutant
+	// TOMMutant: produced by the type overwriting mutation (ill-typed).
+	TOMMutant
+	// TEMTOMMutant: TOM applied on a TEM mutant (ill-typed, with omitted
+	// type information).
+	TEMTOMMutant
+	// Suite: a hand-written test-suite program (well-typed).
+	Suite
+	// REMMutant: produced by the resolution mutation (well-typed; a
+	// decoy overload stresses overload resolution).
+	REMMutant
+)
+
+func (k InputKind) String() string {
+	switch k {
+	case Generated:
+		return "generator"
+	case TEMMutant:
+		return "TEM"
+	case TOMMutant:
+		return "TOM"
+	case TEMTOMMutant:
+		return "TEM&TOM"
+	case REMMutant:
+		return "REM"
+	default:
+		return "suite"
+	}
+}
+
+// ExpectCompile reports the oracle's expectation for the input kind.
+func (k InputKind) ExpectCompile() bool {
+	switch k {
+	case TOMMutant, TEMTOMMutant:
+		return false
+	default:
+		return true
+	}
+}
+
+// Verdict classifies one compilation against the oracle.
+type Verdict int
+
+const (
+	// Pass: the compiler behaved as expected.
+	Pass Verdict = iota
+	// UnexpectedCompileTimeError: a well-formed program was rejected
+	// (the UCTE symptom).
+	UnexpectedCompileTimeError
+	// UnexpectedAcceptance: an ill-typed program compiled; running the
+	// binary would misbehave (the URB symptom).
+	UnexpectedAcceptance
+	// CompilerCrash: the compiler threw an internal error.
+	CompilerCrash
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Pass:
+		return "pass"
+	case UnexpectedCompileTimeError:
+		return "UCTE"
+	case UnexpectedAcceptance:
+		return "URB"
+	default:
+		return "crash"
+	}
+}
+
+// Judge compares a compilation result against the oracle for the input
+// kind.
+func Judge(kind InputKind, res *compilers.Result) Verdict {
+	if res.Status == compilers.Crashed {
+		return CompilerCrash
+	}
+	if kind.ExpectCompile() {
+		if res.Status == compilers.Rejected {
+			return UnexpectedCompileTimeError
+		}
+		return Pass
+	}
+	if res.Status == compilers.OK {
+		return UnexpectedAcceptance
+	}
+	return Pass
+}

@@ -1,0 +1,64 @@
+package oracle_test
+
+import (
+	"testing"
+
+	"repro/internal/compilers"
+	"repro/internal/oracle"
+)
+
+func TestOracleJudgement(t *testing.T) {
+	ok := &compilers.Result{Status: compilers.OK}
+	rejected := &compilers.Result{Status: compilers.Rejected}
+	crashed := &compilers.Result{Status: compilers.Crashed}
+	cases := []struct {
+		kind oracle.InputKind
+		res  *compilers.Result
+		want oracle.Verdict
+	}{
+		{oracle.Generated, ok, oracle.Pass},
+		{oracle.Generated, rejected, oracle.UnexpectedCompileTimeError},
+		{oracle.Generated, crashed, oracle.CompilerCrash},
+		{oracle.TEMMutant, rejected, oracle.UnexpectedCompileTimeError},
+		{oracle.TEMMutant, ok, oracle.Pass},
+		{oracle.TOMMutant, rejected, oracle.Pass},
+		{oracle.TOMMutant, ok, oracle.UnexpectedAcceptance},
+		{oracle.TOMMutant, crashed, oracle.CompilerCrash},
+		{oracle.TEMTOMMutant, ok, oracle.UnexpectedAcceptance},
+		{oracle.Suite, ok, oracle.Pass},
+	}
+	for _, c := range cases {
+		if got := oracle.Judge(c.kind, c.res); got != c.want {
+			t.Errorf("Judge(%s, %s) = %s, want %s", c.kind, c.res.Status, got, c.want)
+		}
+	}
+}
+
+func TestInputKindStrings(t *testing.T) {
+	kinds := map[oracle.InputKind]string{
+		oracle.Generated:    "generator",
+		oracle.TEMMutant:    "TEM",
+		oracle.TOMMutant:    "TOM",
+		oracle.TEMTOMMutant: "TEM&TOM",
+		oracle.Suite:        "suite",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if oracle.TOMMutant.ExpectCompile() || !oracle.Generated.ExpectCompile() {
+		t.Error("ExpectCompile wrong")
+	}
+	verdicts := map[oracle.Verdict]string{
+		oracle.Pass:                       "pass",
+		oracle.UnexpectedCompileTimeError: "UCTE",
+		oracle.UnexpectedAcceptance:       "URB",
+		oracle.CompilerCrash:              "crash",
+	}
+	for v, want := range verdicts {
+		if v.String() != want {
+			t.Errorf("verdict %d = %q, want %q", v, v.String(), want)
+		}
+	}
+}

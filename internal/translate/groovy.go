@@ -1,0 +1,379 @@
+package translate
+
+import (
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+// Groovy renders IR programs as statically compiled Groovy source: every
+// class and method carries @groovy.transform.CompileStatic (the paper
+// targets groovyc's static type-checking, not its dynamic mode), omitted
+// local types become def, blocks in expression position become
+// immediately-invoked closures, lambdas become closures, and method
+// references use the .& operator.
+type Groovy struct {
+	callable map[string]bool
+}
+
+// NewGroovy returns the Groovy translator.
+func NewGroovy() *Groovy { return &Groovy{} }
+
+func (*Groovy) Name() string    { return "groovy" }
+func (*Groovy) FileExt() string { return ".groovy" }
+
+// Translate renders p as a Groovy file.
+func (g *Groovy) Translate(p *ir.Program) string {
+	g.callable = map[string]bool{}
+	for _, f := range ir.AllMethods(p) {
+		g.callable[f.Name] = true
+	}
+	w := &writer{typeFn: g.typ, constFn: g.constant}
+	if p.Package != "" {
+		w.linef("package %s", p.Package)
+		w.blank()
+	}
+	for _, d := range p.Decls {
+		if cls, ok := d.(*ir.ClassDecl); ok {
+			g.class(w, cls)
+			w.blank()
+		}
+	}
+	w.line("@groovy.transform.CompileStatic")
+	w.line("class Globals {")
+	w.indent++
+	for _, d := range p.Decls {
+		switch t := d.(type) {
+		case *ir.FuncDecl:
+			g.method(w, t, true)
+			w.blank()
+		case *ir.VarDecl:
+			decl := "static def"
+			if t.DeclType != nil {
+				decl = "static " + g.typ(t.DeclType)
+			}
+			w.line(decl + " " + t.Name + " = " + w.expr(t.Init, g))
+		}
+	}
+	w.indent--
+	w.line("}")
+	return w.String()
+}
+
+func (g *Groovy) typ(t types.Type) string {
+	switch tt := t.(type) {
+	case types.Top:
+		return "Object"
+	case types.Bottom:
+		return "Object"
+	case *types.Simple:
+		if tt.Builtin {
+			switch tt.TypeName {
+			case "Int":
+				return "Integer"
+			case "Char":
+				return "Character"
+			case "Unit":
+				return "void"
+			}
+		}
+		return tt.TypeName
+	case *types.Parameter:
+		return tt.ParamName
+	case *types.Constructor:
+		return tt.TypeName
+	case *types.App:
+		parts := make([]string, len(tt.Args))
+		for i, a := range tt.Args {
+			parts[i] = g.typ(a)
+		}
+		return tt.Ctor.TypeName + "<" + strings.Join(parts, ", ") + ">"
+	case *types.Projection:
+		if tt.Var == types.Covariant {
+			return "? extends " + g.typ(tt.Bound)
+		}
+		return "? super " + g.typ(tt.Bound)
+	case *types.Func:
+		return "groovy.lang.Closure<" + g.typ(tt.Ret) + ">"
+	case *types.Intersection:
+		if len(tt.Members) > 0 {
+			return g.typ(tt.Members[0])
+		}
+		return "Object"
+	}
+	return "Object"
+}
+
+func (g *Groovy) constant(t types.Type) string {
+	if s, ok := t.(*types.Simple); ok && s.Builtin {
+		switch s.TypeName {
+		case "Byte":
+			return "(byte) 1"
+		case "Short":
+			return "(short) 1"
+		case "Int":
+			return "1"
+		case "Long":
+			return "1L"
+		case "Float":
+			return "1.0f"
+		case "Double":
+			return "1.0d"
+		case "Boolean":
+			return "true"
+		case "Char":
+			return "(char) 'c'"
+		case "String":
+			return "\"s\""
+		case "Number":
+			return "(Number) 1"
+		case "Unit":
+			return "null"
+		}
+	}
+	if _, ok := t.(types.Bottom); ok {
+		return "null"
+	}
+	return "(null as " + g.typ(t) + ")"
+}
+
+func (g *Groovy) typeParams(ps []*types.Parameter) string {
+	if len(ps) == 0 {
+		return ""
+	}
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		s := p.ParamName // Groovy generics follow Java: no decl-site variance
+		if p.Bound != nil {
+			s += " extends " + g.typ(p.Bound)
+		}
+		parts[i] = s
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+func (g *Groovy) class(w *writer, c *ir.ClassDecl) {
+	w.line("@groovy.transform.CompileStatic")
+	head := ""
+	switch c.Kind {
+	case ir.InterfaceClass:
+		head = "interface "
+	case ir.AbstractClass:
+		head = "abstract class "
+	default:
+		if !c.Open {
+			head = "final "
+		}
+		head += "class "
+	}
+	line := head + c.Name + g.typeParams(c.TypeParams)
+	if c.Super != nil {
+		line += " extends " + g.typ(c.Super.Type)
+	}
+	w.line(line + " {")
+	w.indent++
+	for _, f := range c.Fields {
+		w.linef("%s %s", g.typ(f.Type), f.Name)
+	}
+	if c.Kind == ir.RegularClass && (len(c.Fields) > 0 || c.Super != nil) {
+		params := make([]string, len(c.Fields))
+		for i, f := range c.Fields {
+			params[i] = g.typ(f.Type) + " " + f.Name
+		}
+		w.linef("%s(%s) {", c.Name, strings.Join(params, ", "))
+		w.indent++
+		if c.Super != nil && len(c.Super.Args) > 0 {
+			args := make([]string, len(c.Super.Args))
+			for i, a := range c.Super.Args {
+				args[i] = w.expr(a, g)
+			}
+			w.linef("super(%s)", strings.Join(args, ", "))
+		}
+		for _, f := range c.Fields {
+			w.linef("this.%s = %s", f.Name, f.Name)
+		}
+		w.indent--
+		w.line("}")
+	}
+	for _, m := range c.Methods {
+		g.method(w, m, false)
+	}
+	w.indent--
+	w.line("}")
+}
+
+func (g *Groovy) method(w *writer, f *ir.FuncDecl, static bool) {
+	ret := "def"
+	if f.Ret != nil {
+		ret = g.typ(f.Ret)
+	}
+	head := ""
+	if static {
+		head = "static "
+	}
+	if tp := g.typeParams(f.TypeParams); tp != "" {
+		head += "public " + tp + " " // Groovy needs a modifier before <T>
+	}
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = g.typ(p.Type) + " " + p.Name
+	}
+	head += ret + " " + f.Name + "(" + strings.Join(params, ", ") + ")"
+	if f.Body == nil {
+		w.line(head)
+		return
+	}
+	w.line(head + " {")
+	w.indent++
+	g.statementBody(w, f.Body, ret == "void")
+	w.indent--
+	w.line("}")
+}
+
+func (g *Groovy) statementBody(w *writer, body ir.Expr, void bool) {
+	if b, ok := body.(*ir.Block); ok {
+		for _, s := range b.Stmts {
+			g.statement(w, s)
+		}
+		if b.Value != nil {
+			g.returnOrDiscard(w, b.Value, void)
+		}
+		return
+	}
+	g.returnOrDiscard(w, body, void)
+}
+
+func (g *Groovy) returnOrDiscard(w *writer, e ir.Expr, void bool) {
+	if void {
+		if c, ok := e.(*ir.Const); ok {
+			if s, isSimple := c.Type.(*types.Simple); isSimple && s.TypeName == "Unit" {
+				return
+			}
+		}
+		w.line(w.expr(e, g))
+		return
+	}
+	w.line("return " + w.expr(e, g))
+}
+
+func (g *Groovy) statement(w *writer, s ir.Node) {
+	switch st := s.(type) {
+	case *ir.VarDecl:
+		decl := "def"
+		if st.DeclType != nil {
+			decl = g.typ(st.DeclType)
+		}
+		w.line(decl + " " + st.Name + " = " + w.expr(st.Init, g))
+	case *ir.Assign:
+		w.line(w.expr(st, g))
+	case ir.Expr:
+		w.line(w.expr(st, g))
+	}
+}
+
+// ----- expression rendering -----
+
+func (g *Groovy) renderNew(w *writer, n *ir.New) string {
+	name := n.Class.Name()
+	if _, param := n.Class.(*types.Constructor); param {
+		if n.TypeArgs == nil {
+			name += "<>"
+		} else {
+			parts := make([]string, len(n.TypeArgs))
+			for i, a := range n.TypeArgs {
+				parts[i] = g.typ(a)
+			}
+			name += "<" + strings.Join(parts, ", ") + ">"
+		}
+	}
+	args := make([]string, len(n.Args))
+	for i, a := range n.Args {
+		args[i] = w.expr(a, g)
+	}
+	return "new " + name + "(" + strings.Join(args, ", ") + ")"
+}
+
+func (g *Groovy) renderCall(w *writer, c *ir.Call) string {
+	args := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = w.expr(a, g)
+	}
+	argList := "(" + strings.Join(args, ", ") + ")"
+	targs := ""
+	if len(c.TypeArgs) > 0 {
+		parts := make([]string, len(c.TypeArgs))
+		for i, a := range c.TypeArgs {
+			parts[i] = g.typ(a)
+		}
+		targs = "<" + strings.Join(parts, ", ") + ">"
+	}
+	if c.Recv != nil {
+		recv := w.expr(c.Recv, g)
+		if targs != "" {
+			return recv + "." + targs + c.Name + argList
+		}
+		return recv + "." + c.Name + argList
+	}
+	if !g.callable[c.Name] {
+		// Invoking a closure-typed variable: closure() or closure.call().
+		return c.Name + ".call" + argList
+	}
+	if targs != "" {
+		return "Globals." + targs + c.Name + argList
+	}
+	return c.Name + argList
+}
+
+func (g *Groovy) renderLambda(w *writer, l *ir.Lambda) string {
+	params := make([]string, len(l.Params))
+	for i, p := range l.Params {
+		if p.Type != nil {
+			params[i] = g.typ(p.Type) + " " + p.Name
+		} else {
+			params[i] = p.Name
+		}
+	}
+	body := w.expr(l.Body, g)
+	if len(params) == 0 {
+		return "{ -> " + body + " }"
+	}
+	return "{ " + strings.Join(params, ", ") + " -> " + body + " }"
+}
+
+// renderBlock lowers a block in expression position to an
+// immediately-invoked closure.
+func (g *Groovy) renderBlock(w *writer, b *ir.Block) string {
+	var sb strings.Builder
+	sb.WriteString("({ ->\n")
+	w.indent++
+	inner := &writer{typeFn: g.typ, constFn: g.constant, indent: w.indent}
+	for _, s := range b.Stmts {
+		g.statement(inner, s)
+	}
+	if b.Value != nil {
+		inner.line("return " + inner.expr(b.Value, g))
+	} else {
+		inner.line("return null")
+	}
+	sb.WriteString(inner.String())
+	w.indent--
+	sb.WriteString(strings.Repeat("    ", w.indent) + "})()")
+	return sb.String()
+}
+
+func (g *Groovy) renderIf(w *writer, e *ir.If) string {
+	return "(" + w.expr(e.Cond, g) + " ? " + w.expr(e.Then, g) + " : " + w.expr(e.Else, g) + ")"
+}
+
+func (g *Groovy) renderCast(w *writer, c *ir.Cast) string {
+	return "(" + w.expr(c.Expr, g) + " as " + g.typ(c.Target) + ")"
+}
+
+func (g *Groovy) renderIs(w *writer, c *ir.Is) string {
+	return "(" + w.expr(c.Expr, g) + " instanceof " + c.Target.Name() + ")"
+}
+
+func (g *Groovy) renderMethodRef(w *writer, m *ir.MethodRef) string {
+	return w.expr(m.Recv, g) + ".&" + m.Method
+}

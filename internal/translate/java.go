@@ -1,0 +1,434 @@
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/checker"
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+// Java renders IR programs as Java source. Top-level functions become
+// static methods of a Globals class; expression-bodied functions become
+// return statements; IR blocks in expression position are lowered to
+// immediately-invoked java.util.function lambdas (typed with the reference
+// checker's recorded expression types); function types map onto
+// Supplier/Function/BiFunction; declaration-site variance is erased (Java
+// has only use-site wildcards).
+type Java struct {
+	exprTypes map[ir.Expr]types.Type
+	callable  map[string]bool
+	tmpN      int
+}
+
+// NewJava returns the Java translator.
+func NewJava() *Java { return &Java{} }
+
+func (*Java) Name() string    { return "java" }
+func (*Java) FileExt() string { return ".java" }
+
+// Translate renders p as a Java file.
+func (j *Java) Translate(p *ir.Program) string {
+	res := checker.Check(p, types.NewBuiltins(), checker.Options{RecordTypes: true})
+	j.exprTypes = res.ExprTypes
+	j.callable = map[string]bool{}
+	j.tmpN = 0
+	for _, f := range ir.AllMethods(p) {
+		j.callable[f.Name] = true
+	}
+
+	w := &writer{typeFn: j.typ, constFn: j.constant}
+	if p.Package != "" {
+		w.linef("package %s;", p.Package)
+		w.blank()
+	}
+	for _, d := range p.Decls {
+		if cls, ok := d.(*ir.ClassDecl); ok {
+			j.class(w, cls)
+			w.blank()
+		}
+	}
+	// Top-level functions and variables live in a Globals holder.
+	w.line("class Globals {")
+	w.indent++
+	for _, d := range p.Decls {
+		switch t := d.(type) {
+		case *ir.FuncDecl:
+			j.method(w, t, true)
+			w.blank()
+		case *ir.VarDecl:
+			line := "static "
+			if t.DeclType != nil {
+				line += j.typ(t.DeclType)
+			} else {
+				line += "var"
+			}
+			line += " " + t.Name + " = " + w.expr(t.Init, j) + ";"
+			w.line(line)
+		}
+	}
+	w.indent--
+	w.line("}")
+	return w.String()
+}
+
+func (j *Java) typ(t types.Type) string {
+	switch tt := t.(type) {
+	case types.Top:
+		return "Object"
+	case types.Bottom:
+		return "Void"
+	case *types.Simple:
+		if tt.Builtin {
+			switch tt.TypeName {
+			case "Int":
+				return "Integer"
+			case "Char":
+				return "Character"
+			case "Unit":
+				return "void"
+			}
+		}
+		return tt.TypeName
+	case *types.Parameter:
+		return tt.ParamName
+	case *types.Constructor:
+		return tt.TypeName
+	case *types.App:
+		parts := make([]string, len(tt.Args))
+		for i, a := range tt.Args {
+			parts[i] = j.typ(a)
+		}
+		return tt.Ctor.TypeName + "<" + strings.Join(parts, ", ") + ">"
+	case *types.Projection:
+		if tt.Var == types.Covariant {
+			return "? extends " + j.typ(tt.Bound)
+		}
+		return "? super " + j.typ(tt.Bound)
+	case *types.Func:
+		return j.funcInterface(tt)
+	case *types.Intersection:
+		if len(tt.Members) > 0 {
+			return j.typ(tt.Members[0])
+		}
+		return "Object"
+	}
+	return "Object"
+}
+
+// funcInterface maps an IR function type to java.util.function.
+func (j *Java) funcInterface(f *types.Func) string {
+	ret := j.typ(f.Ret)
+	switch len(f.Params) {
+	case 0:
+		return "java.util.function.Supplier<" + ret + ">"
+	case 1:
+		return "java.util.function.Function<" + j.typ(f.Params[0]) + ", " + ret + ">"
+	case 2:
+		return "java.util.function.BiFunction<" + j.typ(f.Params[0]) + ", " +
+			j.typ(f.Params[1]) + ", " + ret + ">"
+	default:
+		return "Object /* unsupported arity */"
+	}
+}
+
+func (j *Java) constant(t types.Type) string {
+	if s, ok := t.(*types.Simple); ok && s.Builtin {
+		switch s.TypeName {
+		case "Byte":
+			return "(byte) 1"
+		case "Short":
+			return "(short) 1"
+		case "Int":
+			return "1"
+		case "Long":
+			return "1L"
+		case "Float":
+			return "1.0f"
+		case "Double":
+			return "1.0"
+		case "Boolean":
+			return "true"
+		case "Char":
+			return "'c'"
+		case "String":
+			return "\"s\""
+		case "Number":
+			return "(Number) 1"
+		case "Unit":
+			return "/* unit */"
+		}
+	}
+	if _, ok := t.(types.Bottom); ok {
+		return "null"
+	}
+	return "((" + j.typ(t) + ") null)"
+}
+
+func (j *Java) typeParams(ps []*types.Parameter) string {
+	if len(ps) == 0 {
+		return ""
+	}
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		s := p.ParamName // declaration-site variance is erased in Java
+		if p.Bound != nil {
+			s += " extends " + j.typ(p.Bound)
+		}
+		parts[i] = s
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+func (j *Java) class(w *writer, c *ir.ClassDecl) {
+	head := ""
+	switch c.Kind {
+	case ir.InterfaceClass:
+		head = "interface "
+	case ir.AbstractClass:
+		head = "abstract class "
+	default:
+		if !c.Open {
+			head = "final "
+		}
+		head += "class "
+	}
+	line := head + c.Name + j.typeParams(c.TypeParams)
+	if c.Super != nil {
+		verb := " extends "
+		line += verb + j.typ(c.Super.Type)
+	}
+	w.line(line + " {")
+	w.indent++
+	for _, f := range c.Fields {
+		w.linef("%s %s;", j.typ(f.Type), f.Name)
+	}
+	if c.Kind == ir.RegularClass && (len(c.Fields) > 0 || c.Super != nil) {
+		params := make([]string, len(c.Fields))
+		for i, f := range c.Fields {
+			params[i] = j.typ(f.Type) + " " + f.Name
+		}
+		w.linef("%s(%s) {", c.Name, strings.Join(params, ", "))
+		w.indent++
+		if c.Super != nil && len(c.Super.Args) > 0 {
+			args := make([]string, len(c.Super.Args))
+			for i, a := range c.Super.Args {
+				args[i] = w.expr(a, j)
+			}
+			w.linef("super(%s);", strings.Join(args, ", "))
+		}
+		for _, f := range c.Fields {
+			w.linef("this.%s = %s;", f.Name, f.Name)
+		}
+		w.indent--
+		w.line("}")
+	}
+	for _, m := range c.Methods {
+		j.method(w, m, false)
+	}
+	w.indent--
+	w.line("}")
+}
+
+func (j *Java) method(w *writer, f *ir.FuncDecl, static bool) {
+	ret := "var"
+	if f.Ret != nil {
+		ret = j.typ(f.Ret)
+	} else if t := j.exprTypes[f.Body]; t != nil {
+		// Java cannot omit return types; recover the inferred one.
+		ret = j.typ(t)
+	} else {
+		ret = "Object"
+	}
+	head := ""
+	if static {
+		head = "static "
+	}
+	if tp := j.typeParams(f.TypeParams); tp != "" {
+		head += tp + " "
+	}
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = j.typ(p.Type) + " " + p.Name
+	}
+	head += ret + " " + f.Name + "(" + strings.Join(params, ", ") + ")"
+	if f.Body == nil {
+		w.line(head + ";")
+		return
+	}
+	w.line(head + " {")
+	w.indent++
+	j.statementBody(w, f.Body, ret == "void")
+	w.indent--
+	w.line("}")
+}
+
+// statementBody lowers an expression-bodied function into Java statements.
+func (j *Java) statementBody(w *writer, body ir.Expr, void bool) {
+	if b, ok := body.(*ir.Block); ok {
+		for _, s := range b.Stmts {
+			j.statement(w, s)
+		}
+		if b.Value != nil {
+			j.returnOrDiscard(w, b.Value, void)
+		}
+		return
+	}
+	j.returnOrDiscard(w, body, void)
+}
+
+func (j *Java) returnOrDiscard(w *writer, e ir.Expr, void bool) {
+	if void {
+		if c, ok := e.(*ir.Const); ok {
+			if s, isSimple := c.Type.(*types.Simple); isSimple && s.TypeName == "Unit" {
+				return // discard the unit constant
+			}
+		}
+		switch e.(type) {
+		case *ir.Call, *ir.New, *ir.Assign:
+			w.line(w.expr(e, j) + ";")
+		default:
+			j.tmpN++
+			w.linef("var tmp%d = %s;", j.tmpN, w.expr(e, j))
+		}
+		return
+	}
+	w.line("return " + w.expr(e, j) + ";")
+}
+
+func (j *Java) statement(w *writer, s ir.Node) {
+	switch st := s.(type) {
+	case *ir.VarDecl:
+		line := "var"
+		if st.DeclType != nil {
+			line = j.typ(st.DeclType)
+		}
+		w.line(line + " " + st.Name + " = " + w.expr(st.Init, j) + ";")
+	case *ir.Assign:
+		w.line(w.expr(st, j) + ";")
+	case ir.Expr:
+		switch st.(type) {
+		case *ir.Call, *ir.New:
+			w.line(w.expr(st, j) + ";")
+		default:
+			j.tmpN++
+			w.linef("var tmp%d = %s;", j.tmpN, w.expr(st, j))
+		}
+	}
+}
+
+// ----- expression rendering -----
+
+func (j *Java) renderNew(w *writer, n *ir.New) string {
+	name := n.Class.Name()
+	if _, param := n.Class.(*types.Constructor); param {
+		if n.TypeArgs == nil {
+			name += "<>" // diamond
+		} else {
+			parts := make([]string, len(n.TypeArgs))
+			for i, a := range n.TypeArgs {
+				parts[i] = j.typ(a)
+			}
+			name += "<" + strings.Join(parts, ", ") + ">"
+		}
+	}
+	args := make([]string, len(n.Args))
+	for i, a := range n.Args {
+		args[i] = w.expr(a, j)
+	}
+	return "new " + name + "(" + strings.Join(args, ", ") + ")"
+}
+
+func (j *Java) renderCall(w *writer, c *ir.Call) string {
+	args := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = w.expr(a, j)
+	}
+	argList := "(" + strings.Join(args, ", ") + ")"
+
+	targs := ""
+	if len(c.TypeArgs) > 0 {
+		parts := make([]string, len(c.TypeArgs))
+		for i, a := range c.TypeArgs {
+			parts[i] = j.typ(a)
+		}
+		targs = "<" + strings.Join(parts, ", ") + ">"
+	}
+	if c.Recv != nil {
+		recv := w.expr(c.Recv, j)
+		if targs != "" {
+			return recv + "." + targs + c.Name + argList
+		}
+		return recv + "." + c.Name + argList
+	}
+	if !j.callable[c.Name] {
+		// Invocation of a function-typed variable.
+		switch len(c.Args) {
+		case 0:
+			return c.Name + ".get()"
+		default:
+			return c.Name + ".apply" + argList
+		}
+	}
+	if targs != "" {
+		// Unqualified generic calls need explicit qualification in Java.
+		return "Globals." + targs + c.Name + argList
+	}
+	return c.Name + argList
+}
+
+func (j *Java) renderLambda(w *writer, l *ir.Lambda) string {
+	params := make([]string, len(l.Params))
+	for i, p := range l.Params {
+		if p.Type != nil {
+			params[i] = j.typ(p.Type) + " " + p.Name
+		} else {
+			params[i] = p.Name
+		}
+	}
+	return "(" + strings.Join(params, ", ") + ") -> " + w.expr(l.Body, j)
+}
+
+// renderBlock lowers an expression-position block into an
+// immediately-invoked Supplier lambda, typed by the checker's recorded
+// type for the block.
+func (j *Java) renderBlock(w *writer, b *ir.Block) string {
+	blockType := "Object"
+	if t := j.exprTypes[b]; t != nil {
+		blockType = j.typ(t)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "((java.util.function.Supplier<%s>) () -> {\n", blockType)
+	w.indent++
+	inner := &writer{typeFn: j.typ, constFn: j.constant, indent: w.indent}
+	for _, s := range b.Stmts {
+		j.statement(inner, s)
+	}
+	if b.Value != nil {
+		inner.line("return " + inner.expr(b.Value, j) + ";")
+	} else {
+		inner.line("return null;")
+	}
+	sb.WriteString(inner.String())
+	w.indent--
+	sb.WriteString(strings.Repeat("    ", w.indent) + "}).get()")
+	return sb.String()
+}
+
+func (j *Java) renderIf(w *writer, e *ir.If) string {
+	return "(" + w.expr(e.Cond, j) + " ? " + w.expr(e.Then, j) + " : " + w.expr(e.Else, j) + ")"
+}
+
+func (j *Java) renderCast(w *writer, c *ir.Cast) string {
+	return "((" + j.typ(c.Target) + ") " + w.expr(c.Expr, j) + ")"
+}
+
+func (j *Java) renderIs(w *writer, c *ir.Is) string {
+	// instanceof requires a reifiable type: use the raw class name.
+	return "(" + w.expr(c.Expr, j) + " instanceof " + c.Target.Name() + ")"
+}
+
+func (j *Java) renderMethodRef(w *writer, m *ir.MethodRef) string {
+	return w.expr(m.Recv, j) + "::" + m.Method
+}

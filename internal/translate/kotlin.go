@@ -1,0 +1,321 @@
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+// Kotlin renders IR programs as Kotlin source. Kotlin is the IR's closest
+// relative: primary constructors, val/var with inference, expression-body
+// functions, declaration-site variance, and trailing-lambda syntax all map
+// one to one.
+type Kotlin struct{}
+
+// NewKotlin returns the Kotlin translator.
+func NewKotlin() *Kotlin { return &Kotlin{} }
+
+func (*Kotlin) Name() string    { return "kotlin" }
+func (*Kotlin) FileExt() string { return ".kt" }
+
+// Translate renders p as a Kotlin file.
+func (k *Kotlin) Translate(p *ir.Program) string {
+	w := &writer{typeFn: k.typ, constFn: k.constant}
+	if p.Package != "" {
+		w.linef("package %s", p.Package)
+		w.blank()
+	}
+	for i, d := range p.Decls {
+		if i > 0 {
+			w.blank()
+		}
+		switch t := d.(type) {
+		case *ir.ClassDecl:
+			k.class(w, t)
+		case *ir.FuncDecl:
+			k.fun(w, t, false)
+		case *ir.VarDecl:
+			k.varDecl(w, t)
+		}
+	}
+	return w.String()
+}
+
+func (k *Kotlin) typ(t types.Type) string {
+	switch tt := t.(type) {
+	case types.Top:
+		return "Any?"
+	case types.Bottom:
+		return "Nothing?"
+	case *types.Simple:
+		return tt.TypeName
+	case *types.Parameter:
+		return tt.ParamName
+	case *types.Constructor:
+		return tt.TypeName
+	case *types.App:
+		parts := make([]string, len(tt.Args))
+		for i, a := range tt.Args {
+			parts[i] = k.typ(a)
+		}
+		return tt.Ctor.TypeName + "<" + strings.Join(parts, ", ") + ">"
+	case *types.Projection:
+		if tt.Var == types.Covariant {
+			return "out " + k.typ(tt.Bound)
+		}
+		return "in " + k.typ(tt.Bound)
+	case *types.Func:
+		parts := make([]string, len(tt.Params))
+		for i, a := range tt.Params {
+			parts[i] = k.typ(a)
+		}
+		return "(" + strings.Join(parts, ", ") + ") -> " + k.typ(tt.Ret)
+	case *types.Intersection:
+		// Kotlin has no denotable intersections; approximate by the
+		// first member (compilers only form them internally).
+		if len(tt.Members) > 0 {
+			return k.typ(tt.Members[0])
+		}
+		return "Any?"
+	}
+	return "Any?"
+}
+
+func (k *Kotlin) constant(t types.Type) string {
+	if s, ok := t.(*types.Simple); ok && s.Builtin {
+		switch s.TypeName {
+		case "Byte":
+			return "1.toByte()"
+		case "Short":
+			return "1.toShort()"
+		case "Int":
+			return "1"
+		case "Long":
+			return "1L"
+		case "Float":
+			return "1.0f"
+		case "Double":
+			return "1.0"
+		case "Boolean":
+			return "true"
+		case "Char":
+			return "'c'"
+		case "String":
+			return "\"s\""
+		case "Unit":
+			return "Unit"
+		case "Number":
+			return "1 as Number"
+		}
+	}
+	if _, ok := t.(types.Bottom); ok {
+		return "null"
+	}
+	// val(t) for reference types: a cast null expression (Section 3.2).
+	return "(null as " + k.typ(t) + ")"
+}
+
+func (k *Kotlin) typeParams(ps []*types.Parameter) string {
+	if len(ps) == 0 {
+		return ""
+	}
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		s := p.ParamName
+		if p.Var == types.Covariant {
+			s = "out " + s
+		} else if p.Var == types.Contravariant {
+			s = "in " + s
+		}
+		if p.Bound != nil {
+			s += " : " + k.typ(p.Bound)
+		}
+		parts[i] = s
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+func (k *Kotlin) class(w *writer, c *ir.ClassDecl) {
+	head := ""
+	switch c.Kind {
+	case ir.InterfaceClass:
+		head = "interface "
+	case ir.AbstractClass:
+		head = "abstract class "
+	default:
+		if c.Open {
+			head = "open class "
+		} else {
+			head = "class "
+		}
+	}
+	line := head + c.Name + k.typeParams(c.TypeParams)
+	if len(c.Fields) > 0 && c.Kind == ir.RegularClass {
+		parts := make([]string, len(c.Fields))
+		for i, f := range c.Fields {
+			kw := "val"
+			if f.Mutable {
+				kw = "var"
+			}
+			parts[i] = fmt.Sprintf("%s %s: %s", kw, f.Name, k.typ(f.Type))
+		}
+		line += "(" + strings.Join(parts, ", ") + ")"
+	}
+	if c.Super != nil {
+		line += " : " + k.typ(c.Super.Type)
+		if c.Kind == ir.RegularClass {
+			args := make([]string, len(c.Super.Args))
+			for i, a := range c.Super.Args {
+				args[i] = w.expr(a, k)
+			}
+			line += "(" + strings.Join(args, ", ") + ")"
+		}
+	}
+	if len(c.Methods) == 0 {
+		w.line(line)
+		return
+	}
+	w.line(line + " {")
+	w.indent++
+	for i, m := range c.Methods {
+		if i > 0 {
+			w.blank()
+		}
+		k.fun(w, m, c.Kind != ir.RegularClass)
+	}
+	w.indent--
+	w.line("}")
+}
+
+func (k *Kotlin) fun(w *writer, f *ir.FuncDecl, inOpenKind bool) {
+	head := "fun "
+	if f.Override {
+		head = "override fun "
+	} else if inOpenKind && f.Body != nil {
+		head = "fun "
+	}
+	if tp := k.typeParams(f.TypeParams); tp != "" {
+		head += tp + " "
+	}
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = p.Name + ": " + k.typ(p.Type)
+	}
+	head += f.Name + "(" + strings.Join(params, ", ") + ")"
+	if f.Ret != nil {
+		head += ": " + k.typ(f.Ret)
+	}
+	if f.Body == nil {
+		w.line(head)
+		return
+	}
+	w.line(head + " = " + w.expr(f.Body, k))
+}
+
+func (k *Kotlin) varDecl(w *writer, v *ir.VarDecl) {
+	kw := "val"
+	if v.Mutable {
+		kw = "var"
+	}
+	line := kw + " " + v.Name
+	if v.DeclType != nil {
+		line += ": " + k.typ(v.DeclType)
+	}
+	if v.Init != nil {
+		line += " = " + w.expr(v.Init, k)
+	}
+	w.line(line)
+}
+
+// ----- expression rendering (languageExpr interface) -----
+
+func (k *Kotlin) renderNew(w *writer, n *ir.New) string {
+	name := n.Class.Name()
+	if _, param := n.Class.(*types.Constructor); param && n.TypeArgs != nil {
+		parts := make([]string, len(n.TypeArgs))
+		for i, a := range n.TypeArgs {
+			parts[i] = k.typ(a)
+		}
+		name += "<" + strings.Join(parts, ", ") + ">"
+	}
+	args := make([]string, len(n.Args))
+	for i, a := range n.Args {
+		args[i] = w.expr(a, k)
+	}
+	return name + "(" + strings.Join(args, ", ") + ")"
+}
+
+func (k *Kotlin) renderCall(w *writer, c *ir.Call) string {
+	s := ""
+	if c.Recv != nil {
+		s = w.expr(c.Recv, k) + "."
+	}
+	s += c.Name
+	if len(c.TypeArgs) > 0 {
+		parts := make([]string, len(c.TypeArgs))
+		for i, a := range c.TypeArgs {
+			parts[i] = k.typ(a)
+		}
+		s += "<" + strings.Join(parts, ", ") + ">"
+	}
+	args := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = w.expr(a, k)
+	}
+	return s + "(" + strings.Join(args, ", ") + ")"
+}
+
+func (k *Kotlin) renderLambda(w *writer, l *ir.Lambda) string {
+	params := make([]string, len(l.Params))
+	for i, p := range l.Params {
+		params[i] = p.Name
+		if p.Type != nil {
+			params[i] += ": " + k.typ(p.Type)
+		}
+	}
+	body := w.expr(l.Body, k)
+	if len(params) == 0 {
+		return "{ " + body + " }"
+	}
+	return "{ " + strings.Join(params, ", ") + " -> " + body + " }"
+}
+
+func (k *Kotlin) renderBlock(w *writer, b *ir.Block) string {
+	var sb strings.Builder
+	sb.WriteString("run {\n")
+	w.indent++
+	for _, s := range b.Stmts {
+		switch st := s.(type) {
+		case *ir.VarDecl:
+			inner := &writer{typeFn: k.typ, constFn: k.constant, indent: w.indent}
+			k.varDecl(inner, st)
+			sb.WriteString(inner.String())
+		case ir.Expr:
+			sb.WriteString(strings.Repeat("    ", w.indent) + w.expr(st, k) + "\n")
+		}
+	}
+	if b.Value != nil {
+		sb.WriteString(strings.Repeat("    ", w.indent) + w.expr(b.Value, k) + "\n")
+	}
+	w.indent--
+	sb.WriteString(strings.Repeat("    ", w.indent) + "}")
+	return sb.String()
+}
+
+func (k *Kotlin) renderIf(w *writer, e *ir.If) string {
+	return "if (" + w.expr(e.Cond, k) + ") " + w.expr(e.Then, k) + " else " + w.expr(e.Else, k)
+}
+
+func (k *Kotlin) renderCast(w *writer, c *ir.Cast) string {
+	return "(" + w.expr(c.Expr, k) + " as " + k.typ(c.Target) + ")"
+}
+
+func (k *Kotlin) renderIs(w *writer, c *ir.Is) string {
+	return "(" + w.expr(c.Expr, k) + " is " + k.typ(c.Target) + ")"
+}
+
+func (k *Kotlin) renderMethodRef(w *writer, m *ir.MethodRef) string {
+	return w.expr(m.Recv, k) + "::" + m.Method
+}

@@ -1,0 +1,395 @@
+package translate
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/generator"
+	"repro/internal/ir"
+	"repro/internal/mutation"
+	"repro/internal/types"
+)
+
+// figure6 builds the paper's Figure 6 program.
+func figure6() *ir.Program {
+	b := types.NewBuiltins()
+	aT := types.NewParameter("A", "T")
+	classA := &ir.ClassDecl{Name: "A", TypeParams: []*types.Parameter{aT}, Open: true}
+	ctorA := classA.Type().(*types.Constructor)
+	bT := types.NewParameter("B", "T")
+	classB := &ir.ClassDecl{
+		Name:       "B",
+		TypeParams: []*types.Parameter{bT},
+		Super:      &ir.SuperRef{Type: ctorA.Apply(bT)},
+		Fields:     []*ir.FieldDecl{{Name: "f", Type: ctorA.Apply(bT)}},
+	}
+	ctorB := classB.Type().(*types.Constructor)
+	m := &ir.FuncDecl{
+		Name: "m",
+		Ret:  ctorA.Apply(b.String),
+		Body: &ir.New{
+			Class:    ctorB,
+			TypeArgs: []types.Type{b.String},
+			Args:     []ir.Expr{&ir.New{Class: ctorA, TypeArgs: []types.Type{b.String}}},
+		},
+	}
+	return &ir.Program{Package: "fig6", Decls: []ir.Decl{classA, classB, m}}
+}
+
+func TestRegistry(t *testing.T) {
+	if len(All()) != 3 {
+		t.Fatalf("expected 3 translators, got %d", len(All()))
+	}
+	for _, name := range []string{"java", "kotlin", "groovy"} {
+		tr := ByName(name)
+		if tr == nil {
+			t.Fatalf("missing translator %s", name)
+		}
+		if tr.Name() != name {
+			t.Errorf("name mismatch: %s", tr.Name())
+		}
+		if !strings.HasPrefix(tr.FileExt(), ".") {
+			t.Errorf("bad extension %q", tr.FileExt())
+		}
+	}
+	if ByName("scala") != nil {
+		t.Error("unknown language must return nil")
+	}
+	if got := Names(); len(got) != 3 || got[0] != "groovy" || got[1] != "java" || got[2] != "kotlin" {
+		t.Errorf("Names() = %v", got)
+	}
+}
+
+func TestKotlinFigure6(t *testing.T) {
+	src := NewKotlin().Translate(figure6())
+	for _, want := range []string{
+		"package fig6",
+		"open class A<T>",
+		"class B<T>(val f: A<T>) : A<T>()",
+		"fun m(): A<String> = B<String>(A<String>())",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("kotlin output missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestJavaFigure6(t *testing.T) {
+	src := NewJava().Translate(figure6())
+	for _, want := range []string{
+		"package fig6;",
+		"class A<T> {",
+		"class B<T> extends A<T> {",
+		"A<T> f;",
+		"static A<String> m() {",
+		"return new B<String>(new A<String>());",
+		"class Globals {",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("java output missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestGroovyFigure6(t *testing.T) {
+	src := NewGroovy().Translate(figure6())
+	for _, want := range []string{
+		"package fig6",
+		"@groovy.transform.CompileStatic",
+		"class B<T> extends A<T> {",
+		"static A<String> m() {",
+		"return new B<String>(new A<String>())",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("groovy output missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestBuiltinTypeMapping(t *testing.T) {
+	b := types.NewBuiltins()
+	cases := []struct {
+		typ    types.Type
+		kotlin string
+		java   string
+		groovy string
+	}{
+		{b.Int, "Int", "Integer", "Integer"},
+		{b.Char, "Char", "Character", "Character"},
+		{b.String, "String", "String", "String"},
+		{types.Top{}, "Any?", "Object", "Object"},
+		{b.Unit, "Unit", "void", "void"},
+	}
+	k, j, g := NewKotlin(), NewJava(), NewGroovy()
+	for _, c := range cases {
+		if got := k.typ(c.typ); got != c.kotlin {
+			t.Errorf("kotlin %s = %q, want %q", c.typ, got, c.kotlin)
+		}
+		if got := j.typ(c.typ); got != c.java {
+			t.Errorf("java %s = %q, want %q", c.typ, got, c.java)
+		}
+		if got := g.typ(c.typ); got != c.groovy {
+			t.Errorf("groovy %s = %q, want %q", c.typ, got, c.groovy)
+		}
+	}
+}
+
+func TestProjectionMapping(t *testing.T) {
+	b := types.NewBuiltins()
+	p := &types.Projection{Var: types.Covariant, Bound: b.Number}
+	if got := NewKotlin().typ(p); got != "out Number" {
+		t.Errorf("kotlin projection = %q", got)
+	}
+	if got := NewJava().typ(p); got != "? extends Number" {
+		t.Errorf("java projection = %q", got)
+	}
+	in := &types.Projection{Var: types.Contravariant, Bound: b.Number}
+	if got := NewJava().typ(in); got != "? super Number" {
+		t.Errorf("java in-projection = %q", got)
+	}
+	if got := NewKotlin().typ(in); got != "in Number" {
+		t.Errorf("kotlin in-projection = %q", got)
+	}
+}
+
+func TestFunctionTypeMapping(t *testing.T) {
+	b := types.NewBuiltins()
+	f0 := &types.Func{Ret: b.String}
+	f1 := &types.Func{Params: []types.Type{b.Int}, Ret: b.String}
+	f2 := &types.Func{Params: []types.Type{b.Int, b.Long}, Ret: b.String}
+	j := NewJava()
+	if got := j.typ(f0); got != "java.util.function.Supplier<String>" {
+		t.Errorf("java f0 = %q", got)
+	}
+	if got := j.typ(f1); got != "java.util.function.Function<Integer, String>" {
+		t.Errorf("java f1 = %q", got)
+	}
+	if got := j.typ(f2); !strings.Contains(got, "BiFunction") {
+		t.Errorf("java f2 = %q", got)
+	}
+	if got := NewKotlin().typ(f1); got != "(Int) -> String" {
+		t.Errorf("kotlin f1 = %q", got)
+	}
+	if got := NewGroovy().typ(f1); got != "groovy.lang.Closure<String>" {
+		t.Errorf("groovy f1 = %q", got)
+	}
+}
+
+func TestDiamondRendering(t *testing.T) {
+	p := figure6()
+	m := p.Functions()[0]
+	m.Body.(*ir.New).TypeArgs = nil // erase to diamond
+	java := NewJava().Translate(p)
+	if !strings.Contains(java, "new B<>(") {
+		t.Errorf("java should render the diamond:\n%s", java)
+	}
+	kotlin := NewKotlin().Translate(p)
+	if !strings.Contains(kotlin, "B(A<String>())") {
+		t.Errorf("kotlin omits type arguments entirely:\n%s", kotlin)
+	}
+	groovy := NewGroovy().Translate(p)
+	if !strings.Contains(groovy, "new B<>(") {
+		t.Errorf("groovy should render the diamond:\n%s", groovy)
+	}
+}
+
+func balanced(s string, open, close rune) bool {
+	depth := 0
+	for _, r := range s {
+		switch r {
+		case open:
+			depth++
+		case close:
+			depth--
+			if depth < 0 {
+				return false
+			}
+		}
+	}
+	return depth == 0
+}
+
+// TestGeneratedProgramsTranslate exercises all three translators on many
+// generated programs: output must be non-empty, structurally balanced,
+// deterministic, and free of "unsupported" placeholders.
+func TestGeneratedProgramsTranslate(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		g := generator.New(generator.DefaultConfig().WithSeed(seed))
+		p := g.Generate()
+		p.Package = "batch"
+		for _, tr := range All() {
+			src := tr.Translate(p)
+			if len(src) < 50 {
+				t.Fatalf("seed %d %s: suspiciously short output", seed, tr.Name())
+			}
+			if strings.Contains(src, "/* unsupported */") {
+				t.Errorf("seed %d %s: unsupported construct:\n%s", seed, tr.Name(), src)
+			}
+			if !balanced(src, '{', '}') {
+				t.Errorf("seed %d %s: unbalanced braces", seed, tr.Name())
+			}
+			if !balanced(src, '(', ')') {
+				t.Errorf("seed %d %s: unbalanced parentheses", seed, tr.Name())
+			}
+			if src != tr.Translate(p) {
+				t.Errorf("seed %d %s: non-deterministic output", seed, tr.Name())
+			}
+		}
+	}
+}
+
+func TestLambdaRendering(t *testing.T) {
+	b := types.NewBuiltins()
+	ft := &types.Func{Params: []types.Type{b.Int}, Ret: b.String}
+	f := &ir.FuncDecl{
+		Name: "mk",
+		Ret:  ft,
+		Body: &ir.Lambda{
+			Params: []*ir.ParamDecl{{Name: "x", Type: b.Int}},
+			Body:   &ir.Const{Type: b.String},
+		},
+	}
+	p := &ir.Program{Decls: []ir.Decl{f}}
+	kotlin := NewKotlin().Translate(p)
+	if !strings.Contains(kotlin, "{ x: Int -> \"s\" }") {
+		t.Errorf("kotlin lambda:\n%s", kotlin)
+	}
+	java := NewJava().Translate(p)
+	if !strings.Contains(java, "(Integer x) -> \"s\"") {
+		t.Errorf("java lambda:\n%s", java)
+	}
+	groovy := NewGroovy().Translate(p)
+	if !strings.Contains(groovy, "{ Integer x -> \"s\" }") {
+		t.Errorf("groovy lambda:\n%s", groovy)
+	}
+}
+
+func TestMethodRefRendering(t *testing.T) {
+	b := types.NewBuiltins()
+	cls := &ir.ClassDecl{Name: "S", Methods: []*ir.FuncDecl{{
+		Name: "len", Params: []*ir.ParamDecl{{Name: "s", Type: b.String}},
+		Ret: b.Int, Body: &ir.Const{Type: b.Int},
+	}}}
+	f := &ir.FuncDecl{
+		Name: "mk",
+		Ret:  &types.Func{Params: []types.Type{b.String}, Ret: b.Int},
+		Body: &ir.MethodRef{Recv: &ir.New{Class: cls.Type()}, Method: "len"},
+	}
+	p := &ir.Program{Decls: []ir.Decl{cls, f}}
+	if src := NewKotlin().Translate(p); !strings.Contains(src, "S()::len") {
+		t.Errorf("kotlin method ref:\n%s", src)
+	}
+	if src := NewJava().Translate(p); !strings.Contains(src, "new S()::len") {
+		t.Errorf("java method ref:\n%s", src)
+	}
+	if src := NewGroovy().Translate(p); !strings.Contains(src, "new S().&len") {
+		t.Errorf("groovy method ref:\n%s", src)
+	}
+}
+
+func TestCastAndIsRendering(t *testing.T) {
+	b := types.NewBuiltins()
+	f := &ir.FuncDecl{
+		Name: "f",
+		Ret:  b.Boolean,
+		Body: &ir.Is{
+			Expr:   &ir.Cast{Expr: &ir.Const{Type: b.Int}, Target: types.Top{}},
+			Target: b.String,
+		},
+	}
+	p := &ir.Program{Decls: []ir.Decl{f}}
+	if src := NewKotlin().Translate(p); !strings.Contains(src, "as Any?") || !strings.Contains(src, "is String") {
+		t.Errorf("kotlin cast/is:\n%s", src)
+	}
+	if src := NewJava().Translate(p); !strings.Contains(src, "(Object) 1") || !strings.Contains(src, "instanceof String") {
+		t.Errorf("java cast/is:\n%s", src)
+	}
+	if src := NewGroovy().Translate(p); !strings.Contains(src, "as Object") || !strings.Contains(src, "instanceof String") {
+		t.Errorf("groovy cast/is:\n%s", src)
+	}
+}
+
+func TestFileName(t *testing.T) {
+	p := figure6()
+	if got := FileName(NewKotlin(), p); got != "fig6.kt" {
+		t.Errorf("FileName = %q", got)
+	}
+	p.Package = ""
+	if got := FileName(NewJava(), p); got != "Main.java" {
+		t.Errorf("FileName = %q", got)
+	}
+}
+
+func TestJavaBlockLowering(t *testing.T) {
+	b := types.NewBuiltins()
+	// fun f(): Int = { val x: Int = 1; x } — the block must become an
+	// immediately-invoked Supplier in expression positions, or plain
+	// statements at body level.
+	f := &ir.FuncDecl{Name: "f", Ret: b.Int, Body: &ir.Block{
+		Stmts: []ir.Node{&ir.VarDecl{Name: "x", DeclType: b.Int, Init: &ir.Const{Type: b.Int}}},
+		Value: &ir.VarRef{Name: "x"},
+	}}
+	p := &ir.Program{Decls: []ir.Decl{f}}
+	src := NewJava().Translate(p)
+	if !strings.Contains(src, "Integer x = 1;") || !strings.Contains(src, "return x;") {
+		t.Errorf("java body-level block should lower to statements:\n%s", src)
+	}
+
+	// Nested block in an argument position becomes a Supplier IIFE.
+	g := &ir.FuncDecl{Name: "g", Ret: b.Int, Body: &ir.If{
+		Cond: &ir.Const{Type: b.Boolean},
+		Then: &ir.Block{Value: &ir.Const{Type: b.Int}},
+		Else: &ir.Const{Type: b.Int},
+	}}
+	p2 := &ir.Program{Decls: []ir.Decl{g}}
+	src2 := NewJava().Translate(p2)
+	if !strings.Contains(src2, "java.util.function.Supplier<Integer>") || !strings.Contains(src2, ".get()") {
+		t.Errorf("java nested block should become a Supplier IIFE:\n%s", src2)
+	}
+}
+
+// TestMutantsTranslate renders TEM/TOM mutants (with diamonds and
+// inferred declarations) in all three languages.
+func TestMutantsTranslate(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		g := generator.New(generator.DefaultConfig().WithSeed(seed))
+		p := g.Generate()
+		tem, rep := mutation.TypeErasure(p, g.Builtins())
+		if !rep.Changed() {
+			continue
+		}
+		for _, tr := range All() {
+			src := tr.Translate(tem)
+			if !balanced(src, '{', '}') || !balanced(src, '(', ')') {
+				t.Fatalf("seed %d %s: unbalanced mutant translation", seed, tr.Name())
+			}
+			if strings.Contains(src, "/* unsupported */") {
+				t.Errorf("seed %d %s: unsupported construct in mutant", seed, tr.Name())
+			}
+		}
+		// Kotlin renders erased declarations without annotations.
+		kt := NewKotlin().Translate(tem)
+		if strings.Contains(kt, "<>") {
+			t.Errorf("seed %d: kotlin output must not contain Java diamonds:\n", seed)
+		}
+	}
+}
+
+// TestOverloadedMethodsTranslate: REM mutants carry overloads; all
+// languages support them syntactically.
+func TestOverloadedMethodsTranslate(t *testing.T) {
+	b := types.NewBuiltins()
+	cls := &ir.ClassDecl{Name: "C", Methods: []*ir.FuncDecl{
+		{Name: "m", Params: []*ir.ParamDecl{{Name: "x", Type: b.Int}},
+			Ret: b.Int, Body: &ir.Const{Type: b.Int}},
+		{Name: "m", Params: []*ir.ParamDecl{{Name: "x", Type: b.Int}, {Name: "y", Type: b.Int}},
+			Ret: b.Int, Body: &ir.Const{Type: b.Int}},
+	}}
+	p := &ir.Program{Decls: []ir.Decl{cls}}
+	for _, tr := range All() {
+		src := tr.Translate(p)
+		if strings.Count(src, "m(") < 2 {
+			t.Errorf("%s: both overloads should render:\n%s", tr.Name(), src)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Package translate converts IR programs into concrete Java, Kotlin, and
+// Groovy source files (Section 3.6: "language-aware translators then
+// convert a program written in the IR into a corresponding source file").
+//
+// Each translator maps the IR's neutral builtin names onto the language's
+// spelling (Int → int/Integer in Java, Int in Kotlin, Integer in Groovy),
+// renders parametric polymorphism in the language's generics syntax
+// (bounded parameters, declaration-site variance where supported, use-site
+// wildcards), and chooses the idiomatic form for omitted types (Java var
+// and diamonds, Kotlin type inference, Groovy def).
+//
+// Translated programs begin with a package/annotation header so that
+// batched compilation does not produce conflicting declarations
+// (Section 3.5).
+package translate
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ir"
+)
+
+// Translator renders an IR program as a compilable source file of one
+// target language.
+type Translator interface {
+	// Name is the language name ("java", "kotlin", "groovy").
+	Name() string
+	// FileExt is the source-file extension including the dot.
+	FileExt() string
+	// Translate renders the program.
+	Translate(p *ir.Program) string
+}
+
+// All returns the available translators in a fixed order.
+func All() []Translator {
+	return []Translator{NewKotlin(), NewJava(), NewGroovy()}
+}
+
+// ByName returns the translator for a language, or nil.
+func ByName(name string) Translator {
+	for _, t := range All() {
+		if t.Name() == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// Names lists the supported language names, sorted.
+func Names() []string {
+	var out []string
+	for _, t := range All() {
+		out = append(out, t.Name())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FileName produces the conventional file name for a translated program.
+func FileName(t Translator, p *ir.Program) string {
+	base := p.Package
+	if base == "" {
+		base = "Main"
+	}
+	return fmt.Sprintf("%s%s", base, t.FileExt())
+}

@@ -1,0 +1,78 @@
+package translate
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+// language is the per-language expression renderer; forms whose syntax
+// coincides across the targets (variables, field accesses, binary
+// operators, assignments) are rendered by the shared writer.
+type language interface {
+	renderNew(w *writer, n *ir.New) string
+	renderCall(w *writer, c *ir.Call) string
+	renderLambda(w *writer, l *ir.Lambda) string
+	renderBlock(w *writer, b *ir.Block) string
+	renderIf(w *writer, e *ir.If) string
+	renderCast(w *writer, c *ir.Cast) string
+	renderIs(w *writer, c *ir.Is) string
+	renderMethodRef(w *writer, m *ir.MethodRef) string
+}
+
+// writer accumulates indented source lines.
+type writer struct {
+	sb      strings.Builder
+	indent  int
+	typeFn  func(types.Type) string
+	constFn func(types.Type) string
+}
+
+func (w *writer) String() string { return w.sb.String() }
+
+func (w *writer) line(s string) {
+	w.sb.WriteString(strings.Repeat("    ", w.indent))
+	w.sb.WriteString(s)
+	w.sb.WriteString("\n")
+}
+
+func (w *writer) linef(format string, args ...any) {
+	w.line(fmt.Sprintf(format, args...))
+}
+
+func (w *writer) blank() { w.sb.WriteString("\n") }
+
+// expr renders an expression, delegating language-specific forms.
+func (w *writer) expr(e ir.Expr, lang language) string {
+	switch t := e.(type) {
+	case *ir.Const:
+		return w.constFn(t.Type)
+	case *ir.VarRef:
+		return t.Name
+	case *ir.FieldAccess:
+		return w.expr(t.Recv, lang) + "." + t.Field
+	case *ir.BinaryOp:
+		return "(" + w.expr(t.Left, lang) + " " + t.Op + " " + w.expr(t.Right, lang) + ")"
+	case *ir.Assign:
+		return w.expr(t.Target, lang) + " = " + w.expr(t.Value, lang)
+	case *ir.New:
+		return lang.renderNew(w, t)
+	case *ir.Call:
+		return lang.renderCall(w, t)
+	case *ir.Lambda:
+		return lang.renderLambda(w, t)
+	case *ir.Block:
+		return lang.renderBlock(w, t)
+	case *ir.If:
+		return lang.renderIf(w, t)
+	case *ir.Cast:
+		return lang.renderCast(w, t)
+	case *ir.Is:
+		return lang.renderIs(w, t)
+	case *ir.MethodRef:
+		return lang.renderMethodRef(w, t)
+	}
+	return "/* unsupported */"
+}

@@ -1,0 +1,12 @@
+package typegraph
+
+import (
+	"repro/internal/generator"
+	"repro/internal/ir"
+)
+
+// genProgram produces a deterministic generated program for invariant
+// tests.
+func genProgram(seed int64) *ir.Program {
+	return generator.New(generator.DefaultConfig().WithSeed(seed)).Generate()
+}

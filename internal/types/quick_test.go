@@ -1,0 +1,262 @@
+package types
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// typeGen generates random types over a small fixed universe for
+// property-based testing: builtins, two hierarchy-related constructors,
+// type parameters (bounded and unbounded), projections, and function
+// types, nested up to a bounded depth.
+type typeGen struct {
+	b     *Builtins
+	ctorA *Constructor
+	ctorB *Constructor
+	tps   []*Parameter
+}
+
+func newTypeGen() *typeGen {
+	b := NewBuiltins()
+	aT := NewParameter("A", "T")
+	ctorA := NewConstructor("A", []*Parameter{aT}, nil)
+	bT := NewParameter("B", "T")
+	ctorB := NewConstructor("B", []*Parameter{bT}, ctorA.Apply(bT))
+	return &typeGen{
+		b:     b,
+		ctorA: ctorA,
+		ctorB: ctorB,
+		tps: []*Parameter{
+			NewParameter("m", "X"),
+			{Owner: "m", ParamName: "Y", Bound: b.Number},
+		},
+	}
+}
+
+func (g *typeGen) random(r *rand.Rand, depth int) Type {
+	if depth <= 0 {
+		ground := append([]Type{Top{}, Bottom{}}, g.b.All()...)
+		return ground[r.Intn(len(ground))]
+	}
+	switch r.Intn(8) {
+	case 0:
+		return g.ctorA.Apply(g.random(r, depth-1))
+	case 1:
+		return g.ctorB.Apply(g.random(r, depth-1))
+	case 2:
+		return g.tps[r.Intn(len(g.tps))]
+	case 3:
+		inner := g.random(r, depth-1)
+		if _, isProj := inner.(*Projection); isProj {
+			return inner
+		}
+		v := Covariant
+		if r.Intn(2) == 0 {
+			v = Contravariant
+		}
+		return g.ctorA.Apply(&Projection{Var: v, Bound: inner})
+	case 4:
+		n := r.Intn(3)
+		f := &Func{Ret: g.random(r, depth-1)}
+		for i := 0; i < n; i++ {
+			f.Params = append(f.Params, g.random(r, depth-1))
+		}
+		return f
+	default:
+		ground := append([]Type{Top{}}, g.b.All()...)
+		return ground[r.Intn(len(ground))]
+	}
+}
+
+// randomTriple satisfies quick.Generator-style use via Values.
+func tripleValues(g *typeGen) func([]reflect.Value, *rand.Rand) {
+	return func(vs []reflect.Value, r *rand.Rand) {
+		for i := range vs {
+			vs[i] = reflect.ValueOf(g.random(r, 3))
+		}
+	}
+}
+
+func TestQuickSubtypingReflexive(t *testing.T) {
+	g := newTypeGen()
+	f := func(a Type) bool {
+		if _, isProj := a.(*Projection); isProj {
+			return true // projections are not first-class types
+		}
+		return IsSubtype(a, a)
+	}
+	cfg := &quick.Config{Values: tripleValues(g), MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubtypingExtremes(t *testing.T) {
+	g := newTypeGen()
+	f := func(a Type) bool {
+		if _, isProj := a.(*Projection); isProj {
+			return true
+		}
+		return IsSubtype(a, Top{}) && IsSubtype(Bottom{}, a)
+	}
+	cfg := &quick.Config{Values: tripleValues(g), MaxCount: 500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSubtypingTransitive(t *testing.T) {
+	g := newTypeGen()
+	f := func(a, b, c Type) bool {
+		for _, x := range []Type{a, b, c} {
+			if _, isProj := x.(*Projection); isProj {
+				return true
+			}
+		}
+		if IsSubtype(a, b) && IsSubtype(b, c) {
+			return IsSubtype(a, c)
+		}
+		return true
+	}
+	cfg := &quick.Config{Values: tripleValues(g), MaxCount: 2000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Lub is an upper bound of both operands.
+func TestQuickLubIsUpperBound(t *testing.T) {
+	g := newTypeGen()
+	f := func(a, b Type) bool {
+		for _, x := range []Type{a, b} {
+			if _, isProj := x.(*Projection); isProj {
+				return true
+			}
+		}
+		j := Lub(a, b)
+		return IsSubtype(a, j) && IsSubtype(b, j)
+	}
+	cfg := &quick.Config{Values: tripleValues(g), MaxCount: 1500}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Lub is commutative and idempotent.
+func TestQuickLubLaws(t *testing.T) {
+	g := newTypeGen()
+	f := func(a, b Type) bool {
+		for _, x := range []Type{a, b} {
+			if _, isProj := x.(*Projection); isProj {
+				return true
+			}
+		}
+		if !Lub(a, a).Equal(a) {
+			return false
+		}
+		return Lub(a, b).Equal(Lub(b, a))
+	}
+	cfg := &quick.Config{Values: tripleValues(g), MaxCount: 1000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Substitution is the identity on types not mentioning the parameter.
+func TestQuickSubstitutionIdentity(t *testing.T) {
+	g := newTypeGen()
+	ghost := NewParameter("ghost", "Z")
+	f := func(a Type) bool {
+		s := NewSubstitution()
+		s.Bind(ghost, g.b.Int)
+		return s.Apply(a).Equal(a)
+	}
+	cfg := &quick.Config{Values: tripleValues(g), MaxCount: 800}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Applying [α ↦ t] removes α from the free parameters.
+func TestQuickSubstitutionEliminates(t *testing.T) {
+	g := newTypeGen()
+	f := func(a Type) bool {
+		for _, p := range g.tps {
+			s := NewSubstitution()
+			s.Bind(p, g.b.String)
+			if ContainsParameter(s.Apply(a), p) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{Values: tripleValues(g), MaxCount: 800}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Unification soundness: when Unify(t1, t2) succeeds on projection-free
+// inputs whose free parameters all got bound, the sides are
+// subtype-related (σ·t1 <: t2 for resolution use, or t2 <: σ·t1 for
+// argument-driven inference use; see groundVerified).
+func TestQuickUnifySound(t *testing.T) {
+	g := newTypeGen()
+	hasProj := func(t Type) bool {
+		found := false
+		var walk func(Type)
+		walk = func(t Type) {
+			switch tt := t.(type) {
+			case *Projection:
+				found = true
+			case *App:
+				for _, a := range tt.Args {
+					walk(a)
+				}
+			case *Func:
+				for _, a := range tt.Params {
+					walk(a)
+				}
+				walk(tt.Ret)
+			}
+		}
+		walk(t)
+		return found
+	}
+	f := func(t1, t2 Type) bool {
+		if hasProj(t1) || hasProj(t2) || len(FreeParameters(t2)) > 0 {
+			return true
+		}
+		sigma := Unify(t1, t2)
+		if sigma == nil {
+			return true
+		}
+		inst := sigma.Apply(t1)
+		if len(FreeParameters(inst)) > 0 {
+			return true // partially bound: callers re-check
+		}
+		return IsSubtype(inst, t2) || IsSubtype(t2, inst)
+	}
+	cfg := &quick.Config{Values: tripleValues(g), MaxCount: 3000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// String rendering is stable and Equal is consistent with it on this
+// universe (no two distinct types render identically).
+func TestQuickEqualConsistentWithString(t *testing.T) {
+	g := newTypeGen()
+	f := func(a, b Type) bool {
+		if a.Equal(b) != (a.String() == b.String()) {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{Values: tripleValues(g), MaxCount: 2000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

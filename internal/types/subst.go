@@ -1,0 +1,157 @@
+package types
+
+import (
+	"sort"
+	"strings"
+)
+
+// Substitution is a finite map [α ↦ t] from type parameters to types
+// (Definition 3.1). Keys are parameter IDs; Params retains the *Parameter
+// for each key so substitutions can be enumerated.
+type Substitution struct {
+	bindings map[string]Type
+	params   map[string]*Parameter
+}
+
+// NewSubstitution returns an empty substitution.
+func NewSubstitution() *Substitution {
+	return &Substitution{
+		bindings: map[string]Type{},
+		params:   map[string]*Parameter{},
+	}
+}
+
+// Bind records [p ↦ t]. Rebinding the same parameter to an equal type is a
+// no-op; rebinding to a different type overwrites (callers that need
+// conflict detection use Merge).
+func (s *Substitution) Bind(p *Parameter, t Type) {
+	s.bindings[p.ID()] = t
+	s.params[p.ID()] = p
+}
+
+// Lookup returns the binding for p, if any.
+func (s *Substitution) Lookup(p *Parameter) (Type, bool) {
+	t, ok := s.bindings[p.ID()]
+	return t, ok
+}
+
+// Len returns the number of bound parameters.
+func (s *Substitution) Len() int { return len(s.bindings) }
+
+// IsEmpty reports whether no parameter is bound.
+func (s *Substitution) IsEmpty() bool { return len(s.bindings) == 0 }
+
+// Domain returns the bound parameters in deterministic (ID-sorted) order.
+func (s *Substitution) Domain() []*Parameter {
+	ids := make([]string, 0, len(s.params))
+	for id := range s.params {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]*Parameter, len(ids))
+	for i, id := range ids {
+		out[i] = s.params[id]
+	}
+	return out
+}
+
+// Clone returns an independent copy of the substitution.
+func (s *Substitution) Clone() *Substitution {
+	c := NewSubstitution()
+	for id, t := range s.bindings {
+		c.bindings[id] = t
+		c.params[id] = s.params[id]
+	}
+	return c
+}
+
+// Merge combines s with other, returning false on a conflicting binding
+// (the same parameter bound to unequal types).
+func (s *Substitution) Merge(other *Substitution) bool {
+	if other == nil {
+		return true
+	}
+	for id, t := range other.bindings {
+		if prev, ok := s.bindings[id]; ok && !prev.Equal(t) {
+			return false
+		}
+		s.bindings[id] = t
+		s.params[id] = other.params[id]
+	}
+	return true
+}
+
+// Apply performs the substitution on t, replacing every occurrence of a
+// bound type parameter (Definition 3.1). Unbound parameters are left
+// intact. Application recurses through applications, projections, function
+// types, intersections, and parameter bounds.
+func (s *Substitution) Apply(t Type) Type {
+	if t == nil || s == nil || len(s.bindings) == 0 {
+		return t
+	}
+	switch tt := t.(type) {
+	case *Parameter:
+		if bound, ok := s.bindings[tt.ID()]; ok {
+			return bound
+		}
+		return tt
+	case *App:
+		args := make([]Type, len(tt.Args))
+		changed := false
+		for i, a := range tt.Args {
+			args[i] = s.Apply(a)
+			if args[i] != tt.Args[i] {
+				changed = true
+			}
+		}
+		if !changed {
+			return tt
+		}
+		return &App{Ctor: tt.Ctor, Args: args}
+	case *Projection:
+		nb := s.Apply(tt.Bound)
+		if nb == tt.Bound {
+			return tt
+		}
+		return &Projection{Var: tt.Var, Bound: nb}
+	case *Func:
+		params := make([]Type, len(tt.Params))
+		for i, p := range tt.Params {
+			params[i] = s.Apply(p)
+		}
+		return &Func{Params: params, Ret: s.Apply(tt.Ret)}
+	case *Intersection:
+		ms := make([]Type, len(tt.Members))
+		for i, m := range tt.Members {
+			ms[i] = s.Apply(m)
+		}
+		return &Intersection{Members: ms}
+	case *Constructor:
+		// Substituting under a binder: Definition 3.1 substitutes only
+		// free parameters, so skip the constructor's own parameters.
+		inner := s.Clone()
+		for _, p := range tt.Params {
+			delete(inner.bindings, p.ID())
+			delete(inner.params, p.ID())
+		}
+		if tt.Super == nil || len(inner.bindings) == 0 {
+			return tt
+		}
+		return &Constructor{
+			TypeName: tt.TypeName,
+			Params:   tt.Params,
+			Super:    inner.Apply(tt.Super),
+			Final:    tt.Final,
+		}
+	default:
+		return t
+	}
+}
+
+func (s *Substitution) String() string {
+	parts := make([]string, 0, len(s.bindings))
+	for _, p := range s.Domain() {
+		parts = append(parts, p.ID()+" ↦ "+s.bindings[p.ID()].String())
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}

@@ -1,0 +1,254 @@
+package types
+
+// Unify implements type unification (Definition 3.2): it computes a
+// substitution σ such that σ·t1 <: t2, or returns nil when no such
+// substitution exists.
+//
+//	unify(α, t)                         = [α ↦ t]
+//	unify((Λα.t)t̄1, (Λα.t)t̄2)          = pointwise unification of arguments
+//	unify(t1, t2), t1 ∉ TypeParam       = unify via the supertype chain
+//
+// The paper's third rule climbs S(t2); soundness of the σt1 <: t2 goal
+// additionally requires climbing S(t1) (if σ·S(t1) <: t2 then σ·t1 <: t2 by
+// transitivity, while the converse direction is a candidate-producing
+// heuristic that callers re-check, exactly as Algorithm 1 does with its
+// explicit σr <: t test). Unify therefore tries the subtype side's
+// supertype chain; callers keep the final conformance check.
+//
+// Bounds are respected: binding α ↦ t fails when t does not conform to α's
+// upper bound. (The paper's KT-48765 is precisely a compiler forgetting
+// this check; the reference checker must not.)
+func Unify(t1, t2 Type) *Substitution {
+	sigma := NewSubstitution()
+	if unifyInto(t1, t2, sigma, true) && groundVerified(sigma, t1, t2) {
+		return sigma
+	}
+	return nil
+}
+
+// groundVerified rejects heuristic successes that are already refutable:
+// when σ·t1 is fully ground, the two sides must be subtype-related in one
+// direction or the other. (Unification serves two roles: σ·t1 <: t2 for
+// return-type resolution, and t2 <: σ·t1 for argument-driven inference —
+// the supertype-chain climbs over-approximate both, and callers of
+// partially bound results re-check the conformance they need.)
+func groundVerified(sigma *Substitution, t1, t2 Type) bool {
+	inst := sigma.Apply(t1)
+	if len(FreeParameters(inst)) > 0 || len(FreeParameters(t2)) > 0 {
+		return true
+	}
+	return IsSubtype(inst, t2) || IsSubtype(t2, inst)
+}
+
+// UnifyUnchecked is Unify without the upper-bound conformance check on
+// parameter bindings. Simulated compiler bugs use it to model unsound
+// inference engines; the reference checker never does.
+func UnifyUnchecked(t1, t2 Type) *Substitution {
+	sigma := NewSubstitution()
+	if unifyInto(t1, t2, sigma, false) && groundVerified(sigma, t1, t2) {
+		return sigma
+	}
+	return nil
+}
+
+func unifyInto(t1, t2 Type, sigma *Substitution, checkBounds bool) bool {
+	if t1 == nil || t2 == nil {
+		return false
+	}
+	// unify(α, t) = [α ↦ t], provided the bound admits t.
+	if p, ok := t1.(*Parameter); ok {
+		target := stripProjection(t2)
+		if prev, bound := sigma.Lookup(p); bound {
+			return prev.Equal(target)
+		}
+		if checkBounds && !boundAdmits(p, target, sigma) {
+			return false
+		}
+		sigma.Bind(p, target)
+		return true
+	}
+	if sigma.Apply(t1).Equal(t2) || IsSubtype(sigma.Apply(t1), t2) {
+		// Already conformant under the accumulated substitution; make
+		// sure remaining free parameters of t1 also get bound when the
+		// shapes line up, but structural success is enough here.
+		if len(FreeParameters(sigma.Apply(t1))) == 0 {
+			return true
+		}
+	}
+
+	a1, ok1 := t1.(*App)
+	a2, ok2 := t2.(*App)
+	if ok1 && ok2 && a1.Ctor.Equal(a2.Ctor) {
+		// unify((Λα.t)t̄1, (Λα.t)t̄2): pointwise on arguments.
+		for i := range a1.Args {
+			if !unifyArg(a1.Args[i], a2.Args[i], sigma, checkBounds) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Climb the subtype side's supertype chain: if σ·S(t1) <: t2 then
+	// σ·t1 <: t2.
+	if ok1 {
+		sup := Supertype(a1)
+		if _, isTop := sup.(Top); !isTop {
+			if unifyInto(sup, t2, sigma, checkBounds) {
+				return true
+			}
+		}
+	}
+	// Heuristic direction from the paper: unify(t1, S(t2)). Callers
+	// re-check σt1 <: t2 afterwards, so over-approximation is safe.
+	if ok2 {
+		sup := Supertype(a2)
+		if _, isTop := sup.(Top); !isTop {
+			if unifyInto(t1, sup, sigma, checkBounds) {
+				return true
+			}
+		}
+	}
+	// Ground fallback: no parameters left to bind, pure subtype check.
+	return IsSubtype(sigma.Apply(t1), t2)
+}
+
+func unifyArg(a1, a2 Type, sigma *Substitution, checkBounds bool) bool {
+	p1, proj1 := a1.(*Projection)
+	p2, proj2 := a2.(*Projection)
+	switch {
+	case proj1 && proj2:
+		return unifyInto(p1.Bound, p2.Bound, sigma, checkBounds)
+	case proj1:
+		// A projected position is a containment constraint, not an
+		// equality: bind any parameters inside the bound structurally,
+		// otherwise accept when the concrete side is contained
+		// (t2 <: bound for `out`, bound <: t2 for `in`).
+		if len(FreeParameters(p1.Bound)) > 0 {
+			return unifyInto(p1.Bound, a2, sigma, checkBounds)
+		}
+		if p1.Var == Covariant {
+			return IsSubtype(a2, sigma.Apply(p1.Bound))
+		}
+		return IsSubtype(sigma.Apply(p1.Bound), a2)
+	case proj2:
+		return unifyInto(a1, p2.Bound, sigma, checkBounds)
+	default:
+		if p, ok := a1.(*Parameter); ok {
+			if prev, bound := sigma.Lookup(p); bound {
+				return prev.Equal(a2)
+			}
+			if checkBounds && !boundAdmits(p, a2, sigma) {
+				return false
+			}
+			sigma.Bind(p, a2)
+			return true
+		}
+		if na1, ok := a1.(*App); ok {
+			if na2, ok2 := a2.(*App); ok2 && na1.Ctor.Equal(na2.Ctor) {
+				for i := range na1.Args {
+					if !unifyArg(na1.Args[i], na2.Args[i], sigma, checkBounds) {
+						return false
+					}
+				}
+				return true
+			}
+		}
+		// Invariant positions demand equality of ground types.
+		return sigma.Apply(a1).Equal(a2)
+	}
+}
+
+// boundAdmits reports whether binding p ↦ t respects p's upper bound under
+// the substitution accumulated so far (the bound itself may mention other
+// parameters, as in fun <T, K : T>).
+func boundAdmits(p *Parameter, t Type, sigma *Substitution) bool {
+	bound := sigma.Apply(p.UpperBound())
+	if len(FreeParameters(bound)) > 0 {
+		// Bound still mentions unbound parameters; defer judgement.
+		return true
+	}
+	return IsSubtype(t, bound)
+}
+
+// UnifyPrime implements the unify' variant of Section 3.3.2, which detects
+// dependent type parameters between two type applications:
+//
+//	unify'((Λα.t)t̄1, (Λα.t)t̄2) = [α ↦ α]   if t̄1 = t̄2
+//	unify'((Λα1.t1)t̄2, (Λα2.t3)t̄4) = [α2 ↦ α1]  if the hierarchies relate
+//
+// Operationally: when the two applications are hierarchy-related (t2's
+// constructor is reachable from t1's, or vice versa) and a type-parameter
+// position of one flows into a position of the other, the result maps the
+// subtype side's parameter to the supertype side's. UnifyPrime also maps
+// parameter positions to the *concrete* types they are instantiated with,
+// which the type-graph builder turns into inf-edges.
+func UnifyPrime(t1, t2 Type) *Substitution {
+	sigma := NewSubstitution()
+	a1, ok1 := t1.(*App)
+	a2, ok2 := t2.(*App)
+	if !ok1 || !ok2 {
+		// Fall back: a parameter against anything maps directly.
+		if p, ok := t2.(*Parameter); ok && t1 != nil {
+			sigma.Bind(p, t1)
+			return sigma
+		}
+		return sigma
+	}
+	if a1.Ctor.Equal(a2.Ctor) {
+		for i := range a1.Args {
+			recordDependency(a1.Args[i], a2.Args[i], a2.Ctor.Params[i], sigma)
+		}
+		return sigma
+	}
+	// Walk a2's supertype chain looking for a1's constructor, tracking the
+	// substituted arguments (class B<T> : A<T> relates B's T to A's).
+	for _, sup := range SuperChain(a2) {
+		if sa, ok := sup.(*App); ok && sa.Ctor.Equal(a1.Ctor) {
+			for i := range sa.Args {
+				recordDependency(a1.Args[i], sa.Args[i], a1.Ctor.Params[i], sigma)
+			}
+			return sigma
+		}
+	}
+	// Or a1's chain for a2's constructor.
+	for _, sup := range SuperChain(a1) {
+		if sa, ok := sup.(*App); ok && sa.Ctor.Equal(a2.Ctor) {
+			for i := range sa.Args {
+				recordDependency(sa.Args[i], a2.Args[i], a2.Ctor.Params[i], sigma)
+			}
+			return sigma
+		}
+	}
+	return sigma
+}
+
+// recordDependency maps the parameter on the "to" side to whatever stands
+// on the "from" side (a parameter for [α2 ↦ α1] dependencies, or a concrete
+// type for instantiation edges).
+func recordDependency(from, to Type, fallback *Parameter, sigma *Substitution) {
+	from = stripProjection(from)
+	to = stripProjection(to)
+	if p, ok := to.(*Parameter); ok {
+		sigma.Bind(p, from)
+		return
+	}
+	if p, ok := from.(*Parameter); ok {
+		sigma.Bind(p, to)
+		return
+	}
+	// Both concrete: recurse into nested applications so A<B<T>> vs
+	// A<B<Int>> still records T ↦ Int.
+	fa, okf := from.(*App)
+	ta, okt := to.(*App)
+	if okf && okt && fa.Ctor.Equal(ta.Ctor) {
+		for i := range fa.Args {
+			recordDependency(fa.Args[i], ta.Args[i], ta.Ctor.Params[i], sigma)
+		}
+		return
+	}
+	// Identity rule of unify': both sides concrete and equal records the
+	// instantiation of the position's own parameter ([α ↦ α] if t1 = t2).
+	if fallback != nil && from.Equal(to) {
+		sigma.Bind(fallback, from)
+	}
+}
