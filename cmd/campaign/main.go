@@ -9,12 +9,18 @@
 //	campaign -fig all        everything
 //
 // -n scales the campaign size (default 400 programs); larger campaigns
-// converge closer to the ground-truth catalogs.
+// converge closer to the ground-truth catalogs. -workers sets the
+// per-stage worker count of the streaming pipeline (0 = GOMAXPROCS) —
+// results are identical for any value — and -stats prints where each
+// run's time went, stage by stage.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
+	"os/signal"
 
 	"repro/internal/campaign"
 	"repro/internal/compilers"
@@ -26,20 +32,35 @@ func main() {
 	n := flag.Int("n", 400, "number of generated programs")
 	covN := flag.Int("covn", 150, "programs for the coverage experiments")
 	seed := flag.Int64("seed", 0, "base seed")
+	workers := flag.Int("workers", 0, "pipeline workers per stage (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print per-stage pipeline statistics")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	needCampaign := map[string]bool{"7a": true, "7b": true, "7c": true, "8": true, "all": true}[*fig]
 	var report *campaign.Report
 	if needCampaign {
 		fmt.Printf("running campaign: %d programs + mutants against groovyc, kotlinc, javac...\n\n", *n)
-		report = campaign.Run(campaign.Options{
+		var err error
+		report, err = campaign.RunContext(ctx, campaign.Options{
 			Seed:      *seed,
 			Programs:  *n,
 			BatchSize: 20,
+			Workers:   *workers,
 			GenConfig: generator.DefaultConfig(),
 			Mutate:    true,
 		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign aborted: %v\n", err)
+			os.Exit(1)
+		}
 		fmt.Printf("found %d distinct bugs (TEM repairs: %d)\n\n", report.TotalFound(), report.TEMRepairs)
+		if *stats {
+			fmt.Println("pipeline stages:")
+			fmt.Println(report.Stats)
+		}
 	}
 
 	show := func(f string) bool { return *fig == f || *fig == "all" }
@@ -69,13 +90,27 @@ func main() {
 	if show("9") {
 		fmt.Println("Figure 9: coverage increase by TEM and TOM (RQ3)")
 		for _, c := range compilers.All() {
-			fmt.Println(campaign.RunMutationCoverage(c, *covN, *seed, generator.DefaultConfig()))
+			cov, err := campaign.RunMutationCoverageContext(ctx, c, *covN, *seed, generator.DefaultConfig(), *workers)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "coverage experiment aborted: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(cov)
+			if *stats {
+				fmt.Println("pipeline stages:")
+				fmt.Println(cov.Stats)
+			}
 		}
 	}
 	if show("10") {
 		fmt.Println("Figure 10: test-suite coverage plus random programs (RQ4)")
 		for _, c := range compilers.All() {
-			fmt.Println(campaign.RunSuiteCoverage(c, *covN, *seed+5000, generator.DefaultConfig()))
+			cov, err := campaign.RunSuiteCoverageContext(ctx, c, *covN, *seed+5000, generator.DefaultConfig(), *workers)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "coverage experiment aborted: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(cov)
 		}
 	}
 	if report != nil && *fig == "all" {

@@ -8,15 +8,18 @@
 //	hephaestus generate  [-seed N] [-lang ir|java|kotlin|groovy]
 //	hephaestus mutate    [-seed N] [-lang ...]     show TEM and TOM mutants
 //	hephaestus translate [-seed N] -lang kotlin    translate to a language
-//	hephaestus fuzz      [-seed N] [-n programs]   run a campaign
+//	hephaestus fuzz      [-seed N] [-n programs] [-workers W] [-stats]
+//	                                               run a campaign
 //	hephaestus reduce    [-seed N]                 reduce a bug trigger
 //	hephaestus typegraph [-seed N]                 dump type graphs (DOT)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"repro/internal/core"
 	"repro/internal/ir"
@@ -35,11 +38,13 @@ func main() {
 	seed := fs.Int64("seed", 0, "generation seed")
 	lang := fs.String("lang", "ir", "output language: ir, java, kotlin, groovy")
 	n := fs.Int("n", 100, "number of programs for fuzzing")
+	workers := fs.Int("workers", 0, "pipeline workers per stage (0 = GOMAXPROCS)")
+	stats := fs.Bool("stats", false, "print per-stage pipeline statistics after fuzzing")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
 
-	h := core.New(core.Config{Seed: *seed})
+	h := core.New(core.Config{Seed: *seed, Workers: *workers})
 	switch cmd {
 	case "generate":
 		tc := h.GenerateTestCaseSeed(*seed)
@@ -77,7 +82,13 @@ func main() {
 		tc := h.GenerateTestCaseSeed(*seed)
 		emit(h, tc.Program, *lang)
 	case "fuzz":
-		findings, report := h.Fuzz(*n)
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		findings, report, err := h.FuzzContext(ctx, *n)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "campaign aborted: %v\n", err)
+			os.Exit(1)
+		}
 		fmt.Printf("campaign: %d programs (plus mutants), %d distinct bugs\n\n",
 			*n, len(findings))
 		for _, f := range findings {
@@ -86,6 +97,10 @@ func main() {
 		}
 		fmt.Println()
 		fmt.Println(report.Figure7c().String())
+		if *stats {
+			fmt.Println("pipeline stages:")
+			fmt.Println(report.Stats)
+		}
 	case "reduce":
 		tc := h.GenerateTestCaseSeed(*seed)
 		comp := h.Compilers()[0]

@@ -4,20 +4,21 @@
 // its TEM / TOM / TEM∘TOM mutants, oracle checking, bug deduplication, and
 // per-figure accounting for Figures 7a, 7b, 7c and 8, plus the coverage
 // experiments of Figures 9 and 10.
+//
+// The execution engine lives in internal/pipeline; this package is a thin
+// adapter that assembles the campaign's stages (generate → mutate →
+// execute → judge) and folds finished units into a Report.
 package campaign
 
 import (
-	"math/rand"
-	"runtime"
+	"context"
 	"sort"
-	"sync"
 
 	"repro/internal/bugs"
 	"repro/internal/compilers"
 	"repro/internal/generator"
-	"repro/internal/ir"
-	"repro/internal/mutation"
 	"repro/internal/oracle"
+	"repro/internal/pipeline"
 )
 
 // Options configures a campaign run.
@@ -29,14 +30,15 @@ type Options struct {
 	// BatchSize groups programs per (simulated) compiler invocation
 	// (Section 3.5); it affects only batching accounting.
 	BatchSize int
-	// Workers is the number of concurrent workers (the paper uses
-	// Python multiprocessing; we use goroutines). 0 means GOMAXPROCS.
+	// Workers is the number of concurrent workers per pipeline stage
+	// (the paper uses Python multiprocessing; we use goroutines).
+	// 0 means GOMAXPROCS.
 	Workers int
 	// Compilers under test; nil means all three.
 	Compilers []*compilers.Compiler
 	// GenConfig configures the program generator.
 	GenConfig generator.Config
-	// Mutate enables the TEM/TOM/TEM∘TOM pipeline stages.
+	// Mutate enables the TEM/TOM/TEM∘TOM/REM pipeline stages.
 	Mutate bool
 }
 
@@ -91,12 +93,18 @@ type Report struct {
 	Found map[string]*BugRecord
 	// Verdicts counts oracle outcomes per compiler and input kind.
 	Verdicts map[string]map[oracle.InputKind]map[oracle.Verdict]int
-	// ProgramsRun counts pipeline executions per input kind.
+	// ProgramsRun counts actual pipeline executions per input kind: a
+	// mutant kind is counted only for seeds whose mutation produced a
+	// mutant (TEM is skipped when nothing was erasable; TOM/REM find no
+	// site in some programs).
 	ProgramsRun map[oracle.InputKind]int
 	// Batches is the number of compiler invocations saved by batching.
 	Batches int
 	// TEMRepairs counts TEM verification-pass rollbacks.
 	TEMRepairs int
+	// Stats holds the per-stage pipeline statistics for this run
+	// (timings are wall-clock and not deterministic; all counts are).
+	Stats *pipeline.Stats
 }
 
 // FoundFor returns the found-bug records for one compiler, ordered by ID.
@@ -114,55 +122,24 @@ func (r *Report) FoundFor(compiler string) []*BugRecord {
 // TotalFound returns the number of distinct bugs found.
 func (r *Report) TotalFound() int { return len(r.Found) }
 
-// seedResult is one seed's contribution, merged deterministically.
-type seedResult struct {
-	seed     int64
-	verdicts []verdictEvent
-	hits     []bugHit
-	repairs  int
-}
-
-type verdictEvent struct {
-	compiler string
-	kind     oracle.InputKind
-	verdict  oracle.Verdict
-}
-
-type bugHit struct {
-	bug  *bugs.Bug
-	kind oracle.InputKind
-}
-
 // Run executes the campaign and returns its report. Runs are
 // deterministic for fixed options, regardless of worker count.
 func Run(opts Options) *Report {
+	report, _ := RunContext(context.Background(), opts)
+	return report
+}
+
+// RunContext executes the campaign under a context. On cancellation it
+// returns promptly with the context's error and the (partial) report
+// aggregated so far; a nil error means the report is complete and
+// deterministic for the options, regardless of worker count.
+func RunContext(ctx context.Context, opts Options) (*Report, error) {
 	if opts.Compilers == nil {
 		opts.Compilers = compilers.All()
-	}
-	if opts.Workers <= 0 {
-		opts.Workers = runtime.GOMAXPROCS(0)
 	}
 	if opts.BatchSize <= 0 {
 		opts.BatchSize = 1
 	}
-
-	seeds := make(chan int64)
-	results := make([]seedResult, opts.Programs)
-	var wg sync.WaitGroup
-	for w := 0; w < opts.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for s := range seeds {
-				results[s-opts.Seed] = runSeed(opts, s)
-			}
-		}()
-	}
-	for i := 0; i < opts.Programs; i++ {
-		seeds <- opts.Seed + int64(i)
-	}
-	close(seeds)
-	wg.Wait()
 
 	report := &Report{
 		Opts:        opts,
@@ -170,100 +147,58 @@ func Run(opts Options) *Report {
 		Verdicts:    map[string]map[oracle.InputKind]map[oracle.Verdict]int{},
 		ProgramsRun: map[oracle.InputKind]int{},
 	}
-	for _, res := range results {
-		report.TEMRepairs += res.repairs
-		for _, v := range res.verdicts {
-			perComp := report.Verdicts[v.compiler]
-			if perComp == nil {
-				perComp = map[oracle.InputKind]map[oracle.Verdict]int{}
-				report.Verdicts[v.compiler] = perComp
-			}
-			perKind := perComp[v.kind]
-			if perKind == nil {
-				perKind = map[oracle.Verdict]int{}
-				perComp[v.kind] = perKind
-			}
-			perKind[v.verdict]++
+	stages := []pipeline.Stage{&pipeline.Generate{Config: opts.GenConfig}}
+	if opts.Mutate {
+		stages = append(stages, &pipeline.Mutate{TEM: true, TOM: true, TEMTOM: true, REM: true})
+	}
+	stages = append(stages, &pipeline.Execute{Compilers: opts.Compilers}, pipeline.Judge{})
+
+	p := &pipeline.Pipeline{
+		Source:     pipeline.NewGeneratorSource(opts.Seed, opts.Programs),
+		Stages:     stages,
+		Aggregator: (*reportAggregator)(report),
+		Workers:    opts.Workers,
+	}
+	stats, err := p.Run(ctx)
+	report.Stats = stats
+	report.Batches = (opts.Programs + opts.BatchSize - 1) / opts.BatchSize
+	return report, err
+}
+
+// reportAggregator folds finished pipeline units into a Report. The
+// pipeline calls Aggregate in Seq (= seed) order, which makes FirstSeed
+// and every count bit-for-bit reproducible across worker counts.
+type reportAggregator Report
+
+// Name implements pipeline.Aggregator.
+func (*reportAggregator) Name() string { return "aggregate" }
+
+// Aggregate implements pipeline.Aggregator.
+func (r *reportAggregator) Aggregate(u *pipeline.Unit) {
+	r.TEMRepairs += u.Repairs
+	for _, in := range u.Inputs {
+		r.ProgramsRun[in.Kind]++
+	}
+	for _, e := range u.Execs {
+		perComp := r.Verdicts[e.Compiler]
+		if perComp == nil {
+			perComp = map[oracle.InputKind]map[oracle.Verdict]int{}
+			r.Verdicts[e.Compiler] = perComp
 		}
-		for _, h := range res.hits {
-			rec := report.Found[h.bug.ID]
+		perKind := perComp[e.Kind]
+		if perKind == nil {
+			perKind = map[oracle.Verdict]int{}
+			perComp[e.Kind] = perKind
+		}
+		perKind[e.Verdict]++
+		for _, b := range e.Result.Triggered {
+			rec := r.Found[b.ID]
 			if rec == nil {
-				rec = &BugRecord{Bug: h.bug, FoundBy: map[oracle.InputKind]bool{}, FirstSeed: res.seed}
-				report.Found[h.bug.ID] = rec
+				rec = &BugRecord{Bug: b, FoundBy: map[oracle.InputKind]bool{}, FirstSeed: u.Seed}
+				r.Found[b.ID] = rec
 			}
-			rec.FoundBy[h.kind] = true
+			rec.FoundBy[e.Kind] = true
 			rec.Hits++
 		}
 	}
-	report.ProgramsRun[oracle.Generated] = opts.Programs
-	if opts.Mutate {
-		report.ProgramsRun[oracle.TEMMutant] = opts.Programs
-		report.ProgramsRun[oracle.TOMMutant] = opts.Programs
-		report.ProgramsRun[oracle.TEMTOMMutant] = opts.Programs
-		report.ProgramsRun[oracle.REMMutant] = opts.Programs
-	}
-	report.Batches = (opts.Programs + opts.BatchSize - 1) / opts.BatchSize
-	return report
-}
-
-// runSeed executes the full pipeline for one seed: generate, compile,
-// mutate, compile the mutants.
-func runSeed(opts Options, seed int64) seedResult {
-	res := seedResult{seed: seed}
-	g := generator.New(opts.GenConfig.WithSeed(seed))
-	prog := g.Generate()
-
-	inputs := []struct {
-		kind oracle.InputKind
-		prog *ir.Program
-	}{{oracle.Generated, prog}}
-
-	if opts.Mutate {
-		tem, temReport := mutation.TypeErasure(prog, g.Builtins())
-		res.repairs += temReport.RepairedMethods
-		if temReport.Changed() {
-			inputs = append(inputs, struct {
-				kind oracle.InputKind
-				prog *ir.Program
-			}{oracle.TEMMutant, tem})
-		}
-		if tom, _ := mutation.TypeOverwriting(prog, g.Builtins(), rand.New(rand.NewSource(seed))); tom != nil {
-			inputs = append(inputs, struct {
-				kind oracle.InputKind
-				prog *ir.Program
-			}{oracle.TOMMutant, tom})
-		}
-		// TOM on top of TEM reaches the CombinedClass bugs (Figure 7c's
-		// "TEM & TOM" row).
-		if temtom, _ := mutation.TypeOverwriting(tem, g.Builtins(), rand.New(rand.NewSource(seed^0x5bd1e995))); temtom != nil {
-			inputs = append(inputs, struct {
-				kind oracle.InputKind
-				prog *ir.Program
-			}{oracle.TEMTOMMutant, temtom})
-		}
-		// The resolution mutation (the paper's future-work extension):
-		// decoy overloads stress overload resolution while preserving
-		// well-typedness.
-		if rem, _ := mutation.ResolutionMutation(prog, g.Builtins(), rand.New(rand.NewSource(seed^0x9e3779b9))); rem != nil {
-			inputs = append(inputs, struct {
-				kind oracle.InputKind
-				prog *ir.Program
-			}{oracle.REMMutant, rem})
-		}
-	}
-
-	for _, in := range inputs {
-		for _, c := range opts.Compilers {
-			out := c.Compile(in.prog, nil)
-			res.verdicts = append(res.verdicts, verdictEvent{
-				compiler: c.Name(),
-				kind:     in.kind,
-				verdict:  oracle.Judge(in.kind, out),
-			})
-			for _, b := range out.Triggered {
-				res.hits = append(res.hits, bugHit{bug: b, kind: in.kind})
-			}
-		}
-	}
-	return res
 }

@@ -1,8 +1,12 @@
 package campaign
 
 import (
+	"context"
+	"errors"
+	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/bugs"
 	"repro/internal/compilers"
@@ -34,10 +38,25 @@ func TestCampaignRunFindsBugs(t *testing.T) {
 			t.Errorf("%s: empty record", id)
 		}
 	}
-	// The pipeline ran all four input kinds.
-	for _, kind := range []oracle.InputKind{oracle.Generated, oracle.TEMMutant, oracle.TOMMutant, oracle.TEMTOMMutant} {
-		if report.ProgramsRun[kind] != 60 {
-			t.Errorf("%s: programs run = %d", kind, report.ProgramsRun[kind])
+	// Every generated program runs; mutant kinds count actual
+	// executions, so they are bounded by the seed count and nonzero for
+	// a campaign this size.
+	if report.ProgramsRun[oracle.Generated] != 60 {
+		t.Errorf("generated programs run = %d, want 60", report.ProgramsRun[oracle.Generated])
+	}
+	for _, kind := range []oracle.InputKind{oracle.TEMMutant, oracle.TOMMutant, oracle.TEMTOMMutant} {
+		if n := report.ProgramsRun[kind]; n == 0 || n > 60 {
+			t.Errorf("%s: programs run = %d, want in (0, 60]", kind, n)
+		}
+	}
+	// ProgramsRun must agree with the verdicts actually recorded.
+	for kind, n := range report.ProgramsRun {
+		judged := 0
+		for _, v := range report.Verdicts["groovyc"][kind] {
+			judged += v
+		}
+		if judged != n {
+			t.Errorf("%s: ProgramsRun=%d but %d verdicts recorded", kind, n, judged)
 		}
 	}
 	if report.Batches != 6 {
@@ -52,13 +71,54 @@ func TestCampaignDeterministicAcrossWorkerCounts(t *testing.T) {
 	o2.Workers = 8
 	r1 := Run(o1)
 	r2 := Run(o2)
-	if r1.TotalFound() != r2.TotalFound() {
-		t.Fatalf("worker count changed results: %d vs %d", r1.TotalFound(), r2.TotalFound())
+	// The determinism contract: everything in the report except Opts
+	// and wall-clock Stats is bit-for-bit identical across worker
+	// counts — including per-record hit counts and first seeds.
+	if !reflect.DeepEqual(r1.Found, r2.Found) {
+		t.Errorf("Found differs between 1 and 8 workers:\n%+v\nvs\n%+v", r1.Found, r2.Found)
 	}
-	for id := range r1.Found {
-		if r2.Found[id] == nil {
-			t.Errorf("bug %s missing in parallel run", id)
-		}
+	if !reflect.DeepEqual(r1.Verdicts, r2.Verdicts) {
+		t.Errorf("Verdicts differ between 1 and 8 workers")
+	}
+	if !reflect.DeepEqual(r1.ProgramsRun, r2.ProgramsRun) {
+		t.Errorf("ProgramsRun differs: %v vs %v", r1.ProgramsRun, r2.ProgramsRun)
+	}
+	if r1.TEMRepairs != r2.TEMRepairs {
+		t.Errorf("TEMRepairs differs: %d vs %d", r1.TEMRepairs, r2.TEMRepairs)
+	}
+	if r1.Batches != r2.Batches {
+		t.Errorf("Batches differs: %d vs %d", r1.Batches, r2.Batches)
+	}
+}
+
+func TestCampaignCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := smallOptions(100000) // far more work than the deadline allows
+	opts.Workers = 4
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan struct{})
+	var report *Report
+	var err error
+	go func() {
+		report, err = RunContext(ctx, opts)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled campaign did not stop: pipeline deadlock")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext returned %v, want context.Canceled", err)
+	}
+	if report == nil {
+		t.Fatal("cancelled campaign should still return the partial report")
+	}
+	if report.ProgramsRun[oracle.Generated] >= opts.Programs {
+		t.Errorf("cancelled campaign aggregated all %d programs", opts.Programs)
 	}
 }
 
@@ -192,8 +252,8 @@ func TestTableRendering(t *testing.T) {
 
 func TestREMStageRunsInCampaign(t *testing.T) {
 	report := Run(smallOptions(30))
-	if report.ProgramsRun[oracle.REMMutant] != 30 {
-		t.Errorf("REM stage should run for every seed, got %d", report.ProgramsRun[oracle.REMMutant])
+	if n := report.ProgramsRun[oracle.REMMutant]; n == 0 || n > 30 {
+		t.Errorf("REM executions = %d, want in (0, 30]", n)
 	}
 	// REM mutants are well-typed: they must never produce URB verdicts.
 	for comp, perKind := range report.Verdicts {

@@ -1,14 +1,15 @@
 package campaign
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 
 	"repro/internal/compilers"
 	"repro/internal/corpus"
 	"repro/internal/coverage"
 	"repro/internal/generator"
-	"repro/internal/mutation"
+	"repro/internal/oracle"
+	"repro/internal/pipeline"
 )
 
 // MutationCoverage is the Figure 9 experiment for one compiler: coverage
@@ -25,6 +26,8 @@ type MutationCoverage struct {
 	// ByRegion maps the compiler's package name to TEM's extra sites
 	// there.
 	TEMByRegion map[string]coverage.Delta
+	// Stats holds the per-stage pipeline statistics for the run.
+	Stats *pipeline.Stats
 }
 
 // String renders the report in the shape of Figure 9's rows.
@@ -50,21 +53,41 @@ func (m *MutationCoverage) String() string {
 // programs, produce one TEM and one TOM mutant per program, and measure
 // the coverage increase each mutation brings over the generator baseline.
 func RunMutationCoverage(c *compilers.Compiler, programs int, seed int64, cfg generator.Config) *MutationCoverage {
+	out, _ := RunMutationCoverageContext(context.Background(), c, programs, seed, cfg, 0)
+	return out
+}
+
+// RunMutationCoverageContext is RunMutationCoverage with cancellation
+// and an explicit per-stage worker count (0 means GOMAXPROCS). The
+// reported quantities are distinct-site counts, so they are
+// deterministic regardless of worker interleaving.
+func RunMutationCoverageContext(ctx context.Context, c *compilers.Compiler, programs int, seed int64, cfg generator.Config, workers int) (*MutationCoverage, error) {
 	covGen := coverage.NewCollector()
 	covTEM := coverage.NewCollector()
 	covTOM := coverage.NewCollector()
+	byKind := map[oracle.InputKind]coverage.Recorder{
+		oracle.Generated: covGen,
+		oracle.TEMMutant: covTEM,
+		oracle.TOMMutant: covTOM,
+	}
 
-	for i := 0; i < programs; i++ {
-		g := generator.New(cfg.WithSeed(seed + int64(i)))
-		p := g.Generate()
-		c.Compile(p, covGen)
-		tem, rep := mutation.TypeErasure(p, g.Builtins())
-		if rep.Changed() {
-			c.Compile(tem, covTEM)
-		}
-		if tom, _ := mutation.TypeOverwriting(p, g.Builtins(), rand.New(rand.NewSource(seed+int64(i)))); tom != nil {
-			c.Compile(tom, covTOM)
-		}
+	p := &pipeline.Pipeline{
+		Source: pipeline.NewGeneratorSource(seed, programs),
+		Stages: []pipeline.Stage{
+			&pipeline.Generate{Config: cfg},
+			&pipeline.Mutate{TEM: true, TOM: true},
+			&pipeline.Execute{
+				Compilers: []*compilers.Compiler{c},
+				Coverage:  func(kind oracle.InputKind) coverage.Recorder { return byKind[kind] },
+			},
+			pipeline.Judge{},
+		},
+		Aggregator: pipeline.Discard{},
+		Workers:    workers,
+	}
+	stats, err := p.Run(ctx)
+	if err != nil {
+		return nil, err
 	}
 
 	universe := covGen.Clone()
@@ -77,13 +100,14 @@ func RunMutationCoverage(c *compilers.Compiler, programs int, seed int64, cfg ge
 		TEMDelta:    covTEM.NewSites(covGen),
 		TOMDelta:    covTOM.NewSites(covGen),
 		TEMByRegion: map[string]coverage.Delta{},
+		Stats:       stats,
 	}
 	out.GenLine, out.GenFunc, out.GenBranch = covGen.Percent(universe)
 	for _, region := range covTEM.Regions() {
 		d := covTEM.NewSitesIn(covGen, region)
 		out.TEMByRegion[c.PackageFor(region)] = d
 	}
-	return out
+	return out, nil
 }
 
 // SuiteCoverage is the Figure 10 experiment for one compiler: the
@@ -120,17 +144,52 @@ func (s *SuiteCoverage) String() string {
 
 // RunSuiteCoverage performs the RQ4 experiment (Figure 10).
 func RunSuiteCoverage(c *compilers.Compiler, random int, seed int64, cfg generator.Config) *SuiteCoverage {
+	out, _ := RunSuiteCoverageContext(context.Background(), c, random, seed, cfg, 0)
+	return out
+}
+
+// RunSuiteCoverageContext is RunSuiteCoverage with cancellation and an
+// explicit per-stage worker count: one pipeline replays the compiler's
+// test suite, a second streams random programs on top.
+func RunSuiteCoverageContext(ctx context.Context, c *compilers.Compiler, random int, seed int64, cfg generator.Config, workers int) (*SuiteCoverage, error) {
 	covSuite := coverage.NewCollector()
-	for _, p := range corpus.TestSuite(c.Name()) {
-		c.Compile(p, covSuite)
+	suite := &pipeline.Pipeline{
+		Source: pipeline.NewProgramSource(oracle.Suite, corpus.TestSuite(c.Name())),
+		Stages: []pipeline.Stage{
+			&pipeline.Generate{Config: cfg},
+			&pipeline.Execute{
+				Compilers: []*compilers.Compiler{c},
+				Coverage:  func(oracle.InputKind) coverage.Recorder { return covSuite },
+			},
+			pipeline.Judge{},
+		},
+		Aggregator: pipeline.Discard{},
+		Workers:    workers,
 	}
+	if _, err := suite.Run(ctx); err != nil {
+		return nil, err
+	}
+
 	covBoth := covSuite.Clone()
-	for i := 0; i < random; i++ {
-		g := generator.New(cfg.WithSeed(seed + int64(i)))
-		c.Compile(g.Generate(), covBoth)
+	randomRun := &pipeline.Pipeline{
+		Source: pipeline.NewGeneratorSource(seed, random),
+		Stages: []pipeline.Stage{
+			&pipeline.Generate{Config: cfg},
+			&pipeline.Execute{
+				Compilers: []*compilers.Compiler{c},
+				Coverage:  func(oracle.InputKind) coverage.Recorder { return covBoth },
+			},
+			pipeline.Judge{},
+		},
+		Aggregator: pipeline.Discard{},
+		Workers:    workers,
 	}
+	if _, err := randomRun.Run(ctx); err != nil {
+		return nil, err
+	}
+
 	out := &SuiteCoverage{Compiler: c.Name(), Random: random}
 	out.SuiteLine, out.SuiteFunc, out.SuiteBranch = covSuite.Percent(covBoth)
 	out.BothLine, out.BothFunc, out.BothBranch = covBoth.Percent(covBoth)
-	return out
+	return out, nil
 }

@@ -14,8 +14,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"repro/internal/campaign"
 	"repro/internal/compilers"
@@ -37,6 +39,9 @@ type Config struct {
 	Generator generator.Config
 	// Compilers under test; nil means the three simulated JVM compilers.
 	Compilers []*compilers.Compiler
+	// Workers is the per-stage worker count for fuzzing campaigns;
+	// 0 means GOMAXPROCS.
+	Workers int
 }
 
 // Hephaestus is the façade object.
@@ -124,10 +129,19 @@ type Finding struct {
 // configured compilers and returns the deduplicated findings together
 // with the raw campaign report.
 func (h *Hephaestus) Fuzz(n int) ([]Finding, *campaign.Report) {
-	report := campaign.Run(campaign.Options{
+	findings, report, _ := h.FuzzContext(context.Background(), n)
+	return findings, report
+}
+
+// FuzzContext is Fuzz with cancellation: a cancelled context stops the
+// campaign pipeline promptly and returns the partial report with the
+// context's error. Findings are sorted by compiler then bug ID.
+func (h *Hephaestus) FuzzContext(ctx context.Context, n int) ([]Finding, *campaign.Report, error) {
+	report, err := campaign.RunContext(ctx, campaign.Options{
 		Seed:      h.cfg.Seed,
 		Programs:  n,
 		BatchSize: 20,
+		Workers:   h.cfg.Workers,
 		GenConfig: h.cfg.Generator,
 		Compilers: h.compilers,
 		Mutate:    true,
@@ -142,7 +156,13 @@ func (h *Hephaestus) Fuzz(n int) ([]Finding, *campaign.Report) {
 			FirstSeed: rec.FirstSeed,
 		})
 	}
-	return out, report
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Compiler != out[j].Compiler {
+			return out[i].Compiler < out[j].Compiler
+		}
+		return out[i].BugID < out[j].BugID
+	})
+	return out, report, err
 }
 
 // ReduceFor shrinks a program while the given compiler keeps triggering

@@ -1,0 +1,241 @@
+// Package pipeline is the streaming execution core of the testing
+// campaign: the paper's generate → mutate → compile → judge loop
+// (Figure 3, Section 3.5) modelled as composable stages connected by
+// bounded channels.
+//
+// A Pipeline wires a Source (which yields one Unit per seed program),
+// a list of parallel Stages (generation, mutation, execution, judging
+// — each running a worker pool), and a serial Aggregator that folds
+// finished units into a result. Units carry a contiguous sequence
+// number; the aggregator reorders them so that, for fixed inputs, the
+// fold is bit-for-bit deterministic regardless of worker count or
+// channel timing. Every hop observes context cancellation, and every
+// stage records Stats (units in/out, busy time, peak queue depth) so a
+// run can report where its time goes.
+//
+// campaign.Run, the coverage experiments, and the CLIs are thin
+// adapters over this package; new input sources (corpus replay, API
+// synthesis à la Thalia) and new oracles (differential judging) plug
+// in as Source/Stage/Aggregator implementations without another copy
+// of the loop.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Source produces the units that flow through the pipeline. Next is
+// called from a single goroutine and must return units with contiguous
+// Seq values starting at 0; it returns false when exhausted. Sources
+// should be cheap — expensive materialization (program generation)
+// belongs in the first parallel stage.
+type Source interface {
+	Name() string
+	Next() (*Unit, bool)
+}
+
+// Stage transforms one unit. Run is called concurrently from a worker
+// pool, with a distinct unit per call; it may mutate the unit freely
+// but must not retain it. Returning an error cancels the pipeline.
+type Stage interface {
+	Name() string
+	Run(ctx context.Context, u *Unit) error
+}
+
+// Aggregator folds finished units into a result. Aggregate is called
+// from a single goroutine, in Seq order — the determinism contract:
+// two runs over the same source and stages see the same fold sequence
+// whatever the worker count.
+type Aggregator interface {
+	Name() string
+	Aggregate(u *Unit)
+}
+
+// Discard is an Aggregator that drops every unit, for pipelines whose
+// stages accumulate their results as side effects (e.g. coverage
+// collectors).
+type Discard struct{}
+
+// Name implements Aggregator.
+func (Discard) Name() string { return "discard" }
+
+// Aggregate implements Aggregator.
+func (Discard) Aggregate(*Unit) {}
+
+// Pipeline connects a source, stages, and an aggregator.
+type Pipeline struct {
+	Source     Source
+	Stages     []Stage
+	Aggregator Aggregator
+	// Workers is the worker-pool size per stage. 0 means GOMAXPROCS.
+	Workers int
+	// Buffer is the capacity of each inter-stage channel (the
+	// backpressure bound). 0 means 2×Workers.
+	Buffer int
+}
+
+// Run executes the pipeline until the source is exhausted, a stage
+// fails, or ctx is cancelled, and returns the per-stage statistics.
+// On cancellation it returns promptly with ctx's error; units in
+// flight are abandoned, not drained.
+func (p *Pipeline) Run(ctx context.Context) (*Stats, error) {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	buffer := p.Buffer
+	if buffer <= 0 {
+		buffer = 2 * workers
+	}
+	if p.Source == nil || p.Aggregator == nil {
+		return nil, fmt.Errorf("pipeline: source and aggregator are required")
+	}
+
+	stats := NewStats()
+	srcStats := stats.Stage(p.Source.Name())
+	for _, st := range p.Stages {
+		stats.Stage(st.Name()) // register in pipeline order for display
+	}
+	aggStats := stats.Stage(p.Aggregator.Name())
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var firstErr errOnce
+
+	// Source: one goroutine feeding the first bounded channel.
+	feed := make(chan *Unit, buffer)
+	go func() {
+		defer close(feed)
+		for {
+			t0 := time.Now()
+			u, ok := p.Source.Next()
+			srcStats.addBusy(time.Since(t0))
+			if !ok {
+				return
+			}
+			select {
+			case feed <- u:
+				srcStats.addOut()
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	// Stages: a worker pool per stage, each draining the previous
+	// channel and feeding the next.
+	in := feed
+	for _, stage := range p.Stages {
+		st := stats.Stage(stage.Name())
+		// Bind this stage's channels locally: `in` is reassigned below,
+		// and the workers must not observe that reassignment.
+		stageIn, stageOut := in, make(chan *Unit, buffer)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				runStage(ctx, stage, st, stageIn, stageOut, cancel, &firstErr)
+			}()
+		}
+		go func(out chan *Unit, wg *sync.WaitGroup) {
+			wg.Wait()
+			close(out)
+		}(stageOut, &wg)
+		in = stageOut
+	}
+
+	// Aggregator: single goroutine, reordering by Seq so the fold is
+	// deterministic however the parallel stages interleaved.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		pending := map[int]*Unit{}
+		next := 0
+		for {
+			select {
+			case u, ok := <-in:
+				if !ok {
+					return
+				}
+				aggStats.observeQueue(len(in) + 1 + len(pending))
+				aggStats.addIn()
+				pending[u.Seq] = u
+				for {
+					v := pending[next]
+					if v == nil {
+						break
+					}
+					delete(pending, next)
+					next++
+					t0 := time.Now()
+					p.Aggregator.Aggregate(v)
+					aggStats.addBusy(time.Since(t0))
+					aggStats.addOut()
+				}
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	<-done
+
+	if err := firstErr.get(); err != nil {
+		return stats, err
+	}
+	return stats, ctx.Err()
+}
+
+// runStage is one stage worker's loop.
+func runStage(ctx context.Context, stage Stage, st *StageStats, in <-chan *Unit, out chan<- *Unit, cancel context.CancelFunc, firstErr *errOnce) {
+	for {
+		select {
+		case u, ok := <-in:
+			if !ok {
+				return
+			}
+			st.observeQueue(len(in) + 1)
+			st.addIn()
+			t0 := time.Now()
+			err := stage.Run(ctx, u)
+			st.addBusy(time.Since(t0))
+			if err != nil {
+				firstErr.set(fmt.Errorf("pipeline: stage %s: %w", stage.Name(), err))
+				cancel()
+				return
+			}
+			select {
+			case out <- u:
+				st.addOut()
+			case <-ctx.Done():
+				return
+			}
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// errOnce records the first error set.
+type errOnce struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *errOnce) set(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *errOnce) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}

@@ -1,0 +1,211 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/generator"
+	"repro/internal/oracle"
+)
+
+// seqSource emits n bare units.
+type seqSource struct{ n, next int }
+
+func (s *seqSource) Name() string { return "source" }
+
+func (s *seqSource) Next() (*Unit, bool) {
+	if s.next >= s.n {
+		return nil, false
+	}
+	u := &Unit{Seq: s.next, Seed: int64(s.next)}
+	s.next++
+	return u, true
+}
+
+// funcStage adapts a function to the Stage interface.
+type funcStage struct {
+	name string
+	fn   func(ctx context.Context, u *Unit) error
+}
+
+func (s *funcStage) Name() string                           { return s.name }
+func (s *funcStage) Run(ctx context.Context, u *Unit) error { return s.fn(ctx, u) }
+
+// orderAggregator records the Seq order units arrive in.
+type orderAggregator struct{ seqs []int }
+
+func (*orderAggregator) Name() string        { return "aggregate" }
+func (a *orderAggregator) Aggregate(u *Unit) { a.seqs = append(a.seqs, u.Seq) }
+
+func TestAggregatorSeesSeqOrder(t *testing.T) {
+	// A stage whose per-unit latency varies wildly with Seq would
+	// deliver units out of order without the reorder buffer.
+	stage := &funcStage{name: "jitter", fn: func(_ context.Context, u *Unit) error {
+		time.Sleep(time.Duration((u.Seq*7)%5) * time.Millisecond)
+		return nil
+	}}
+	agg := &orderAggregator{}
+	p := &Pipeline{
+		Source:     &seqSource{n: 100},
+		Stages:     []Stage{stage},
+		Aggregator: agg,
+		Workers:    8,
+		Buffer:     4,
+	}
+	stats, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(agg.seqs) != 100 {
+		t.Fatalf("aggregated %d units, want 100", len(agg.seqs))
+	}
+	for i, s := range agg.seqs {
+		if s != i {
+			t.Fatalf("unit %d aggregated at position %d: order not deterministic", s, i)
+		}
+	}
+	for _, st := range stats.Stages() {
+		switch st.Name() {
+		case "source":
+			if st.Out() != 100 {
+				t.Errorf("source out = %d, want 100", st.Out())
+			}
+		case "jitter":
+			if st.In() != 100 || st.Out() != 100 {
+				t.Errorf("jitter in/out = %d/%d, want 100/100", st.In(), st.Out())
+			}
+			if st.MaxQueue() > int64(p.Buffer)+1 {
+				t.Errorf("jitter max queue %d exceeds backpressure bound %d", st.MaxQueue(), p.Buffer+1)
+			}
+		case "aggregate":
+			if st.In() != 100 || st.Out() != 100 {
+				t.Errorf("aggregate in/out = %d/%d, want 100/100", st.In(), st.Out())
+			}
+		}
+	}
+}
+
+func TestCancellationStopsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	stage := &funcStage{name: "slow", fn: func(ctx context.Context, u *Unit) error {
+		if started.Add(1) == 4 {
+			cancel()
+		}
+		select {
+		case <-time.After(time.Millisecond):
+		case <-ctx.Done():
+		}
+		return nil
+	}}
+	p := &Pipeline{
+		Source:     &seqSource{n: 100000},
+		Stages:     []Stage{stage},
+		Aggregator: Discard{},
+		Workers:    4,
+		Buffer:     2,
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.Run(ctx)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("pipeline deadlocked after cancellation")
+	}
+	if n := started.Load(); n >= 100000 {
+		t.Fatalf("pipeline ran all %d units despite cancellation", n)
+	}
+}
+
+func TestStageErrorCancelsPipeline(t *testing.T) {
+	boom := errors.New("boom")
+	stage := &funcStage{name: "faulty", fn: func(_ context.Context, u *Unit) error {
+		if u.Seq == 3 {
+			return boom
+		}
+		return nil
+	}}
+	p := &Pipeline{
+		Source:     &seqSource{n: 100000},
+		Stages:     []Stage{stage},
+		Aggregator: Discard{},
+		Workers:    2,
+	}
+	_, err := p.Run(context.Background())
+	if !errors.Is(err, boom) {
+		t.Fatalf("run returned %v, want wrapped boom", err)
+	}
+	if err != nil && !strings.Contains(err.Error(), "faulty") {
+		t.Errorf("error should name the failing stage: %v", err)
+	}
+}
+
+func TestGeneratorSourceAndStages(t *testing.T) {
+	src := NewGeneratorSource(7, 3)
+	var units []*Unit
+	for {
+		u, ok := src.Next()
+		if !ok {
+			break
+		}
+		units = append(units, u)
+	}
+	if len(units) != 3 {
+		t.Fatalf("source yielded %d units, want 3", len(units))
+	}
+	for i, u := range units {
+		if u.Seq != i || u.Seed != 7+int64(i) || u.Kind != oracle.Generated {
+			t.Errorf("unit %d: seq=%d seed=%d kind=%v", i, u.Seq, u.Seed, u.Kind)
+		}
+	}
+
+	gen := &Generate{Config: generator.DefaultConfig()}
+	mut := &Mutate{TEM: true, TOM: true, TEMTOM: true, REM: true}
+	u := units[0]
+	if err := gen.Run(context.Background(), u); err != nil {
+		t.Fatal(err)
+	}
+	if u.Program == nil || u.Builtins == nil {
+		t.Fatal("generate stage did not materialize the program")
+	}
+	if len(u.Inputs) != 1 || u.Inputs[0].Kind != oracle.Generated {
+		t.Fatalf("inputs after generate: %+v", u.Inputs)
+	}
+	if err := mut.Run(context.Background(), u); err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Inputs) < 2 {
+		t.Fatalf("mutate stage derived no mutants: %+v", u.Inputs)
+	}
+	for _, in := range u.Inputs[1:] {
+		if in.Kind == oracle.Generated || in.Prog == nil {
+			t.Errorf("bad mutant input %+v", in)
+		}
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := NewStats()
+	st := s.Stage("compile")
+	st.addIn()
+	st.addBusy(3 * time.Millisecond)
+	st.observeQueue(5)
+	st.addOut()
+	out := s.String()
+	if !strings.Contains(out, "compile") || !strings.Contains(out, "stage") {
+		t.Errorf("stats rendering:\n%s", out)
+	}
+	if st.In() != 1 || st.Out() != 1 || st.MaxQueue() != 5 || st.Busy() != 3*time.Millisecond {
+		t.Errorf("counters: in=%d out=%d q=%d busy=%v", st.In(), st.Out(), st.MaxQueue(), st.Busy())
+	}
+}

@@ -1,0 +1,230 @@
+package pipeline
+
+import (
+	"context"
+	"math/rand"
+
+	"repro/internal/compilers"
+	"repro/internal/coverage"
+	"repro/internal/generator"
+	"repro/internal/ir"
+	"repro/internal/mutation"
+	"repro/internal/oracle"
+	"repro/internal/types"
+)
+
+// Input is one test program tagged with its derivation, the pair the
+// oracle needs to fix the expected compiler behaviour (Section 3).
+type Input struct {
+	Kind oracle.InputKind
+	Prog *ir.Program
+}
+
+// Execution is the outcome of compiling one Input with one compiler,
+// plus the Judge stage's verdict.
+type Execution struct {
+	Compiler string
+	Kind     oracle.InputKind
+	Result   *compilers.Result
+	Verdict  oracle.Verdict
+}
+
+// Unit is one schedulable work item: a seed program and everything the
+// stages derive from it. Units flow through the pipeline by pointer;
+// exactly one stage owns a unit at a time, so stages mutate it without
+// locking.
+type Unit struct {
+	// Seq is the unit's position in source order; the aggregator folds
+	// units in Seq order. Sources emit contiguous Seqs from 0.
+	Seq int
+	// Seed drives generation and mutation randomness for this unit.
+	Seed int64
+	// Kind is the derivation of the base program (Generated, Suite, ...).
+	Kind oracle.InputKind
+	// Program is the base program; nil until the Generate stage
+	// materializes it for generator-backed sources.
+	Program *ir.Program
+	// Builtins is the type universe the program was built against,
+	// needed by the mutation stage.
+	Builtins *types.Builtins
+	// Inputs are the programs to execute: the base program plus mutants.
+	Inputs []Input
+	// Execs are the per-(input, compiler) outcomes.
+	Execs []Execution
+	// Repairs counts TEM verification-pass rollbacks in this unit.
+	Repairs int
+}
+
+// GeneratorSource yields n empty units seeded base, base+1, ... — one
+// per program the campaign will generate. Generation itself happens in
+// the Generate stage so it parallelizes across workers.
+type GeneratorSource struct {
+	base int64
+	n    int
+	next int
+}
+
+// NewGeneratorSource returns a source of n generator-backed units.
+func NewGeneratorSource(base int64, n int) *GeneratorSource {
+	return &GeneratorSource{base: base, n: n}
+}
+
+// Name implements Source.
+func (s *GeneratorSource) Name() string { return "source" }
+
+// Next implements Source.
+func (s *GeneratorSource) Next() (*Unit, bool) {
+	if s.next >= s.n {
+		return nil, false
+	}
+	u := &Unit{Seq: s.next, Seed: s.base + int64(s.next), Kind: oracle.Generated}
+	s.next++
+	return u, true
+}
+
+// ProgramSource yields pre-built programs (a compiler's test suite, a
+// replay corpus) as units of the given kind.
+type ProgramSource struct {
+	kind  oracle.InputKind
+	progs []*ir.Program
+	next  int
+}
+
+// NewProgramSource returns a source over the given programs.
+func NewProgramSource(kind oracle.InputKind, progs []*ir.Program) *ProgramSource {
+	return &ProgramSource{kind: kind, progs: progs}
+}
+
+// Name implements Source.
+func (s *ProgramSource) Name() string { return "source" }
+
+// Next implements Source.
+func (s *ProgramSource) Next() (*Unit, bool) {
+	if s.next >= len(s.progs) {
+		return nil, false
+	}
+	u := &Unit{Seq: s.next, Seed: int64(s.next), Kind: s.kind, Program: s.progs[s.next]}
+	s.next++
+	return u, true
+}
+
+// Generate materializes each unit's base program (Section 3.2): units
+// without a program are generated from their seed; units that already
+// carry one (corpus sources) pass through. Either way the base program
+// becomes the unit's first Input.
+type Generate struct {
+	Config generator.Config
+}
+
+// Name implements Stage.
+func (*Generate) Name() string { return "generate" }
+
+// Run implements Stage.
+func (g *Generate) Run(_ context.Context, u *Unit) error {
+	if u.Program == nil {
+		gen := generator.New(g.Config.WithSeed(u.Seed))
+		u.Program = gen.Generate()
+		u.Builtins = gen.Builtins()
+	}
+	u.Inputs = append(u.Inputs, Input{Kind: u.Kind, Prog: u.Program})
+	return nil
+}
+
+// Mutate derives mutants from the unit's base program: TEM (type
+// erasure, Algorithm 2), TOM (type overwriting), TOM∘TEM (the Figure
+// 7c "TEM & TOM" row), and REM (the resolution mutation). Each flag
+// enables one mutant kind; derivation seeds match the historical
+// campaign so results are replayable.
+type Mutate struct {
+	TEM    bool
+	TOM    bool
+	TEMTOM bool
+	REM    bool
+}
+
+// Name implements Stage.
+func (*Mutate) Name() string { return "mutate" }
+
+// Run implements Stage.
+func (m *Mutate) Run(_ context.Context, u *Unit) error {
+	b := u.Builtins
+	if b == nil {
+		b = types.NewBuiltins()
+		u.Builtins = b
+	}
+	tem, temReport := mutation.TypeErasure(u.Program, b)
+	u.Repairs += temReport.RepairedMethods
+	if m.TEM && temReport.Changed() {
+		u.Inputs = append(u.Inputs, Input{Kind: oracle.TEMMutant, Prog: tem})
+	}
+	if m.TOM {
+		if tom, _ := mutation.TypeOverwriting(u.Program, b, rand.New(rand.NewSource(u.Seed))); tom != nil {
+			u.Inputs = append(u.Inputs, Input{Kind: oracle.TOMMutant, Prog: tom})
+		}
+	}
+	if m.TEMTOM {
+		// TOM on top of TEM reaches the CombinedClass bugs.
+		if temtom, _ := mutation.TypeOverwriting(tem, b, rand.New(rand.NewSource(u.Seed^0x5bd1e995))); temtom != nil {
+			u.Inputs = append(u.Inputs, Input{Kind: oracle.TEMTOMMutant, Prog: temtom})
+		}
+	}
+	if m.REM {
+		// The resolution mutation (the paper's future-work extension):
+		// decoy overloads stress overload resolution while preserving
+		// well-typedness.
+		if rem, _ := mutation.ResolutionMutation(u.Program, b, rand.New(rand.NewSource(u.Seed^0x9e3779b9))); rem != nil {
+			u.Inputs = append(u.Inputs, Input{Kind: oracle.REMMutant, Prog: rem})
+		}
+	}
+	return nil
+}
+
+// Execute compiles every input with every compiler under test. An
+// optional Coverage selector routes probe events to a per-input-kind
+// recorder (the RQ3/RQ4 experiments); recorders must be safe for
+// concurrent use, as Collector is.
+type Execute struct {
+	Compilers []*compilers.Compiler
+	Coverage  func(kind oracle.InputKind) coverage.Recorder
+}
+
+// Name implements Stage.
+func (*Execute) Name() string { return "execute" }
+
+// Run implements Stage.
+func (e *Execute) Run(ctx context.Context, u *Unit) error {
+	for _, in := range u.Inputs {
+		var cov coverage.Recorder
+		if e.Coverage != nil {
+			cov = e.Coverage(in.Kind)
+		}
+		for _, c := range e.Compilers {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			u.Execs = append(u.Execs, Execution{
+				Compiler: c.Name(),
+				Kind:     in.Kind,
+				Result:   c.Compile(in.Prog, cov),
+			})
+		}
+	}
+	return nil
+}
+
+// Judge classifies every execution against the derivation-based oracle
+// (Figure 3's output checker). It is a separate stage so alternative
+// oracles — differential cross-compiler judging, say — can replace it
+// without touching execution.
+type Judge struct{}
+
+// Name implements Stage.
+func (Judge) Name() string { return "judge" }
+
+// Run implements Stage.
+func (Judge) Run(_ context.Context, u *Unit) error {
+	for i := range u.Execs {
+		u.Execs[i].Verdict = oracle.Judge(u.Execs[i].Kind, u.Execs[i].Result)
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package pipeline
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// StageStats instruments one stage (or the source/aggregator): units
+// in and out, cumulative busy time across workers, and the peak depth
+// of the stage's input queue. Counters are atomics so worker pools
+// update them without contention.
+type StageStats struct {
+	name     string
+	order    int
+	in       atomic.Int64
+	out      atomic.Int64
+	busy     atomic.Int64 // nanoseconds
+	maxQueue atomic.Int64
+}
+
+// Name returns the stage name.
+func (s *StageStats) Name() string { return s.name }
+
+// In returns how many units the stage received.
+func (s *StageStats) In() int64 { return s.in.Load() }
+
+// Out returns how many units the stage emitted.
+func (s *StageStats) Out() int64 { return s.out.Load() }
+
+// Busy returns the cumulative time workers spent inside the stage.
+func (s *StageStats) Busy() time.Duration { return time.Duration(s.busy.Load()) }
+
+// MaxQueue returns the peak observed input-queue depth.
+func (s *StageStats) MaxQueue() int64 { return s.maxQueue.Load() }
+
+func (s *StageStats) addIn()                  { s.in.Add(1) }
+func (s *StageStats) addOut()                 { s.out.Add(1) }
+func (s *StageStats) addBusy(d time.Duration) { s.busy.Add(int64(d)) }
+
+func (s *StageStats) observeQueue(depth int) {
+	d := int64(depth)
+	for {
+		cur := s.maxQueue.Load()
+		if d <= cur || s.maxQueue.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
+// Stats collects per-stage statistics for one pipeline run.
+type Stats struct {
+	mu     sync.Mutex
+	stages map[string]*StageStats
+}
+
+// NewStats returns an empty Stats.
+func NewStats() *Stats {
+	return &Stats{stages: map[string]*StageStats{}}
+}
+
+// Stage returns (registering if needed) the stats bucket for a stage
+// name. Stages sharing a name share a bucket.
+func (s *Stats) Stage(name string) *StageStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stages[name]
+	if st == nil {
+		st = &StageStats{name: name, order: len(s.stages)}
+		s.stages[name] = st
+	}
+	return st
+}
+
+// Stages returns the per-stage stats in registration (pipeline) order.
+func (s *Stats) Stages() []*StageStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*StageStats, 0, len(s.stages))
+	for _, st := range s.stages {
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].order < out[j].order })
+	return out
+}
+
+// String renders the stats as an aligned table, one row per stage.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %8s %12s %10s\n", "stage", "in", "out", "busy", "max queue")
+	for _, st := range s.Stages() {
+		fmt.Fprintf(&b, "%-12s %8d %8d %12s %10d\n",
+			st.Name(), st.In(), st.Out(), st.Busy().Round(time.Microsecond), st.MaxQueue())
+	}
+	return b.String()
+}
