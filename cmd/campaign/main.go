@@ -13,6 +13,12 @@
 // per-stage worker count of the streaming pipeline (0 = GOMAXPROCS) —
 // results are identical for any value — and -stats prints where each
 // run's time went, stage by stage.
+//
+// Every compile runs through the resilient harness: -compile-timeout
+// bounds one compile (a hang becomes a reportable "hang" verdict),
+// -retries bounds transient-fault retries, and -chaos RATE injects
+// seeded panics/hangs/transient faults/flaky verdicts at the given rate
+// to exercise those paths; the run then prints its fault ledger.
 package main
 
 import (
@@ -21,10 +27,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/compilers"
 	"repro/internal/generator"
+	"repro/internal/harness"
+	"repro/internal/oracle"
 )
 
 func main() {
@@ -34,10 +43,31 @@ func main() {
 	seed := flag.Int64("seed", 0, "base seed")
 	workers := flag.Int("workers", 0, "pipeline workers per stage (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print per-stage pipeline statistics")
+	timeout := flag.Duration("compile-timeout", 10*time.Second, "per-compile watchdog budget (0 disables)")
+	retries := flag.Int("retries", 2, "max retries for transient compile faults")
+	chaos := flag.Float64("chaos", 0, "inject seeded faults at this rate (0 disables; exercises the harness)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	harnessOpts := harness.Options{
+		Timeout:          *timeout,
+		Retries:          *retries,
+		Seed:             *seed,
+		BreakerThreshold: 10,
+	}
+	var chaosOpts *harness.ChaosOptions
+	if *chaos > 0 {
+		chaosOpts = &harness.ChaosOptions{
+			Seed:          *seed,
+			PanicRate:     *chaos,
+			HangRate:      *chaos,
+			TransientRate: *chaos,
+			FlakyRate:     *chaos,
+		}
+		harnessOpts.DoubleCompile = true
+	}
 
 	needCampaign := map[string]bool{"7a": true, "7b": true, "7c": true, "8": true, "all": true}[*fig]
 	var report *campaign.Report
@@ -51,12 +81,21 @@ func main() {
 			Workers:   *workers,
 			GenConfig: generator.DefaultConfig(),
 			Mutate:    true,
+			Harness:   harnessOpts,
+			Chaos:     chaosOpts,
 		})
 		if err != nil {
+			// The partial report is still a valid (if truncated) fold;
+			// summarize it before signalling the incomplete run.
 			fmt.Fprintf(os.Stderr, "campaign aborted: %v\n", err)
+			fmt.Fprintf(os.Stderr, "partial report: %d distinct bugs over %d generated programs\n",
+				report.TotalFound(), report.ProgramsRun[oracle.Generated])
 			os.Exit(1)
 		}
 		fmt.Printf("found %d distinct bugs (TEM repairs: %d)\n\n", report.TotalFound(), report.TEMRepairs)
+		if report.Faults.Faults() {
+			fmt.Println(report.Faults)
+		}
 		if *stats {
 			fmt.Println("pipeline stages:")
 			fmt.Println(report.Stats)

@@ -9,6 +9,7 @@
 //	hephaestus mutate    [-seed N] [-lang ...]     show TEM and TOM mutants
 //	hephaestus translate [-seed N] -lang kotlin    translate to a language
 //	hephaestus fuzz      [-seed N] [-n programs] [-workers W] [-stats]
+//	                     [-compile-timeout D] [-retries R] [-chaos RATE]
 //	                                               run a campaign
 //	hephaestus reduce    [-seed N]                 reduce a bug trigger
 //	hephaestus typegraph [-seed N]                 dump type graphs (DOT)
@@ -20,8 +21,10 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/ir"
 	"repro/internal/oracle"
 	"repro/internal/typegraph"
@@ -40,11 +43,34 @@ func main() {
 	n := fs.Int("n", 100, "number of programs for fuzzing")
 	workers := fs.Int("workers", 0, "pipeline workers per stage (0 = GOMAXPROCS)")
 	stats := fs.Bool("stats", false, "print per-stage pipeline statistics after fuzzing")
+	timeout := fs.Duration("compile-timeout", 10*time.Second, "per-compile watchdog budget (0 disables)")
+	retries := fs.Int("retries", 2, "max retries for transient compile faults")
+	chaos := fs.Float64("chaos", 0, "inject seeded faults at this rate (0 disables; exercises the harness)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
 
-	h := core.New(core.Config{Seed: *seed, Workers: *workers})
+	cfg := core.Config{
+		Seed:    *seed,
+		Workers: *workers,
+		Harness: harness.Options{
+			Timeout:          *timeout,
+			Retries:          *retries,
+			Seed:             *seed,
+			BreakerThreshold: 10,
+		},
+	}
+	if *chaos > 0 {
+		cfg.Chaos = &harness.ChaosOptions{
+			Seed:          *seed,
+			PanicRate:     *chaos,
+			HangRate:      *chaos,
+			TransientRate: *chaos,
+			FlakyRate:     *chaos,
+		}
+		cfg.Harness.DoubleCompile = true
+	}
+	h := core.New(cfg)
 	switch cmd {
 	case "generate":
 		tc := h.GenerateTestCaseSeed(*seed)
@@ -86,7 +112,10 @@ func main() {
 		defer stop()
 		findings, report, err := h.FuzzContext(ctx, *n)
 		if err != nil {
+			// Surface what the truncated run still found, then signal
+			// the incomplete campaign through the exit code.
 			fmt.Fprintf(os.Stderr, "campaign aborted: %v\n", err)
+			fmt.Fprintf(os.Stderr, "partial report: %d distinct bugs before the abort\n", len(findings))
 			os.Exit(1)
 		}
 		fmt.Printf("campaign: %d programs (plus mutants), %d distinct bugs\n\n",
@@ -97,6 +126,9 @@ func main() {
 		}
 		fmt.Println()
 		fmt.Println(report.Figure7c().String())
+		if report.Faults.Faults() {
+			fmt.Println(report.Faults)
+		}
 		if *stats {
 			fmt.Println("pipeline stages:")
 			fmt.Println(report.Stats)

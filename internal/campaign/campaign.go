@@ -17,6 +17,7 @@ import (
 	"repro/internal/bugs"
 	"repro/internal/compilers"
 	"repro/internal/generator"
+	"repro/internal/harness"
 	"repro/internal/oracle"
 	"repro/internal/pipeline"
 )
@@ -40,6 +41,14 @@ type Options struct {
 	GenConfig generator.Config
 	// Mutate enables the TEM/TOM/TEM∘TOM/REM pipeline stages.
 	Mutate bool
+	// Harness configures the resilient execution layer (watchdog
+	// timeout, retries, circuit breakers, double-compile probe). The
+	// zero value sandboxes compiles and nothing more.
+	Harness harness.Options
+	// Chaos, when non-nil, wraps every compiler in seeded fault
+	// injection — the harness's test rig. Injected faults are audited in
+	// the report's fault ledger.
+	Chaos *harness.ChaosOptions
 }
 
 // DefaultOptions returns a small but representative campaign.
@@ -105,7 +114,21 @@ type Report struct {
 	// Stats holds the per-stage pipeline statistics for this run
 	// (timings are wall-clock and not deterministic; all counts are).
 	Stats *pipeline.Stats
+	// Faults is the harness-level fault ledger: per-compiler crashes,
+	// timeouts, retries, flaky verdicts, and gaps, plus the injected
+	// ground truth when chaos was on. Folded in unit order, so it is
+	// deterministic across worker counts.
+	Faults *harness.Ledger
+	// Err is the error that ended the run early (context cancellation,
+	// stage failure); nil for a complete run. Callers that use Run
+	// instead of RunContext read completeness from here.
+	Err error
 }
+
+// Complete reports whether the campaign ran to the end: a false return
+// means the report is a partial fold of whatever units finished before
+// the run was cut short.
+func (r *Report) Complete() bool { return r.Err == nil }
 
 // FoundFor returns the found-bug records for one compiler, ordered by ID.
 func (r *Report) FoundFor(compiler string) []*BugRecord {
@@ -123,7 +146,9 @@ func (r *Report) FoundFor(compiler string) []*BugRecord {
 func (r *Report) TotalFound() int { return len(r.Found) }
 
 // Run executes the campaign and returns its report. Runs are
-// deterministic for fixed options, regardless of worker count.
+// deterministic for fixed options, regardless of worker count. A run
+// cut short (cancellation, stage failure) is not silently complete: the
+// report carries the error in Err and Complete() returns false.
 func Run(opts Options) *Report {
 	report, _ := RunContext(context.Background(), opts)
 	return report
@@ -146,12 +171,28 @@ func RunContext(ctx context.Context, opts Options) (*Report, error) {
 		Found:       map[string]*BugRecord{},
 		Verdicts:    map[string]map[oracle.InputKind]map[oracle.Verdict]int{},
 		ProgramsRun: map[oracle.InputKind]int{},
+		Faults:      harness.NewLedger(),
 	}
 	stages := []pipeline.Stage{&pipeline.Generate{Config: opts.GenConfig}}
 	if opts.Mutate {
 		stages = append(stages, &pipeline.Mutate{TEM: true, TOM: true, TEMTOM: true, REM: true})
 	}
-	stages = append(stages, &pipeline.Execute{Compilers: opts.Compilers}, pipeline.Judge{})
+
+	// The execution layer: every compiler behind the resilient harness,
+	// optionally behind chaos fault injection first.
+	h := harness.New(opts.Harness)
+	var targets []harness.Target
+	var chaosWraps []*harness.Chaos
+	if opts.Chaos != nil {
+		for _, c := range opts.Compilers {
+			ch := harness.NewChaos(*opts.Chaos, harness.WrapCompiler(c))
+			chaosWraps = append(chaosWraps, ch)
+			targets = append(targets, ch)
+		}
+	}
+	stages = append(stages,
+		&pipeline.Execute{Compilers: opts.Compilers, Harness: h, Targets: targets},
+		pipeline.Judge{})
 
 	p := &pipeline.Pipeline{
 		Source:     pipeline.NewGeneratorSource(opts.Seed, opts.Programs),
@@ -162,6 +203,10 @@ func RunContext(ctx context.Context, opts Options) (*Report, error) {
 	stats, err := p.Run(ctx)
 	report.Stats = stats
 	report.Batches = (opts.Programs + opts.BatchSize - 1) / opts.BatchSize
+	for _, ch := range chaosWraps {
+		report.Faults.RecordInjected(ch.Name(), ch.Injected())
+	}
+	report.Err = err
 	return report, err
 }
 
@@ -179,7 +224,11 @@ func (r *reportAggregator) Aggregate(u *pipeline.Unit) {
 	for _, in := range u.Inputs {
 		r.ProgramsRun[in.Kind]++
 	}
+	for _, g := range u.Gaps {
+		r.Faults.Observe(g.Compiler, g.Inv)
+	}
 	for _, e := range u.Execs {
+		r.Faults.Observe(e.Compiler, e.Inv)
 		perComp := r.Verdicts[e.Compiler]
 		if perComp == nil {
 			perComp = map[oracle.InputKind]map[oracle.Verdict]int{}

@@ -122,6 +122,28 @@ func TestCampaignCancellation(t *testing.T) {
 	}
 }
 
+func TestRunSurfacesIncompleteness(t *testing.T) {
+	// A run cut short must say so: Run (which has no error return) still
+	// carries the pipeline error in the report.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	report, err := RunContext(ctx, smallOptions(50))
+	if err == nil {
+		t.Fatal("cancelled RunContext returned nil error")
+	}
+	if report.Err == nil || report.Complete() {
+		t.Errorf("partial report not marked incomplete: Err=%v Complete=%v", report.Err, report.Complete())
+	}
+	if !errors.Is(report.Err, context.Canceled) {
+		t.Errorf("report.Err = %v, want context.Canceled", report.Err)
+	}
+
+	complete := Run(smallOptions(5))
+	if !complete.Complete() || complete.Err != nil {
+		t.Errorf("complete run marked incomplete: Err=%v", complete.Err)
+	}
+}
+
 func TestTechniqueAttribution(t *testing.T) {
 	report := Run(smallOptions(80))
 	sawTEM, sawTOM, sawGen := false, false, false

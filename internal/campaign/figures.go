@@ -289,7 +289,7 @@ func CatalogTables() (*Table, *Table, *Table) {
 func (r *Report) VerdictSummary() *Table {
 	t := &Table{
 		Title:  "Oracle verdicts",
-		Header: []string{"Compiler", "Input", "pass", "UCTE", "URB", "crash"},
+		Header: []string{"Compiler", "Input", "pass", "UCTE", "URB", "crash", "hang"},
 	}
 	var comps []string
 	for c := range r.Verdicts {
@@ -309,6 +309,7 @@ func (r *Report) VerdictSummary() *Table {
 				fmt.Sprint(v[oracle.UnexpectedCompileTimeError]),
 				fmt.Sprint(v[oracle.UnexpectedAcceptance]),
 				fmt.Sprint(v[oracle.CompilerCrash]),
+				fmt.Sprint(v[oracle.CompilerHang]),
 			})
 		}
 	}

@@ -33,6 +33,10 @@ const (
 	Rejected
 	// Crashed: the compiler threw an internal error.
 	Crashed
+	// TimedOut: the compiler hung past the harness watchdog's deadline.
+	// Synthesized by internal/harness, never by the simulated compilers
+	// themselves; a hang is a reportable bug distinct from a crash.
+	TimedOut
 )
 
 func (s Status) String() string {
@@ -41,6 +45,8 @@ func (s Status) String() string {
 		return "ok"
 	case Rejected:
 		return "rejected"
+	case TimedOut:
+		return "timed out"
 	default:
 		return "crashed"
 	}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/compilers"
 	"repro/internal/generator"
+	"repro/internal/harness"
 	"repro/internal/ir"
 	"repro/internal/mutation"
 	"repro/internal/oracle"
@@ -42,6 +43,12 @@ type Config struct {
 	// Workers is the per-stage worker count for fuzzing campaigns;
 	// 0 means GOMAXPROCS.
 	Workers int
+	// Harness configures the resilient execution layer (watchdog
+	// timeout, retries, circuit breakers) for fuzzing campaigns.
+	Harness harness.Options
+	// Chaos, when non-nil, injects seeded faults into every compile —
+	// the harness's test rig.
+	Chaos *harness.ChaosOptions
 }
 
 // Hephaestus is the façade object.
@@ -145,6 +152,8 @@ func (h *Hephaestus) FuzzContext(ctx context.Context, n int) ([]Finding, *campai
 		GenConfig: h.cfg.Generator,
 		Compilers: h.compilers,
 		Mutate:    true,
+		Harness:   h.cfg.Harness,
+		Chaos:     h.cfg.Chaos,
 	})
 	var out []Finding
 	for _, rec := range report.Found {

@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	b := NewBreaker(3, 2)
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker denied compile %d", i)
+		}
+		b.Record(false)
+		if b.State() != BreakerClosed {
+			t.Fatalf("breaker opened after %d failures, threshold is 3", i+1)
+		}
+	}
+	b.Allow()
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker closed after 3 consecutive failures")
+	}
+}
+
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	b := NewBreaker(3, 2)
+	for i := 0; i < 10; i++ {
+		b.Allow()
+		b.Record(i%2 == 0) // alternate success/failure: never 3 in a row
+	}
+	if b.State() != BreakerOpen && b.State() != BreakerClosed {
+		t.Fatalf("unexpected state %s", b.State())
+	}
+	if b.State() != BreakerClosed {
+		t.Fatal("breaker opened without 3 consecutive failures")
+	}
+}
+
+func TestBreakerCooldownThenHalfOpen(t *testing.T) {
+	b := NewBreaker(1, 3)
+	b.Allow()
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker should open at threshold 1")
+	}
+	// Three compiles are quarantined during the cooldown.
+	for i := 0; i < 3; i++ {
+		if b.Allow() {
+			t.Fatalf("open breaker admitted compile %d during cooldown", i)
+		}
+	}
+	// The third is admitted as the half-open probe.
+	if !b.Allow() {
+		t.Fatal("breaker should probe half-open after cooldown")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %s, want half-open", b.State())
+	}
+	// Only one probe at a time.
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %s, want closed", b.State())
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker should admit")
+	}
+}
+
+func TestBreakerFailedProbeReopens(t *testing.T) {
+	b := NewBreaker(1, 1)
+	b.Allow()
+	b.Record(false) // open
+	if b.Allow() {  // serves the 1-compile cooldown
+		t.Fatal("open breaker admitted during cooldown")
+	}
+	if !b.Allow() { // cooldown served: this admission is the probe
+		t.Fatal("probe not admitted after cooldown")
+	}
+	b.Record(false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %s, want open", b.State())
+	}
+	// The cooldown restarts from zero.
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted during restarted cooldown")
+	}
+	if !b.Allow() {
+		t.Fatal("second probe not admitted after restarted cooldown")
+	}
+	b.Record(true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %s, want closed", b.State())
+	}
+}
+
+func TestBreakerDisabledAlwaysAdmits(t *testing.T) {
+	b := NewBreaker(0, 0)
+	for i := 0; i < 100; i++ {
+		if !b.Allow() {
+			t.Fatal("disabled breaker denied a compile")
+		}
+		b.Record(false)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("disabled breaker state = %s, want closed", b.State())
+	}
+}
+
+func TestBreakerConcurrentUse(t *testing.T) {
+	// Exercised under -race: concurrent Allow/Record must not corrupt
+	// the state machine into an impossible position.
+	b := NewBreaker(5, 3)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if b.Allow() {
+					b.Record((i+w)%3 != 0)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	switch b.State() {
+	case BreakerClosed, BreakerOpen, BreakerHalfOpen:
+	default:
+		t.Fatalf("impossible breaker state %d", b.State())
+	}
+}

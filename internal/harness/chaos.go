@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/compilers"
+	"repro/internal/coverage"
+	"repro/internal/ir"
+)
+
+// ChaosOptions configures deterministic fault injection. Every decision
+// is drawn from a generator seeded by (Seed, compiler name, invocation
+// Key), never from global call order, so for a fixed seed the same
+// faults hit the same compiles whatever the worker count — which is
+// what lets a chaos soak assert a bit-for-bit deterministic report.
+type ChaosOptions struct {
+	// Seed drives every injection decision.
+	Seed int64
+	// PanicRate is the probability a compile panics (exercising the
+	// sandbox).
+	PanicRate float64
+	// HangRate is the probability a compile hangs (exercising the
+	// watchdog).
+	HangRate float64
+	// TransientRate is the probability a compile's first attempt fails
+	// with a retryable error (exercising backoff). Only attempt 0 is
+	// eligible, so every injected transient costs exactly one retry.
+	TransientRate float64
+	// FlakyRate is the probability the double-compile probe sees a
+	// flipped verdict (exercising the nondeterminism detector). Only the
+	// probe replica is flipped; the recorded result is untouched.
+	FlakyRate float64
+	// HangDuration bounds an injected hang for harnesses without a
+	// watchdog; 0 means 30s. Hangs are context-aware and unblock the
+	// moment the watchdog fires.
+	HangDuration time.Duration
+}
+
+// InjectionCounts tallies the faults a chaos wrapper injected — the
+// ground truth a fault ledger is audited against.
+type InjectionCounts struct {
+	Panics, Hangs, Transients, Flips int64
+}
+
+// Total returns the number of injected faults of all kinds.
+func (c InjectionCounts) Total() int64 { return c.Panics + c.Hangs + c.Transients + c.Flips }
+
+// Chaos wraps a Target and injects hangs, panics, transient errors, and
+// flaky verdicts at the configured rates. It implements Target, so it
+// slots between the harness and any compiler.
+type Chaos struct {
+	opts   ChaosOptions
+	target Target
+
+	panics, hangs, transients, flips atomic.Int64
+}
+
+// NewChaos wraps target with seeded fault injection.
+func NewChaos(opts ChaosOptions, target Target) *Chaos {
+	if opts.HangDuration <= 0 {
+		opts.HangDuration = 30 * time.Second
+	}
+	return &Chaos{opts: opts, target: target}
+}
+
+// Name implements Target.
+func (c *Chaos) Name() string { return c.target.Name() }
+
+// Injected returns the faults injected so far. Totals are sums over
+// per-invocation decisions, so they are deterministic for a fixed seed
+// and campaign regardless of execution order.
+func (c *Chaos) Injected() InjectionCounts {
+	return InjectionCounts{
+		Panics:     c.panics.Load(),
+		Hangs:      c.hangs.Load(),
+		Transients: c.transients.Load(),
+		Flips:      c.flips.Load(),
+	}
+}
+
+// Compile implements Target: roll the invocation's dice, misbehave if
+// they say so, otherwise delegate to the real compiler.
+func (c *Chaos) Compile(ctx context.Context, p *ir.Program, cov coverage.Recorder) (*compilers.Result, error) {
+	key, _ := KeyFrom(ctx)
+	rng := rand.New(rand.NewSource(int64(mix64(
+		uint64(c.opts.Seed) ^ hashString(c.target.Name()) ^ uint64(key.hash())))))
+
+	if key.Replica == 0 {
+		if rng.Float64() < c.opts.PanicRate {
+			c.panics.Add(1)
+			panic(fmt.Sprintf("chaos: injected panic (unit %d, input %d, attempt %d)",
+				key.Unit, key.Input, key.Attempt))
+		}
+		if rng.Float64() < c.opts.HangRate {
+			c.hangs.Add(1)
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(c.opts.HangDuration):
+				// No watchdog caught us; fall through to a late result,
+				// as a real stalled-but-recovering compiler would.
+			}
+		}
+		if key.Attempt == 0 && rng.Float64() < c.opts.TransientRate {
+			c.transients.Add(1)
+			return nil, Transient(errors.New("chaos: injected transient fault"))
+		}
+	}
+
+	res, err := c.target.Compile(ctx, p, cov)
+	if err == nil && key.Replica == 1 && rng.Float64() < c.opts.FlakyRate {
+		if flipped := flipStatus(res); flipped != nil {
+			c.flips.Add(1)
+			return flipped, nil
+		}
+	}
+	return res, err
+}
+
+// flipStatus returns a copy of res with an inverted accept/reject
+// verdict, or nil if the status has no meaningful flip (crashes stay
+// crashes).
+func flipStatus(res *compilers.Result) *compilers.Result {
+	out := *res
+	switch res.Status {
+	case compilers.OK:
+		out.Status = compilers.Rejected
+	case compilers.Rejected:
+		out.Status = compilers.OK
+	default:
+		return nil
+	}
+	return &out
+}

@@ -1,0 +1,188 @@
+package harness
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/compilers"
+	"repro/internal/coverage"
+	"repro/internal/ir"
+)
+
+// quietTarget always compiles OK.
+type quietTarget struct{}
+
+func (quietTarget) Name() string { return "quiet" }
+
+func (quietTarget) Compile(context.Context, *ir.Program, coverage.Recorder) (*compilers.Result, error) {
+	return &compilers.Result{Status: compilers.OK}, nil
+}
+
+// chaosEnding captures how one chaos compile ended, for comparing runs.
+type chaosEnding struct {
+	status    compilers.Status
+	err       string
+	panicked  bool
+	transient bool
+}
+
+// runOne invokes the chaos wrapper once under the sandbox and records
+// the ending.
+func runOne(c *Chaos, key Key) chaosEnding {
+	ctx, cancel := context.WithTimeout(WithKey(context.Background(), key), 5*time.Second)
+	defer cancel()
+	var out chaosEnding
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				out.panicked = true
+			}
+		}()
+		res, err := c.Compile(ctx, nil, nil)
+		if err != nil {
+			out.err = err.Error()
+			out.transient = IsTransient(err)
+			return
+		}
+		out.status = res.Status
+	}()
+	return out
+}
+
+func TestChaosDecisionsKeyedNotOrdered(t *testing.T) {
+	opts := ChaosOptions{Seed: 1, PanicRate: 0.2, HangRate: 0.2, TransientRate: 0.2, HangDuration: time.Millisecond}
+	keys := make([]Key, 50)
+	for i := range keys {
+		keys[i] = Key{Unit: int64(i), Input: i % 3}
+	}
+
+	// First run: in order.
+	c1 := NewChaos(opts, quietTarget{})
+	forward := make([]chaosEnding, len(keys))
+	for i, k := range keys {
+		forward[i] = runOne(c1, k)
+	}
+	// Second run: reverse order. Same decisions must land on the same
+	// keys — injection depends on the key, never on call order.
+	c2 := NewChaos(opts, quietTarget{})
+	backward := make([]chaosEnding, len(keys))
+	for i := len(keys) - 1; i >= 0; i-- {
+		backward[i] = runOne(c2, keys[i])
+	}
+	for i := range keys {
+		if forward[i] != backward[i] {
+			t.Fatalf("key %d: ending depends on call order: %+v vs %+v", i, forward[i], backward[i])
+		}
+	}
+	if c1.Injected() != c2.Injected() {
+		t.Fatalf("injection counts depend on call order: %+v vs %+v", c1.Injected(), c2.Injected())
+	}
+	if c1.Injected().Total() == 0 {
+		t.Fatal("no faults injected at 20% rates over 50 compiles")
+	}
+}
+
+func TestChaosTransientOnlyOnFirstAttempt(t *testing.T) {
+	c := NewChaos(ChaosOptions{Seed: 3, TransientRate: 1}, quietTarget{})
+	if e := runOne(c, Key{Unit: 9}); !e.transient {
+		t.Fatalf("attempt 0 should fail transiently at rate 1, got %+v", e)
+	}
+	if e := runOne(c, Key{Unit: 9, Attempt: 1}); e.status != compilers.OK {
+		t.Fatalf("attempt 1 should succeed (transients only hit attempt 0), got %+v", e)
+	}
+	if got := c.Injected().Transients; got != 1 {
+		t.Errorf("injected transients = %d, want 1", got)
+	}
+}
+
+func TestChaosSparesProbeReplicaFromFaults(t *testing.T) {
+	// Panics/hangs/transients target only the primary compile, so every
+	// injected fault is attributable to exactly one ledger entry.
+	c := NewChaos(ChaosOptions{Seed: 5, PanicRate: 1}, quietTarget{})
+	if e := runOne(c, Key{Unit: 2}); !e.panicked {
+		t.Fatalf("primary replica should panic at rate 1, got %+v", e)
+	}
+	if e := runOne(c, Key{Unit: 2, Replica: 1}); e.status != compilers.OK {
+		t.Fatalf("probe replica should be spared injected panics, got %+v", e)
+	}
+}
+
+func TestChaosFlipsOnlyProbeVerdicts(t *testing.T) {
+	c := NewChaos(ChaosOptions{Seed: 7, FlakyRate: 1}, quietTarget{})
+	if e := runOne(c, Key{Unit: 4}); e.status != compilers.OK {
+		t.Fatalf("primary verdict should be untouched, got %+v", e)
+	}
+	if e := runOne(c, Key{Unit: 4, Replica: 1}); e.status != compilers.Rejected {
+		t.Fatalf("probe verdict should flip at rate 1, got %+v", e)
+	}
+	if got := c.Injected().Flips; got != 1 {
+		t.Errorf("injected flips = %d, want 1", got)
+	}
+}
+
+func TestChaosHangObservesContext(t *testing.T) {
+	c := NewChaos(ChaosOptions{Seed: 11, HangRate: 1, HangDuration: time.Hour}, quietTarget{})
+	key := Key{Unit: 6}
+	ctx, cancel := context.WithTimeout(WithKey(context.Background(), key), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Compile(ctx, nil, nil)
+	if err == nil {
+		t.Fatal("hung compile returned without error before its duration")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("injected hang ignored context for %v", elapsed)
+	}
+	if got := c.Injected().Hangs; got != 1 {
+		t.Errorf("injected hangs = %d, want 1", got)
+	}
+}
+
+func TestChaosThroughHarnessLedgerAudit(t *testing.T) {
+	// End-to-end at the harness level: run many keyed compiles through
+	// chaos + harness and check the ledger accounts for every injected
+	// fault.
+	chaos := NewChaos(ChaosOptions{
+		Seed:          13,
+		PanicRate:     0.15,
+		HangRate:      0.15,
+		TransientRate: 0.15,
+		FlakyRate:     0.15,
+		HangDuration:  10 * time.Second,
+	}, quietTarget{})
+	h := New(Options{
+		Timeout:       25 * time.Millisecond,
+		Retries:       2,
+		BackoffBase:   time.Microsecond,
+		DoubleCompile: true,
+	})
+	ledger := NewLedger()
+	for unit := 0; unit < 80; unit++ {
+		inv := h.Compile(context.Background(), chaos, nil, nil, Key{Unit: int64(unit)})
+		ledger.Observe(chaos.Name(), inv)
+	}
+	inj := chaos.Injected()
+	rec := ledger.PerCompiler["quiet"]
+	if rec == nil {
+		t.Fatal("ledger has no record for the chaos target")
+	}
+	if inj.Panics == 0 || inj.Hangs == 0 || inj.Transients == 0 || inj.Flips == 0 {
+		t.Fatalf("expected every fault kind at 15%% over 80 compiles: %+v", inj)
+	}
+	if int64(rec.Crashes) != inj.Panics {
+		t.Errorf("ledger crashes = %d, injected panics = %d", rec.Crashes, inj.Panics)
+	}
+	if int64(rec.Timeouts) != inj.Hangs {
+		t.Errorf("ledger timeouts = %d, injected hangs = %d", rec.Timeouts, inj.Hangs)
+	}
+	if int64(rec.Retries) != inj.Transients {
+		t.Errorf("ledger retries = %d, injected transients = %d", rec.Retries, inj.Transients)
+	}
+	if int64(rec.Flaky) != inj.Flips {
+		t.Errorf("ledger flaky = %d, injected flips = %d", rec.Flaky, inj.Flips)
+	}
+	if rec.Compiles != 80 {
+		t.Errorf("ledger compiles = %d, want 80", rec.Compiles)
+	}
+}

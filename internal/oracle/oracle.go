@@ -69,6 +69,11 @@ const (
 	UnexpectedAcceptance
 	// CompilerCrash: the compiler threw an internal error.
 	CompilerCrash
+	// CompilerHang: the compiler exceeded the harness watchdog's
+	// deadline. In the paper's taxonomy a hang is a reportable
+	// performance bug, distinct from a crash: the compiler neither
+	// accepted, rejected, nor aborted.
+	CompilerHang
 )
 
 func (v Verdict) String() string {
@@ -79,16 +84,21 @@ func (v Verdict) String() string {
 		return "UCTE"
 	case UnexpectedAcceptance:
 		return "URB"
+	case CompilerHang:
+		return "hang"
 	default:
 		return "crash"
 	}
 }
 
 // Judge compares a compilation result against the oracle for the input
-// kind.
+// kind. A crash or hang is a bug whatever the derivation.
 func Judge(kind InputKind, res *compilers.Result) Verdict {
 	if res.Status == compilers.Crashed {
 		return CompilerCrash
+	}
+	if res.Status == compilers.TimedOut {
+		return CompilerHang
 	}
 	if kind.ExpectCompile() {
 		if res.Status == compilers.Rejected {

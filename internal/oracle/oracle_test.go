@@ -11,6 +11,7 @@ func TestOracleJudgement(t *testing.T) {
 	ok := &compilers.Result{Status: compilers.OK}
 	rejected := &compilers.Result{Status: compilers.Rejected}
 	crashed := &compilers.Result{Status: compilers.Crashed}
+	timedOut := &compilers.Result{Status: compilers.TimedOut}
 	cases := []struct {
 		kind oracle.InputKind
 		res  *compilers.Result
@@ -26,6 +27,15 @@ func TestOracleJudgement(t *testing.T) {
 		{oracle.TOMMutant, crashed, oracle.CompilerCrash},
 		{oracle.TEMTOMMutant, ok, oracle.UnexpectedAcceptance},
 		{oracle.Suite, ok, oracle.Pass},
+		// A hang is a reportable bug whatever the derivation — distinct
+		// from a crash, and never a pass even for ill-typed inputs whose
+		// rejection path wedged.
+		{oracle.Generated, timedOut, oracle.CompilerHang},
+		{oracle.TEMMutant, timedOut, oracle.CompilerHang},
+		{oracle.TOMMutant, timedOut, oracle.CompilerHang},
+		{oracle.TEMTOMMutant, timedOut, oracle.CompilerHang},
+		{oracle.Suite, timedOut, oracle.CompilerHang},
+		{oracle.REMMutant, timedOut, oracle.CompilerHang},
 	}
 	for _, c := range cases {
 		if got := oracle.Judge(c.kind, c.res); got != c.want {
@@ -55,6 +65,7 @@ func TestInputKindStrings(t *testing.T) {
 		oracle.UnexpectedCompileTimeError: "UCTE",
 		oracle.UnexpectedAcceptance:       "URB",
 		oracle.CompilerCrash:              "crash",
+		oracle.CompilerHang:               "hang",
 	}
 	for v, want := range verdicts {
 		if v.String() != want {

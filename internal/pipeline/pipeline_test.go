@@ -8,7 +8,11 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/compilers"
+	"repro/internal/coverage"
 	"repro/internal/generator"
+	"repro/internal/harness"
+	"repro/internal/ir"
 	"repro/internal/oracle"
 )
 
@@ -191,6 +195,69 @@ func TestGeneratorSourceAndStages(t *testing.T) {
 		if in.Kind == oracle.Generated || in.Prog == nil {
 			t.Errorf("bad mutant input %+v", in)
 		}
+	}
+}
+
+func TestGenerateAndMutateObserveCancellation(t *testing.T) {
+	// Both stages must notice a dead context before (and between)
+	// chunky uninterruptible steps, so SIGINT aborts promptly even
+	// mid-unit on large programs.
+	live := context.Background()
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	gen := &Generate{Config: generator.DefaultConfig()}
+	u := &Unit{Seed: 1, Kind: oracle.Generated}
+	if err := gen.Run(dead, u); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Generate.Run with cancelled ctx = %v, want context.Canceled", err)
+	}
+	if err := gen.Run(live, u); err != nil {
+		t.Fatal(err)
+	}
+	mut := &Mutate{TEM: true, TOM: true, TEMTOM: true, REM: true}
+	if err := mut.Run(dead, u); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Mutate.Run with cancelled ctx = %v, want context.Canceled", err)
+	}
+	if err := mut.Run(live, u); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// panicTarget crashes on every compile: the harness sandbox must keep
+// the stage alive.
+type panicTarget struct{}
+
+func (panicTarget) Name() string { return "faulty" }
+
+func (panicTarget) Compile(context.Context, *ir.Program, coverage.Recorder) (*compilers.Result, error) {
+	panic("compiler bug")
+}
+
+func TestExecuteSandboxesTargetPanics(t *testing.T) {
+	gen := &Generate{Config: generator.DefaultConfig()}
+	u := &Unit{Seed: 3, Kind: oracle.Generated}
+	if err := gen.Run(context.Background(), u); err != nil {
+		t.Fatal(err)
+	}
+	exec := &Execute{Targets: []harness.Target{panicTarget{}}}
+	if err := exec.Run(context.Background(), u); err != nil {
+		t.Fatalf("panicking target errored the stage: %v", err)
+	}
+	if len(u.Execs) != 1 {
+		t.Fatalf("executions = %d, want 1", len(u.Execs))
+	}
+	e := u.Execs[0]
+	if e.Inv.Outcome != harness.Crashed {
+		t.Fatalf("outcome = %s, want crashed", e.Inv.Outcome)
+	}
+	if e.Result == nil || e.Result.Status != compilers.Crashed {
+		t.Fatalf("crash result not synthesized: %+v", e.Result)
+	}
+	if err := (Judge{}).Run(context.Background(), u); err != nil {
+		t.Fatal(err)
+	}
+	if u.Execs[0].Verdict != oracle.CompilerCrash {
+		t.Fatalf("verdict = %s, want crash", u.Execs[0].Verdict)
 	}
 }
 

@@ -3,10 +3,12 @@ package pipeline
 import (
 	"context"
 	"math/rand"
+	"sync"
 
 	"repro/internal/compilers"
 	"repro/internal/coverage"
 	"repro/internal/generator"
+	"repro/internal/harness"
 	"repro/internal/ir"
 	"repro/internal/mutation"
 	"repro/internal/oracle"
@@ -27,6 +29,18 @@ type Execution struct {
 	Kind     oracle.InputKind
 	Result   *compilers.Result
 	Verdict  oracle.Verdict
+	// Inv is the harness's record of the compile: how it ended, retries
+	// spent, flaky-verdict flag, captured stack on a sandboxed panic.
+	Inv harness.Invocation
+}
+
+// Gap records a compile that produced no judgeable result — skipped by
+// an open circuit breaker or abandoned after retries — so the campaign
+// can account for the hole instead of silently shrinking.
+type Gap struct {
+	Compiler string
+	Kind     oracle.InputKind
+	Inv      harness.Invocation
 }
 
 // Unit is one schedulable work item: a seed program and everything the
@@ -51,6 +65,9 @@ type Unit struct {
 	Inputs []Input
 	// Execs are the per-(input, compiler) outcomes.
 	Execs []Execution
+	// Gaps are the compiles that yielded no result (quarantined by a
+	// circuit breaker, or errored past the retry budget).
+	Gaps []Gap
 	// Repairs counts TEM verification-pass rollbacks in this unit.
 	Repairs int
 }
@@ -119,8 +136,13 @@ type Generate struct {
 // Name implements Stage.
 func (*Generate) Name() string { return "generate" }
 
-// Run implements Stage.
-func (g *Generate) Run(_ context.Context, u *Unit) error {
+// Run implements Stage. Generation of a large program is the
+// pipeline's chunkiest uninterruptible step, so the stage checks for
+// cancellation before starting a unit.
+func (g *Generate) Run(ctx context.Context, u *Unit) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if u.Program == nil {
 		gen := generator.New(g.Config.WithSeed(u.Seed))
 		u.Program = gen.Generate()
@@ -145,8 +167,13 @@ type Mutate struct {
 // Name implements Stage.
 func (*Mutate) Name() string { return "mutate" }
 
-// Run implements Stage.
-func (m *Mutate) Run(_ context.Context, u *Unit) error {
+// Run implements Stage. Each mutation walks the whole program, so the
+// stage checks for cancellation between mutants: SIGINT aborts promptly
+// even mid-unit on large programs.
+func (m *Mutate) Run(ctx context.Context, u *Unit) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	b := u.Builtins
 	if b == nil {
 		b = types.NewBuiltins()
@@ -157,16 +184,25 @@ func (m *Mutate) Run(_ context.Context, u *Unit) error {
 	if m.TEM && temReport.Changed() {
 		u.Inputs = append(u.Inputs, Input{Kind: oracle.TEMMutant, Prog: tem})
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if m.TOM {
 		if tom, _ := mutation.TypeOverwriting(u.Program, b, rand.New(rand.NewSource(u.Seed))); tom != nil {
 			u.Inputs = append(u.Inputs, Input{Kind: oracle.TOMMutant, Prog: tom})
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if m.TEMTOM {
 		// TOM on top of TEM reaches the CombinedClass bugs.
 		if temtom, _ := mutation.TypeOverwriting(tem, b, rand.New(rand.NewSource(u.Seed^0x5bd1e995))); temtom != nil {
 			u.Inputs = append(u.Inputs, Input{Kind: oracle.TEMTOMMutant, Prog: temtom})
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if m.REM {
 		// The resolution mutation (the paper's future-work extension):
@@ -179,34 +215,77 @@ func (m *Mutate) Run(_ context.Context, u *Unit) error {
 	return nil
 }
 
-// Execute compiles every input with every compiler under test. An
-// optional Coverage selector routes probe events to a per-input-kind
-// recorder (the RQ3/RQ4 experiments); recorders must be safe for
-// concurrent use, as Collector is.
+// Execute compiles every input with every compiler under test, each
+// compile running through the resilient harness (sandbox, watchdog,
+// retries, circuit breaker). An optional Coverage selector routes probe
+// events to a per-input-kind recorder (the RQ3/RQ4 experiments);
+// recorders must be safe for concurrent use, as Collector is.
 type Execute struct {
 	Compilers []*compilers.Compiler
 	Coverage  func(kind oracle.InputKind) coverage.Recorder
+	// Harness hardens each compile; nil means the zero harness
+	// (sandboxed invocation, no watchdog/retries/breaker).
+	Harness *harness.Harness
+	// Targets overrides Compilers as the things to invoke — the hook
+	// where a chaos wrapper (or a future subprocess-backed compiler)
+	// slots in. When nil, Compilers are wrapped directly.
+	Targets []harness.Target
+
+	initOnce sync.Once
+	h        *harness.Harness
+	targets  []harness.Target
 }
 
 // Name implements Stage.
 func (*Execute) Name() string { return "execute" }
 
-// Run implements Stage.
+// init resolves the harness and target list once, shared by all
+// workers; chaos wrappers keep their injection counters across units
+// because the same Target values are reused for every compile.
+func (e *Execute) init() {
+	e.initOnce.Do(func() {
+		e.h = e.Harness
+		if e.h == nil {
+			e.h = harness.New(harness.Options{})
+		}
+		e.targets = e.Targets
+		if e.targets == nil {
+			for _, c := range e.Compilers {
+				e.targets = append(e.targets, harness.WrapCompiler(c))
+			}
+		}
+	})
+}
+
+// Run implements Stage. A compile that yields a result — including a
+// sandbox-synthesized crash or watchdog timeout — becomes an Execution
+// for the Judge stage; one that yields none (quarantined, errored past
+// retries) is recorded as a Gap so the report can account for the hole.
 func (e *Execute) Run(ctx context.Context, u *Unit) error {
-	for _, in := range u.Inputs {
+	e.init()
+	for i, in := range u.Inputs {
 		var cov coverage.Recorder
 		if e.Coverage != nil {
 			cov = e.Coverage(in.Kind)
 		}
-		for _, c := range e.Compilers {
+		for _, t := range e.targets {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			u.Execs = append(u.Execs, Execution{
-				Compiler: c.Name(),
-				Kind:     in.Kind,
-				Result:   c.Compile(in.Prog, cov),
-			})
+			inv := e.h.Compile(ctx, t, in.Prog, cov, harness.Key{Unit: u.Seed, Input: i})
+			switch inv.Outcome {
+			case harness.Aborted:
+				return ctx.Err()
+			case harness.Quarantined, harness.Errored:
+				u.Gaps = append(u.Gaps, Gap{Compiler: t.Name(), Kind: in.Kind, Inv: inv})
+			default:
+				u.Execs = append(u.Execs, Execution{
+					Compiler: t.Name(),
+					Kind:     in.Kind,
+					Result:   inv.Result,
+					Inv:      inv,
+				})
+			}
 		}
 	}
 	return nil
