@@ -19,6 +19,13 @@
 // -retries bounds transient-fault retries, and -chaos RATE injects
 // seeded panics/hangs/transient faults/flaky verdicts at the given rate
 // to exercise those paths; the run then prints its fault ledger.
+//
+// With -state DIR the campaign is durable: every aggregated unit is
+// journaled and the folded report snapshotted in DIR, so a killed run
+// resumes with -resume to exactly the report of an uninterrupted run.
+// SIGINT/SIGTERM take a final snapshot and flush the partial figures
+// before the nonzero exit. The state dir also accumulates a persistent
+// bug corpus across campaigns.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/campaign"
@@ -46,9 +54,12 @@ func main() {
 	timeout := flag.Duration("compile-timeout", 10*time.Second, "per-compile watchdog budget (0 disables)")
 	retries := flag.Int("retries", 2, "max retries for transient compile faults")
 	chaos := flag.Float64("chaos", 0, "inject seeded faults at this rate (0 disables; exercises the harness)")
+	state := flag.String("state", "", "state directory for durable campaigns (journal, snapshots, bug corpus)")
+	resume := flag.Bool("resume", false, "resume the campaign recorded in -state instead of starting fresh")
+	snapshotEvery := flag.Int("snapshot-every", 0, "units between report snapshots (0 = default cadence)")
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	harnessOpts := harness.Options{
@@ -75,27 +86,38 @@ func main() {
 		fmt.Printf("running campaign: %d programs + mutants against groovyc, kotlinc, javac...\n\n", *n)
 		var err error
 		report, err = campaign.RunContext(ctx, campaign.Options{
-			Seed:      *seed,
-			Programs:  *n,
-			BatchSize: 20,
-			Workers:   *workers,
-			GenConfig: generator.DefaultConfig(),
-			Mutate:    true,
-			Harness:   harnessOpts,
-			Chaos:     chaosOpts,
+			Seed:          *seed,
+			Programs:      *n,
+			BatchSize:     20,
+			Workers:       *workers,
+			GenConfig:     generator.DefaultConfig(),
+			Mutate:        true,
+			Harness:       harnessOpts,
+			Chaos:         chaosOpts,
+			StateDir:      *state,
+			Resume:        *resume,
+			SnapshotEvery: *snapshotEvery,
 		})
+		printRecovery(report)
 		if err != nil {
-			// The partial report is still a valid (if truncated) fold;
-			// summarize it before signalling the incomplete run.
+			// The partial report is still a valid (if truncated) fold:
+			// flush the figures and stats it supports — a durable run
+			// has also just snapshotted this exact state for -resume —
+			// before signalling the incomplete run.
 			fmt.Fprintf(os.Stderr, "campaign aborted: %v\n", err)
 			fmt.Fprintf(os.Stderr, "partial report: %d distinct bugs over %d generated programs\n",
 				report.TotalFound(), report.ProgramsRun[oracle.Generated])
+			flushPartial(report, *fig, *stats)
+			if *state != "" {
+				fmt.Fprintf(os.Stderr, "state saved; resume with -state %s -resume\n", *state)
+			}
 			os.Exit(1)
 		}
 		fmt.Printf("found %d distinct bugs (TEM repairs: %d)\n\n", report.TotalFound(), report.TEMRepairs)
 		if report.Faults.Faults() {
 			fmt.Println(report.Faults)
 		}
+		printCorpus(report)
 		if *stats {
 			fmt.Println("pipeline stages:")
 			fmt.Println(report.Stats)
@@ -154,5 +176,57 @@ func main() {
 	}
 	if report != nil && *fig == "all" {
 		fmt.Println(report.VerdictSummary())
+	}
+}
+
+// printRecovery summarizes what a resumed run restored.
+func printRecovery(r *campaign.Report) {
+	if r == nil || !r.Recovery.Resumed {
+		return
+	}
+	fmt.Printf("resumed: %d units restored (%d from snapshot prefix, %d journal records replayed)\n",
+		r.Recovery.Recovered, r.Recovery.SnapshotSeq, r.Recovery.Replayed)
+	for _, c := range r.Recovery.Quarantined {
+		fmt.Printf("  quarantined %s\n", c)
+	}
+	fmt.Println()
+}
+
+// printCorpus summarizes the cross-campaign bug corpus of a durable run.
+func printCorpus(r *campaign.Report) {
+	if r.Corpus == nil {
+		return
+	}
+	fmt.Printf("bug corpus: %d distinct bugs over %d campaigns\n\n",
+		len(r.Corpus.Bugs), r.Corpus.Campaigns)
+}
+
+// flushPartial prints the figures and statistics an aborted run can
+// still support, so an interrupted campaign leaves its evidence behind
+// instead of only an exit code.
+func flushPartial(report *campaign.Report, fig string, stats bool) {
+	show := func(f string) bool { return fig == f || fig == "all" }
+	if show("7a") {
+		fmt.Println(report.Figure7a())
+	}
+	if show("7b") {
+		fmt.Println(report.Figure7b())
+	}
+	if show("7c") {
+		fmt.Println(report.Figure7c())
+	}
+	if show("8") {
+		stable := map[string]int{}
+		for _, c := range compilers.All() {
+			stable[c.Name()] = len(c.Versions())
+		}
+		fmt.Println(report.Figure8(stable))
+	}
+	if report.Faults.Faults() {
+		fmt.Println(report.Faults)
+	}
+	if stats && report.Stats != nil {
+		fmt.Println("pipeline stages:")
+		fmt.Println(report.Stats)
 	}
 }

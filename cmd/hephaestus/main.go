@@ -10,6 +10,7 @@
 //	hephaestus translate [-seed N] -lang kotlin    translate to a language
 //	hephaestus fuzz      [-seed N] [-n programs] [-workers W] [-stats]
 //	                     [-compile-timeout D] [-retries R] [-chaos RATE]
+//	                     [-state DIR] [-resume] [-snapshot-every K]
 //	                                               run a campaign
 //	hephaestus reduce    [-seed N]                 reduce a bug trigger
 //	hephaestus typegraph [-seed N]                 dump type graphs (DOT)
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -46,6 +48,9 @@ func main() {
 	timeout := fs.Duration("compile-timeout", 10*time.Second, "per-compile watchdog budget (0 disables)")
 	retries := fs.Int("retries", 2, "max retries for transient compile faults")
 	chaos := fs.Float64("chaos", 0, "inject seeded faults at this rate (0 disables; exercises the harness)")
+	state := fs.String("state", "", "state directory for durable fuzzing (journal, snapshots, bug corpus)")
+	resume := fs.Bool("resume", false, "resume the campaign recorded in -state instead of starting fresh")
+	snapshotEvery := fs.Int("snapshot-every", 0, "units between report snapshots (0 = default cadence)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -59,6 +64,9 @@ func main() {
 			Seed:             *seed,
 			BreakerThreshold: 10,
 		},
+		StateDir:      *state,
+		Resume:        *resume,
+		SnapshotEvery: *snapshotEvery,
 	}
 	if *chaos > 0 {
 		cfg.Chaos = &harness.ChaosOptions{
@@ -108,14 +116,35 @@ func main() {
 		tc := h.GenerateTestCaseSeed(*seed)
 		emit(h, tc.Program, *lang)
 	case "fuzz":
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
 		findings, report, err := h.FuzzContext(ctx, *n)
+		if report != nil && report.Recovery.Resumed {
+			fmt.Printf("resumed: %d units restored (%d from snapshot prefix, %d journal records replayed)\n\n",
+				report.Recovery.Recovered, report.Recovery.SnapshotSeq, report.Recovery.Replayed)
+		}
 		if err != nil {
-			// Surface what the truncated run still found, then signal
-			// the incomplete campaign through the exit code.
+			// Flush what the truncated run still found — findings, the
+			// partial figure, the fault ledger, the stage stats — then
+			// signal the incomplete campaign through the exit code. A
+			// durable run has also just snapshotted this state.
 			fmt.Fprintf(os.Stderr, "campaign aborted: %v\n", err)
 			fmt.Fprintf(os.Stderr, "partial report: %d distinct bugs before the abort\n", len(findings))
+			for _, f := range findings {
+				fmt.Printf("  %-22s %-8s %-6s found by %-9s (seed %d)\n",
+					f.BugID, f.Compiler, f.Symptom, f.Technique, f.FirstSeed)
+			}
+			fmt.Println(report.Figure7c().String())
+			if report.Faults.Faults() {
+				fmt.Println(report.Faults)
+			}
+			if *stats && report.Stats != nil {
+				fmt.Println("pipeline stages:")
+				fmt.Println(report.Stats)
+			}
+			if *state != "" {
+				fmt.Fprintf(os.Stderr, "state saved; resume with -state %s -resume\n", *state)
+			}
 			os.Exit(1)
 		}
 		fmt.Printf("campaign: %d programs (plus mutants), %d distinct bugs\n\n",
@@ -128,6 +157,10 @@ func main() {
 		fmt.Println(report.Figure7c().String())
 		if report.Faults.Faults() {
 			fmt.Println(report.Faults)
+		}
+		if report.Corpus != nil {
+			fmt.Printf("bug corpus: %d distinct bugs over %d campaigns\n",
+				len(report.Corpus.Bugs), report.Corpus.Campaigns)
 		}
 		if *stats {
 			fmt.Println("pipeline stages:")

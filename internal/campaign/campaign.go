@@ -49,6 +49,25 @@ type Options struct {
 	// injection — the harness's test rig. Injected faults are audited in
 	// the report's fault ledger.
 	Chaos *harness.ChaosOptions
+	// StateDir, when non-empty, makes the campaign durable: every
+	// aggregated unit is journaled there and the folded report is
+	// snapshotted periodically, so a killed run can resume to exactly
+	// the report an uninterrupted run would produce. The directory also
+	// holds the persistent bug corpus, which accumulates across
+	// campaigns.
+	StateDir string
+	// Resume restores the snapshot and journal found in StateDir before
+	// running; units whose results were restored are skipped. Resuming a
+	// directory whose recorded campaign fingerprint differs from these
+	// options is an error. Without Resume, StateDir is reset (the corpus
+	// survives) and the campaign starts fresh.
+	Resume bool
+	// SnapshotEvery is the number of aggregated units between report
+	// snapshots; 0 means 64.
+	SnapshotEvery int
+	// SyncEvery is the number of journal records between fsyncs; 0 means
+	// every record (maximum durability, slowest).
+	SyncEvery int
 }
 
 // DefaultOptions returns a small but representative campaign.
@@ -119,6 +138,12 @@ type Report struct {
 	// ground truth when chaos was on. Folded in unit order, so it is
 	// deterministic across worker counts.
 	Faults *harness.Ledger
+	// Corpus is the cross-campaign persistent bug corpus, after this
+	// run's merge; nil unless the campaign is durable (StateDir set).
+	Corpus *Corpus
+	// Recovery describes what a resumed run restored from its state
+	// directory; the zero value for non-durable or fresh runs.
+	Recovery RecoveryInfo
 	// Err is the error that ended the run early (context cancellation,
 	// stage failure); nil for a complete run. Callers that use Run
 	// instead of RunContext read completeness from here.
@@ -173,6 +198,8 @@ func RunContext(ctx context.Context, opts Options) (*Report, error) {
 		ProgramsRun: map[oracle.InputKind]int{},
 		Faults:      harness.NewLedger(),
 	}
+	agg := &reportAggregator{report: report, bugIndex: bugIndexFor(opts.Compilers)}
+
 	stages := []pipeline.Stage{&pipeline.Generate{Config: opts.GenConfig}}
 	if opts.Mutate {
 		stages = append(stages, &pipeline.Mutate{TEM: true, TOM: true, TEMTOM: true, REM: true})
@@ -182,53 +209,89 @@ func RunContext(ctx context.Context, opts Options) (*Report, error) {
 	// optionally behind chaos fault injection first.
 	h := harness.New(opts.Harness)
 	var targets []harness.Target
-	var chaosWraps []*harness.Chaos
 	if opts.Chaos != nil {
 		for _, c := range opts.Compilers {
-			ch := harness.NewChaos(*opts.Chaos, harness.WrapCompiler(c))
-			chaosWraps = append(chaosWraps, ch)
-			targets = append(targets, ch)
+			targets = append(targets, harness.NewChaos(*opts.Chaos, harness.WrapCompiler(c)))
 		}
 	}
 	stages = append(stages,
 		&pipeline.Execute{Compilers: opts.Compilers, Harness: h, Targets: targets},
 		pipeline.Judge{})
 
+	// Durable state: restore snapshot + journal before the pipeline
+	// starts, skip restored units, journal and checkpoint the rest.
+	state, err := openState(opts, report, agg, h)
+	if err != nil {
+		report.Err = err
+		return report, err
+	}
+
 	p := &pipeline.Pipeline{
 		Source:     pipeline.NewGeneratorSource(opts.Seed, opts.Programs),
 		Stages:     stages,
-		Aggregator: (*reportAggregator)(report),
+		Aggregator: agg,
 		Workers:    opts.Workers,
 	}
+	if state != nil {
+		p.Source = &pipeline.SkipSource{Inner: p.Source, Done: state.isDone}
+		p.AfterAggregate = func(u *pipeline.Unit) error {
+			return state.afterUnit(report, agg, u, h)
+		}
+	}
+
 	stats, err := p.Run(ctx)
 	report.Stats = stats
 	report.Batches = (opts.Programs + opts.BatchSize - 1) / opts.BatchSize
-	for _, ch := range chaosWraps {
-		report.Faults.RecordInjected(ch.Name(), ch.Injected())
+	if state != nil {
+		if ferr := state.finish(report, h, err == nil); ferr != nil && err == nil {
+			err = ferr
+		}
 	}
 	report.Err = err
 	return report, err
 }
 
 // reportAggregator folds finished pipeline units into a Report. The
-// pipeline calls Aggregate in Seq (= seed) order, which makes FirstSeed
-// and every count bit-for-bit reproducible across worker counts.
-type reportAggregator Report
+// pipeline calls Aggregate in Seq (= seed) order; the fold itself is
+// commutative (FirstSeed is a min-update, everything else sums or
+// unions), so journal replay can fold the same records in any order and
+// reach the same report. Live units and replayed records share one fold
+// path — recordOf projects the unit, fold consumes the record — so a
+// resumed run is bit-for-bit the uninterrupted one.
+type reportAggregator struct {
+	report   *Report
+	bugIndex map[string]*bugs.Bug
+	// last is the record for the most recently folded unit, stashed for
+	// the journaling hook that runs next on the same goroutine.
+	last *unitRecord
+}
 
 // Name implements pipeline.Aggregator.
-func (*reportAggregator) Name() string { return "aggregate" }
+func (a *reportAggregator) Name() string { return "aggregate" }
 
 // Aggregate implements pipeline.Aggregator.
-func (r *reportAggregator) Aggregate(u *pipeline.Unit) {
-	r.TEMRepairs += u.Repairs
-	for _, in := range u.Inputs {
-		r.ProgramsRun[in.Kind]++
+func (a *reportAggregator) Aggregate(u *pipeline.Unit) {
+	a.last = nil
+	if u.Recovered {
+		return // folded by a previous run; restored before the pipeline started
 	}
-	for _, g := range u.Gaps {
-		r.Faults.Observe(g.Compiler, g.Inv)
+	rec := recordOf(u)
+	a.last = rec
+	a.fold(rec)
+}
+
+// fold applies one unit record to the report.
+func (a *reportAggregator) fold(rec *unitRecord) {
+	r := a.report
+	r.TEMRepairs += rec.Repairs
+	for _, k := range rec.Inputs {
+		r.ProgramsRun[k]++
 	}
-	for _, e := range u.Execs {
-		r.Faults.Observe(e.Compiler, e.Inv)
+	for _, g := range rec.Gaps {
+		r.Faults.Observe(g.Compiler, harness.Invocation{Outcome: g.Outcome, Attempts: g.Attempts, Flaky: g.Flaky})
+	}
+	for _, e := range rec.Execs {
+		r.Faults.Observe(e.Compiler, harness.Invocation{Outcome: e.Outcome, Attempts: e.Attempts, Flaky: e.Flaky})
 		perComp := r.Verdicts[e.Compiler]
 		if perComp == nil {
 			perComp = map[oracle.InputKind]map[oracle.Verdict]int{}
@@ -240,14 +303,39 @@ func (r *reportAggregator) Aggregate(u *pipeline.Unit) {
 			perComp[e.Kind] = perKind
 		}
 		perKind[e.Verdict]++
-		for _, b := range e.Result.Triggered {
-			rec := r.Found[b.ID]
-			if rec == nil {
-				rec = &BugRecord{Bug: b, FoundBy: map[oracle.InputKind]bool{}, FirstSeed: u.Seed}
-				r.Found[b.ID] = rec
+		for _, id := range e.Bugs {
+			bug := a.bugIndex[id]
+			if bug == nil {
+				continue // catalog drift; the record outlived the bug
 			}
-			rec.FoundBy[e.Kind] = true
-			rec.Hits++
+			brec := r.Found[id]
+			if brec == nil {
+				brec = &BugRecord{Bug: bug, FoundBy: map[oracle.InputKind]bool{}, FirstSeed: rec.Seed}
+				r.Found[id] = brec
+			} else if rec.Seed < brec.FirstSeed {
+				brec.FirstSeed = rec.Seed
+			}
+			brec.FoundBy[e.Kind] = true
+			brec.Hits++
 		}
+	}
+	for name, counts := range rec.Injected {
+		r.Faults.AddInjected(name, counts)
+	}
+}
+
+// restoreFound rebuilds the Found map from snapshot state, resolving
+// bug IDs against the compiler catalogs.
+func (a *reportAggregator) restoreFound(found []foundState) {
+	for _, f := range found {
+		bug := a.bugIndex[f.ID]
+		if bug == nil {
+			continue
+		}
+		rec := &BugRecord{Bug: bug, FoundBy: map[oracle.InputKind]bool{}, FirstSeed: f.FirstSeed, Hits: f.Hits}
+		for _, k := range f.FoundBy {
+			rec.FoundBy[k] = true
+		}
+		a.report.Found[f.ID] = rec
 	}
 }

@@ -49,6 +49,18 @@ type Config struct {
 	// Chaos, when non-nil, injects seeded faults into every compile —
 	// the harness's test rig.
 	Chaos *harness.ChaosOptions
+	// StateDir, when non-empty, makes fuzzing campaigns durable: units
+	// are journaled there and the report is snapshotted, enabling
+	// crash-safe resume and the cross-campaign bug corpus.
+	StateDir string
+	// Resume restores a previous campaign's state from StateDir.
+	Resume bool
+	// SnapshotEvery is the unit count between report snapshots; 0 means
+	// the campaign default.
+	SnapshotEvery int
+	// SyncEvery is the journal record count between fsyncs; 0 means
+	// every record.
+	SyncEvery int
 }
 
 // Hephaestus is the façade object.
@@ -145,15 +157,19 @@ func (h *Hephaestus) Fuzz(n int) ([]Finding, *campaign.Report) {
 // context's error. Findings are sorted by compiler then bug ID.
 func (h *Hephaestus) FuzzContext(ctx context.Context, n int) ([]Finding, *campaign.Report, error) {
 	report, err := campaign.RunContext(ctx, campaign.Options{
-		Seed:      h.cfg.Seed,
-		Programs:  n,
-		BatchSize: 20,
-		Workers:   h.cfg.Workers,
-		GenConfig: h.cfg.Generator,
-		Compilers: h.compilers,
-		Mutate:    true,
-		Harness:   h.cfg.Harness,
-		Chaos:     h.cfg.Chaos,
+		Seed:          h.cfg.Seed,
+		Programs:      n,
+		BatchSize:     20,
+		Workers:       h.cfg.Workers,
+		GenConfig:     h.cfg.Generator,
+		Compilers:     h.compilers,
+		Mutate:        true,
+		Harness:       h.cfg.Harness,
+		Chaos:         h.cfg.Chaos,
+		StateDir:      h.cfg.StateDir,
+		Resume:        h.cfg.Resume,
+		SnapshotEvery: h.cfg.SnapshotEvery,
+		SyncEvery:     h.cfg.SyncEvery,
 	})
 	var out []Finding
 	for _, rec := range report.Found {
@@ -175,11 +191,29 @@ func (h *Hephaestus) FuzzContext(ctx context.Context, n int) ([]Finding, *campai
 }
 
 // ReduceFor shrinks a program while the given compiler keeps triggering
-// the given seeded bug.
+// the given seeded bug. Probes run through the harness sandbox (see
+// ReduceTarget).
 func (h *Hephaestus) ReduceFor(p *ir.Program, comp *compilers.Compiler, bugID string) *ir.Program {
+	return h.ReduceTarget(p, harness.WrapCompiler(comp), bugID)
+}
+
+// ReduceTarget shrinks a program while the target keeps triggering the
+// given seeded bug. Every interestingness probe compiles through the
+// configured harness, so a compiler that panics or hangs mid-reduction
+// becomes a Crashed/TimedOut invocation — the candidate merely counts
+// as uninteresting — instead of killing the reducer thousands of probes
+// into a shrink.
+func (h *Hephaestus) ReduceTarget(p *ir.Program, target harness.Target, bugID string) *ir.Program {
+	sandbox := harness.New(h.cfg.Harness)
+	probe := 0
 	return reduce.Reduce(p, func(q *ir.Program) bool {
-		res := comp.Compile(q, nil)
-		for _, b := range res.Triggered {
+		probe++
+		inv := sandbox.Compile(context.Background(), target, q, nil,
+			harness.Key{Unit: -1, Input: probe})
+		if inv.Outcome != harness.Completed || inv.Result == nil {
+			return false
+		}
+		for _, b := range inv.Result.Triggered {
 			if b.ID == bugID {
 				return true
 			}

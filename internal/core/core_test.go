@@ -1,10 +1,15 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"repro/internal/checker"
+	"repro/internal/compilers"
+	"repro/internal/coverage"
+	"repro/internal/harness"
+	"repro/internal/ir"
 	"repro/internal/oracle"
 	"repro/internal/types"
 )
@@ -87,6 +92,57 @@ func TestJudgeAndReduce(t *testing.T) {
 		}
 		if !stillFires {
 			t.Fatalf("seed %d: reduction lost bug %s", seed, bugID)
+		}
+		return
+	}
+	t.Skip("no triggering seed in range")
+}
+
+// panicEveryNth delegates to a real compiler but panics on every nth
+// compile — a compiler that falls over partway into a reduction.
+type panicEveryNth struct {
+	inner harness.Target
+	n     int
+	calls int
+}
+
+func (p *panicEveryNth) Name() string { return p.inner.Name() }
+
+func (p *panicEveryNth) Compile(ctx context.Context, prog *ir.Program, cov coverage.Recorder) (*compilers.Result, error) {
+	p.calls++
+	if p.calls%p.n == 0 {
+		panic("compiler segfault during reduction")
+	}
+	return p.inner.Compile(ctx, prog, cov)
+}
+
+func TestReduceSurvivesPanickingCompiler(t *testing.T) {
+	h := New(Config{Seed: 5})
+	comp := h.Compilers()[0]
+	for seed := int64(0); seed < 60; seed++ {
+		tc := h.GenerateTestCaseSeed(seed)
+		verdict, res := h.Judge(oracle.Generated, comp, tc.Program)
+		if verdict == oracle.Pass || len(res.Triggered) == 0 {
+			continue
+		}
+		bugID := res.Triggered[0].ID
+		// Every 3rd probe panics; the sandbox must turn each panic into
+		// a Crashed invocation instead of killing the reducer, and the
+		// reduction must still preserve the bug.
+		flaky := &panicEveryNth{inner: harness.WrapCompiler(comp), n: 3}
+		reduced := h.ReduceTarget(tc.Program, flaky, bugID)
+		if flaky.calls == 0 {
+			t.Fatal("reducer never probed the target")
+		}
+		_, res2 := h.Judge(oracle.Generated, comp, reduced)
+		stillFires := false
+		for _, b := range res2.Triggered {
+			if b.ID == bugID {
+				stillFires = true
+			}
+		}
+		if !stillFires {
+			t.Fatalf("seed %d: reduction under a panicking compiler lost bug %s", seed, bugID)
 		}
 		return
 	}

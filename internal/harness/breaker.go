@@ -134,6 +134,36 @@ func (b *Breaker) Record(ok bool) {
 	}
 }
 
+// BreakerSnapshot is a breaker's exportable state, used by campaign
+// checkpoints so a resumed run re-opens quarantines where the killed
+// run left them.
+type BreakerSnapshot struct {
+	State    BreakerState `json:"state"`
+	Failures int          `json:"failures,omitempty"`
+	Skipped  int          `json:"skipped,omitempty"`
+}
+
+// Export captures the breaker's position. An in-flight half-open probe
+// exports as half-open with no probe pending: if the process dies
+// before the probe's Record, the resumed run's next Allow becomes the
+// probe instead of deadlocking the breaker.
+func (b *Breaker) Export() BreakerSnapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerSnapshot{State: b.state, Failures: b.failures, Skipped: b.skipped}
+}
+
+// Import restores an exported position, clearing any probe-in-flight
+// marker (the probe died with the previous process).
+func (b *Breaker) Import(s BreakerSnapshot) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = s.State
+	b.failures = s.Failures
+	b.skipped = s.Skipped
+	b.probing = false
+}
+
 // String renders the breaker for logs.
 func (b *Breaker) String() string {
 	b.mu.Lock()

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -58,6 +59,13 @@ type Chaos struct {
 	target Target
 
 	panics, hangs, transients, flips atomic.Int64
+
+	// perUnit attributes injections to the owning pipeline unit (by its
+	// seed, carried in the invocation key), so the campaign can fold —
+	// and journal — injected ground truth per unit instead of reading
+	// one global counter at the end of the run.
+	mu      sync.Mutex
+	perUnit map[int64]*InjectionCounts
 }
 
 // NewChaos wraps target with seeded fault injection.
@@ -65,7 +73,7 @@ func NewChaos(opts ChaosOptions, target Target) *Chaos {
 	if opts.HangDuration <= 0 {
 		opts.HangDuration = 30 * time.Second
 	}
-	return &Chaos{opts: opts, target: target}
+	return &Chaos{opts: opts, target: target, perUnit: map[int64]*InjectionCounts{}}
 }
 
 // Name implements Target.
@@ -83,6 +91,36 @@ func (c *Chaos) Injected() InjectionCounts {
 	}
 }
 
+// note tallies one injected fault, both globally and against the
+// invocation's owning unit.
+func (c *Chaos) note(unit int64, global *atomic.Int64, bump func(*InjectionCounts)) {
+	global.Add(1)
+	c.mu.Lock()
+	u := c.perUnit[unit]
+	if u == nil {
+		u = &InjectionCounts{}
+		c.perUnit[unit] = u
+	}
+	bump(u)
+	c.mu.Unlock()
+}
+
+// DrainUnit returns and clears the faults injected into one unit's
+// compiles. The pipeline's Execute stage drains each unit after its
+// last compile, handing the per-unit ground truth to the aggregator —
+// deterministic for a fixed seed because every injection decision is
+// keyed on the invocation, never on arrival order.
+func (c *Chaos) DrainUnit(unit int64) InjectionCounts {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	u := c.perUnit[unit]
+	if u == nil {
+		return InjectionCounts{}
+	}
+	delete(c.perUnit, unit)
+	return *u
+}
+
 // Compile implements Target: roll the invocation's dice, misbehave if
 // they say so, otherwise delegate to the real compiler.
 func (c *Chaos) Compile(ctx context.Context, p *ir.Program, cov coverage.Recorder) (*compilers.Result, error) {
@@ -92,12 +130,12 @@ func (c *Chaos) Compile(ctx context.Context, p *ir.Program, cov coverage.Recorde
 
 	if key.Replica == 0 {
 		if rng.Float64() < c.opts.PanicRate {
-			c.panics.Add(1)
+			c.note(key.Unit, &c.panics, func(u *InjectionCounts) { u.Panics++ })
 			panic(fmt.Sprintf("chaos: injected panic (unit %d, input %d, attempt %d)",
 				key.Unit, key.Input, key.Attempt))
 		}
 		if rng.Float64() < c.opts.HangRate {
-			c.hangs.Add(1)
+			c.note(key.Unit, &c.hangs, func(u *InjectionCounts) { u.Hangs++ })
 			select {
 			case <-ctx.Done():
 				return nil, ctx.Err()
@@ -107,7 +145,7 @@ func (c *Chaos) Compile(ctx context.Context, p *ir.Program, cov coverage.Recorde
 			}
 		}
 		if key.Attempt == 0 && rng.Float64() < c.opts.TransientRate {
-			c.transients.Add(1)
+			c.note(key.Unit, &c.transients, func(u *InjectionCounts) { u.Transients++ })
 			return nil, Transient(errors.New("chaos: injected transient fault"))
 		}
 	}
@@ -115,7 +153,7 @@ func (c *Chaos) Compile(ctx context.Context, p *ir.Program, cov coverage.Recorde
 	res, err := c.target.Compile(ctx, p, cov)
 	if err == nil && key.Replica == 1 && rng.Float64() < c.opts.FlakyRate {
 		if flipped := flipStatus(res); flipped != nil {
-			c.flips.Add(1)
+			c.note(key.Unit, &c.flips, func(u *InjectionCounts) { u.Flips++ })
 			return flipped, nil
 		}
 	}

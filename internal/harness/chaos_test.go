@@ -186,3 +186,50 @@ func TestChaosThroughHarnessLedgerAudit(t *testing.T) {
 		t.Errorf("ledger compiles = %d, want 80", rec.Compiles)
 	}
 }
+
+func TestChaosDrainUnitMatchesGlobalCounts(t *testing.T) {
+	c := NewChaos(ChaosOptions{Seed: 5, PanicRate: 0.3, TransientRate: 0.3, HangRate: 0.3, HangDuration: time.Millisecond}, quietTarget{})
+	units := []int64{3, 7, 11, 19, 23, 42, 57, 91}
+	for _, u := range units {
+		for input := 0; input < 4; input++ {
+			runOne(c, Key{Unit: u, Input: input})
+		}
+	}
+	var sum InjectionCounts
+	for _, u := range units {
+		d := c.DrainUnit(u)
+		sum.Panics += d.Panics
+		sum.Hangs += d.Hangs
+		sum.Transients += d.Transients
+		sum.Flips += d.Flips
+	}
+	if sum != c.Injected() {
+		t.Fatalf("per-unit drains %+v do not sum to global %+v", sum, c.Injected())
+	}
+	if sum.Total() == 0 {
+		t.Fatal("no faults injected at 30% rates")
+	}
+	// Draining is destructive: a second drain is empty.
+	for _, u := range units {
+		if d := c.DrainUnit(u); d.Total() != 0 {
+			t.Fatalf("unit %d drained twice: %+v", u, d)
+		}
+	}
+}
+
+func TestLedgerAddInjectedAccumulates(t *testing.T) {
+	l := NewLedger()
+	l.AddInjected("groovyc", InjectionCounts{Panics: 1, Hangs: 2})
+	l.AddInjected("groovyc", InjectionCounts{Transients: 3, Flips: 4})
+	l.AddInjected("groovyc", InjectionCounts{}) // zero delta: no-op
+	got := l.Injected["groovyc"]
+	want := InjectionCounts{Panics: 1, Hangs: 2, Transients: 3, Flips: 4}
+	if got != want {
+		t.Fatalf("accumulated = %+v, want %+v", got, want)
+	}
+	// A zero delta must not materialize an entry (DeepEqual hygiene).
+	l.AddInjected("javac", InjectionCounts{})
+	if _, ok := l.Injected["javac"]; ok {
+		t.Fatal("zero-count AddInjected created a ledger entry")
+	}
+}

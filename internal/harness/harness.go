@@ -257,6 +257,26 @@ func (h *Harness) Breaker(name string) *Breaker {
 	return b
 }
 
+// ExportBreakers snapshots every circuit breaker, keyed by compiler
+// name — part of a campaign checkpoint.
+func (h *Harness) ExportBreakers() map[string]BreakerSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make(map[string]BreakerSnapshot, len(h.breakers))
+	for name, b := range h.breakers {
+		out[name] = b.Export()
+	}
+	return out
+}
+
+// ImportBreakers restores breaker positions from a checkpoint, creating
+// breakers (with this harness's thresholds) as needed.
+func (h *Harness) ImportBreakers(states map[string]BreakerSnapshot) {
+	for name, s := range states {
+		h.Breaker(name).Import(s)
+	}
+}
+
 // Compile runs one compile through the full resilience stack: breaker
 // admission, sandboxed invocation under the watchdog, transient-fault
 // retries with seeded-jitter backoff, and the optional double-compile

@@ -90,9 +90,20 @@ func (l *Ledger) Observe(compiler string, inv Invocation) {
 	}
 }
 
-// RecordInjected stores a chaos wrapper's injection counts for audit.
-func (l *Ledger) RecordInjected(compiler string, counts InjectionCounts) {
-	l.Injected[compiler] = counts
+// AddInjected folds one unit's injected-fault deltas into the audit
+// count. The campaign aggregator calls it per unit, in Seq order, so
+// the injected ground truth is deterministic across worker counts and
+// — unlike a global end-of-run read — journals and restores exactly.
+func (l *Ledger) AddInjected(compiler string, counts InjectionCounts) {
+	if counts.Total() == 0 {
+		return
+	}
+	c := l.Injected[compiler]
+	c.Panics += counts.Panics
+	c.Hangs += counts.Hangs
+	c.Transients += counts.Transients
+	c.Flips += counts.Flips
+	l.Injected[compiler] = c
 }
 
 // Total sums every compiler's record.

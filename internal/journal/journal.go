@@ -1,0 +1,385 @@
+// Package journal is the durability layer under long-running campaigns:
+// a write-ahead journal of finished pipeline units plus periodic atomic
+// snapshots of the folded campaign state, both living in one state
+// directory. The paper's evaluation is a nine-month continuous run; a
+// campaign that long survives power loss and OOM kills only if its
+// progress is on disk, so the contract here is crash-safety at any
+// instant:
+//
+//   - journal records are length-prefixed and CRC32-checksummed, and the
+//     file is appended with batched fsyncs — a record either replays
+//     bit-for-bit or is detected as torn/corrupt;
+//   - a torn final record (the classic kill-mid-write) truncates replay
+//     cleanly instead of failing it;
+//   - a corrupt record mid-file (bad checksum) is quarantined with its
+//     byte offset and replay resyncs at the next frame;
+//   - snapshots and side documents are written to a temp file, fsynced,
+//     and renamed into place, so a reader never observes a half-written
+//     file; snapshot loading falls back to the newest *valid* snapshot.
+//
+// The package stores bytes, not campaign types: internal/campaign owns
+// the record and snapshot schemas and replays them into its report.
+package journal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	journalName = "journal.wal"
+	snapExt     = ".snap"
+	tmpExt      = ".tmp"
+
+	// frameHeader is the per-record overhead: a uint32 payload length
+	// followed by a uint32 CRC32 (IEEE) of the payload, little-endian.
+	frameHeader = 8
+
+	// MaxRecord bounds one record's payload. A length prefix beyond it
+	// means the framing itself is lost (a corrupt length byte), at which
+	// point replay cannot resync and treats the rest of the file as torn.
+	MaxRecord = 64 << 20
+)
+
+// Store is a state directory holding one campaign's journal and
+// snapshots plus side documents (bug corpus, metadata) that outlive
+// individual campaigns.
+type Store struct {
+	dir string
+}
+
+// Open opens (creating if needed) the state directory.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: open state dir: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the state directory path.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) journalPath() string { return filepath.Join(s.dir, journalName) }
+
+// Reset deletes the journal and every snapshot — a fresh campaign in an
+// already-used directory. Side documents (the persistent bug corpus) are
+// deliberately kept: they accumulate across campaigns.
+func (s *Store) Reset() error {
+	if err := os.Remove(s.journalPath()); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("journal: reset: %w", err)
+	}
+	snaps, err := s.snapshotFiles()
+	if err != nil {
+		return err
+	}
+	for _, f := range snaps {
+		if err := os.Remove(f.path); err != nil && !os.IsNotExist(err) {
+			return fmt.Errorf("journal: reset: %w", err)
+		}
+	}
+	return s.syncDir()
+}
+
+// syncDir fsyncs the state directory so renames and removals are
+// durable, not just the file contents.
+func (s *Store) syncDir() error {
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Writer appends framed records to the journal. It buffers writes and
+// fsyncs every SyncEvery records (and on Sync/Close), bounding the
+// window a crash can tear to the unsynced tail.
+type Writer struct {
+	f         *os.File
+	buf       *bufio.Writer
+	syncEvery int
+	pending   int
+}
+
+// Append opens the journal for appending. syncEvery <= 0 means fsync on
+// every record.
+func (s *Store) Append(syncEvery int) (*Writer, error) {
+	f, err := os.OpenFile(s.journalPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: append: %w", err)
+	}
+	if syncEvery <= 0 {
+		syncEvery = 1
+	}
+	return &Writer{f: f, buf: bufio.NewWriter(f), syncEvery: syncEvery}, nil
+}
+
+// Append frames and writes one record. The record is durable only after
+// the next Sync (implicit every syncEvery appends).
+func (w *Writer) Append(payload []byte) error {
+	if len(payload) > MaxRecord {
+		return fmt.Errorf("journal: record of %d bytes exceeds MaxRecord", len(payload))
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	if _, err := w.buf.Write(hdr[:]); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if _, err := w.buf.Write(payload); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	w.pending++
+	if w.pending >= w.syncEvery {
+		return w.Sync()
+	}
+	return nil
+}
+
+// Sync flushes buffered records and fsyncs the journal.
+func (w *Writer) Sync() error {
+	if err := w.buf.Flush(); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync: %w", err)
+	}
+	w.pending = 0
+	return nil
+}
+
+// Close syncs and closes the journal.
+func (w *Writer) Close() error {
+	serr := w.Sync()
+	cerr := w.f.Close()
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// Corruption records one unusable stretch of the journal: a checksum
+// mismatch (quarantined, replay resyncs after it) or a torn tail
+// (replay stops there).
+type Corruption struct {
+	// Offset is the byte offset of the bad frame in the journal.
+	Offset int64
+	// Reason says what was wrong, for the campaign log.
+	Reason string
+}
+
+func (c Corruption) String() string {
+	return fmt.Sprintf("journal offset %d: %s", c.Offset, c.Reason)
+}
+
+// Replay streams every intact record to fn in file order. Corrupt
+// records are quarantined — skipped, with their offsets returned — and a
+// torn or truncated tail ends replay cleanly; neither is an error. A
+// missing journal replays zero records. An error from fn aborts replay
+// and is returned as-is.
+func (s *Store) Replay(fn func(offset int64, payload []byte) error) ([]Corruption, error) {
+	f, err := os.Open(s.journalPath())
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: replay: %w", err)
+	}
+	defer f.Close()
+
+	info, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("journal: replay: %w", err)
+	}
+	size := info.Size()
+
+	r := bufio.NewReader(f)
+	var off int64
+	var quarantined []Corruption
+	for off < size {
+		var hdr [frameHeader]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			quarantined = append(quarantined, Corruption{off, "torn frame header"})
+			break
+		}
+		length := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > MaxRecord {
+			// The length bytes themselves are garbage: framing is lost
+			// and nothing after this point can be trusted.
+			quarantined = append(quarantined, Corruption{off, fmt.Sprintf("implausible record length %d; framing lost", length)})
+			break
+		}
+		if off+frameHeader+length > size {
+			quarantined = append(quarantined, Corruption{off, fmt.Sprintf("torn record: %d bytes framed, %d on disk", length, size-off-frameHeader)})
+			break
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			quarantined = append(quarantined, Corruption{off, "torn record payload"})
+			break
+		}
+		if crc32.ChecksumIEEE(payload) != sum {
+			quarantined = append(quarantined, Corruption{off, "checksum mismatch"})
+			off += frameHeader + length
+			continue
+		}
+		if err := fn(off, payload); err != nil {
+			return quarantined, err
+		}
+		off += frameHeader + length
+	}
+	return quarantined, nil
+}
+
+// snapFile is one snapshot on disk.
+type snapFile struct {
+	path string
+	seq  int64
+}
+
+// snapshotFiles lists snapshots, newest (highest seq) first.
+func (s *Store) snapshotFiles() ([]snapFile, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: list snapshots: %w", err)
+	}
+	var out []snapFile
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "snapshot-") || !strings.HasSuffix(name, snapExt) {
+			continue
+		}
+		seq, err := strconv.ParseInt(strings.TrimSuffix(strings.TrimPrefix(name, "snapshot-"), snapExt), 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, snapFile{path: filepath.Join(s.dir, name), seq: seq})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq > out[j].seq })
+	return out, nil
+}
+
+// WriteSnapshot atomically persists a snapshot claiming the fold prefix
+// [0, seq): the payload is framed (length + CRC32) in a temp file,
+// fsynced, and renamed into place, then older snapshots are pruned (the
+// previous one is kept as a fallback against a corrupt write).
+func (s *Store) WriteSnapshot(seq int64, payload []byte) error {
+	name := fmt.Sprintf("snapshot-%016d%s", seq, snapExt)
+	final := filepath.Join(s.dir, name)
+	tmp := final + tmpExt
+	if err := writeFramedFile(tmp, payload); err != nil {
+		return fmt.Errorf("journal: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("journal: write snapshot: %w", err)
+	}
+	if err := s.syncDir(); err != nil {
+		return fmt.Errorf("journal: write snapshot: %w", err)
+	}
+	// Prune all but the two newest snapshots.
+	snaps, err := s.snapshotFiles()
+	if err != nil {
+		return err
+	}
+	for _, old := range snaps[min(2, len(snaps)):] {
+		os.Remove(old.path)
+	}
+	return nil
+}
+
+// LatestSnapshot loads the newest snapshot that passes validation,
+// skipping corrupt ones. ok is false when no valid snapshot exists.
+func (s *Store) LatestSnapshot() (seq int64, payload []byte, ok bool, err error) {
+	snaps, err := s.snapshotFiles()
+	if err != nil {
+		return 0, nil, false, err
+	}
+	for _, f := range snaps {
+		payload, verr := readFramedFile(f.path)
+		if verr != nil {
+			continue // corrupt or half-written: fall back to an older one
+		}
+		return f.seq, payload, true, nil
+	}
+	return 0, nil, false, nil
+}
+
+// WriteDoc atomically writes a named side document (temp + fsync +
+// rename). Documents are plain bytes — campaign keeps JSON there.
+func (s *Store) WriteDoc(name string, payload []byte) error {
+	final := filepath.Join(s.dir, name)
+	tmp := final + tmpExt
+	if err := writePlainFile(tmp, payload); err != nil {
+		return fmt.Errorf("journal: write doc %s: %w", name, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("journal: write doc %s: %w", name, err)
+	}
+	return s.syncDir()
+}
+
+// ReadDoc reads a side document; a missing document returns (nil, nil).
+func (s *Store) ReadDoc(name string) ([]byte, error) {
+	b, err := os.ReadFile(filepath.Join(s.dir, name))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: read doc %s: %w", name, err)
+	}
+	return b, nil
+}
+
+// writeFramedFile writes a single framed record as the whole file and
+// fsyncs it; readFramedFile validates and unwraps it.
+func writeFramedFile(path string, payload []byte) error {
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	return writePlainFile(path, append(hdr[:], payload...))
+}
+
+func readFramedFile(path string) ([]byte, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < frameHeader {
+		return nil, fmt.Errorf("journal: framed file %s too short", path)
+	}
+	length := binary.LittleEndian.Uint32(b[0:4])
+	sum := binary.LittleEndian.Uint32(b[4:8])
+	payload := b[frameHeader:]
+	if int(length) != len(payload) {
+		return nil, fmt.Errorf("journal: framed file %s: length %d != payload %d", path, length, len(payload))
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		return nil, fmt.Errorf("journal: framed file %s: checksum mismatch", path)
+	}
+	return payload, nil
+}
+
+func writePlainFile(path string, b []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(b); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

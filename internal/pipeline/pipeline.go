@@ -71,6 +71,12 @@ type Pipeline struct {
 	Source     Source
 	Stages     []Stage
 	Aggregator Aggregator
+	// AfterAggregate, when set, runs on the aggregator goroutine after
+	// each unit is folded — still in Seq order. It is the durability
+	// hook: the campaign journal appends the unit's record here, so a
+	// snapshot's fold and its journal can never disagree about which
+	// units are in. An error cancels the pipeline.
+	AfterAggregate func(u *Unit) error
 	// Workers is the worker-pool size per stage. 0 means GOMAXPROCS.
 	Workers int
 	// Buffer is the capacity of each inter-stage channel (the
@@ -174,6 +180,14 @@ func (p *Pipeline) Run(ctx context.Context) (*Stats, error) {
 					next++
 					t0 := time.Now()
 					p.Aggregator.Aggregate(v)
+					if p.AfterAggregate != nil {
+						if err := p.AfterAggregate(v); err != nil {
+							firstErr.set(fmt.Errorf("pipeline: after-aggregate: %w", err))
+							aggStats.addBusy(time.Since(t0))
+							cancel()
+							return
+						}
+					}
 					aggStats.addBusy(time.Since(t0))
 					aggStats.addOut()
 				}

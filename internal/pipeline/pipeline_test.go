@@ -276,3 +276,95 @@ func TestStatsString(t *testing.T) {
 		t.Errorf("counters: in=%d out=%d q=%d busy=%v", st.In(), st.Out(), st.MaxQueue(), st.Busy())
 	}
 }
+
+func TestSkipSourceMarksRecoveredAndStagesPassThrough(t *testing.T) {
+	// Seqs 0-4 are "already journaled"; the wrapper must mark them
+	// Recovered while preserving Seq contiguity, and every stage must
+	// leave them untouched.
+	src := &SkipSource{
+		Inner: NewGeneratorSource(100, 10),
+		Done:  func(seq int) bool { return seq < 5 },
+	}
+	gen := &Generate{Config: generator.DefaultConfig()}
+	mut := &Mutate{TEM: true}
+	exec := &Execute{Targets: []harness.Target{panicTarget{}}}
+	agg := &orderAggregator{}
+	var recovered atomic.Int64
+	p := &Pipeline{
+		Source:     src,
+		Stages:     []Stage{gen, mut, exec, Judge{}},
+		Aggregator: agg,
+		AfterAggregate: func(u *Unit) error {
+			if u.Recovered {
+				recovered.Add(1)
+				if u.Program != nil || len(u.Inputs) != 0 || len(u.Execs) != 0 {
+					t.Errorf("recovered unit %d was materialized: prog=%v inputs=%d execs=%d",
+						u.Seq, u.Program != nil, len(u.Inputs), len(u.Execs))
+				}
+			} else if u.Program == nil || len(u.Execs) == 0 {
+				t.Errorf("live unit %d not materialized", u.Seq)
+			}
+			return nil
+		},
+		Workers: 4,
+	}
+	if _, err := p.Run(context.Background()); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(agg.seqs) != 10 {
+		t.Fatalf("aggregated %d units, want 10", len(agg.seqs))
+	}
+	for i, s := range agg.seqs {
+		if s != i {
+			t.Fatalf("unit %d aggregated at position %d", s, i)
+		}
+	}
+	if recovered.Load() != 5 {
+		t.Fatalf("recovered units folded = %d, want 5", recovered.Load())
+	}
+}
+
+func TestAfterAggregateRunsInSeqOrder(t *testing.T) {
+	var seqs []int
+	p := &Pipeline{
+		Source: &seqSource{n: 50},
+		Stages: []Stage{&funcStage{name: "jitter", fn: func(_ context.Context, u *Unit) error {
+			time.Sleep(time.Duration((u.Seq*3)%4) * time.Millisecond)
+			return nil
+		}}},
+		Aggregator:     &orderAggregator{},
+		AfterAggregate: func(u *Unit) error { seqs = append(seqs, u.Seq); return nil },
+		Workers:        8,
+	}
+	if _, err := p.Run(context.Background()); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if len(seqs) != 50 {
+		t.Fatalf("hook ran %d times, want 50", len(seqs))
+	}
+	for i, s := range seqs {
+		if s != i {
+			t.Fatalf("hook saw seq %d at position %d", s, i)
+		}
+	}
+}
+
+func TestAfterAggregateErrorCancelsPipeline(t *testing.T) {
+	sentinel := errors.New("journal full")
+	p := &Pipeline{
+		Source:     &seqSource{n: 1000},
+		Stages:     []Stage{&funcStage{name: "noop", fn: func(context.Context, *Unit) error { return nil }}},
+		Aggregator: &orderAggregator{},
+		AfterAggregate: func(u *Unit) error {
+			if u.Seq == 3 {
+				return sentinel
+			}
+			return nil
+		},
+		Workers: 4,
+	}
+	_, err := p.Run(context.Background())
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("run error = %v, want wrapped sentinel", err)
+	}
+}

@@ -70,6 +70,16 @@ type Unit struct {
 	Gaps []Gap
 	// Repairs counts TEM verification-pass rollbacks in this unit.
 	Repairs int
+	// Injected tallies the chaos faults injected into this unit's
+	// compiles, drained per unit by the Execute stage so the aggregator
+	// (and the campaign journal) owns injected ground truth in Seq
+	// order rather than as one end-of-run global read.
+	Injected map[string]harness.InjectionCounts
+	// Recovered marks a unit whose results a previous run already
+	// folded and journaled: it flows through the pipeline untouched —
+	// preserving Seq contiguity for the aggregator's reorder buffer —
+	// and every stage and the fold skip it.
+	Recovered bool
 }
 
 // GeneratorSource yields n empty units seeded base, base+1, ... — one
@@ -97,6 +107,27 @@ func (s *GeneratorSource) Next() (*Unit, bool) {
 	u := &Unit{Seq: s.next, Seed: s.base + int64(s.next), Kind: oracle.Generated}
 	s.next++
 	return u, true
+}
+
+// SkipSource wraps a Source for crash recovery: units whose Seq the
+// Done predicate claims are marked Recovered and skip all stage work,
+// while still flowing through so Seqs stay contiguous. Done must be
+// safe to call from the source goroutine for the run's duration.
+type SkipSource struct {
+	Inner Source
+	Done  func(seq int) bool
+}
+
+// Name implements Source.
+func (s *SkipSource) Name() string { return s.Inner.Name() }
+
+// Next implements Source.
+func (s *SkipSource) Next() (*Unit, bool) {
+	u, ok := s.Inner.Next()
+	if ok && s.Done != nil && s.Done(u.Seq) {
+		u.Recovered = true
+	}
+	return u, ok
 }
 
 // ProgramSource yields pre-built programs (a compiler's test suite, a
@@ -143,6 +174,9 @@ func (g *Generate) Run(ctx context.Context, u *Unit) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if u.Recovered {
+		return nil
+	}
 	if u.Program == nil {
 		gen := generator.New(g.Config.WithSeed(u.Seed))
 		u.Program = gen.Generate()
@@ -173,6 +207,9 @@ func (*Mutate) Name() string { return "mutate" }
 func (m *Mutate) Run(ctx context.Context, u *Unit) error {
 	if err := ctx.Err(); err != nil {
 		return err
+	}
+	if u.Recovered {
+		return nil
 	}
 	b := u.Builtins
 	if b == nil {
@@ -262,6 +299,9 @@ func (e *Execute) init() {
 // for the Judge stage; one that yields none (quarantined, errored past
 // retries) is recorded as a Gap so the report can account for the hole.
 func (e *Execute) Run(ctx context.Context, u *Unit) error {
+	if u.Recovered {
+		return nil
+	}
 	e.init()
 	for i, in := range u.Inputs {
 		var cov coverage.Recorder
@@ -287,6 +327,24 @@ func (e *Execute) Run(ctx context.Context, u *Unit) error {
 				})
 			}
 		}
+	}
+	// Drain per-unit chaos injections (if any target is a chaos wrapper)
+	// so the aggregator folds injected ground truth in Seq order.
+	for _, t := range e.targets {
+		d, ok := t.(interface {
+			DrainUnit(int64) harness.InjectionCounts
+		})
+		if !ok {
+			continue
+		}
+		counts := d.DrainUnit(u.Seed)
+		if counts.Total() == 0 {
+			continue
+		}
+		if u.Injected == nil {
+			u.Injected = map[string]harness.InjectionCounts{}
+		}
+		u.Injected[t.Name()] = counts
 	}
 	return nil
 }
