@@ -20,6 +20,15 @@
 // seeded panics/hangs/transient faults/flaky verdicts at the given rate
 // to exercise those paths; the run then prints its fault ledger.
 //
+// -debug-addr ADDR serves live observability over HTTP while the
+// campaign runs: /metrics (JSON registry snapshot: throughput, verdict
+// counts, latency histograms, breaker states), /events (recent
+// structured events), and the standard /debug/pprof profiling handlers.
+// -heartbeat DUR prints a one-line progress summary (units/s, bugs
+// found, breaker states, journal lag) to stderr at that interval. Both
+// are observation-only: reports are bit-for-bit identical with or
+// without them.
+//
 // With -state DIR the campaign is durable: every aggregated unit is
 // journaled and the folded report snapshotted in DIR, so a killed run
 // resumes with -resume to exactly the report of an uninterrupted run.
@@ -41,6 +50,7 @@ import (
 	"repro/internal/compilers"
 	"repro/internal/generator"
 	"repro/internal/harness"
+	"repro/internal/metrics"
 	"repro/internal/oracle"
 )
 
@@ -56,11 +66,29 @@ func main() {
 	chaos := flag.Float64("chaos", 0, "inject seeded faults at this rate (0 disables; exercises the harness)")
 	state := flag.String("state", "", "state directory for durable campaigns (journal, snapshots, bug corpus)")
 	resume := flag.Bool("resume", false, "resume the campaign recorded in -state instead of starting fresh")
-	snapshotEvery := flag.Int("snapshot-every", 0, "units between report snapshots (0 = default cadence)")
+	snapshotEvery := flag.Int("snapshot-every", 0, "units between report snapshots (0 = default cadence of 64; -1 disables snapshots)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /events, and /debug/pprof on this address (e.g. 127.0.0.1:6060; :0 picks a free port)")
+	heartbeat := flag.Duration("heartbeat", 0, "print a one-line progress summary at this interval (0 disables)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	var reg *metrics.Registry
+	var trace *metrics.Trace
+	if *debugAddr != "" || *heartbeat > 0 {
+		reg = metrics.NewRegistry()
+		trace = metrics.NewTrace(4096)
+	}
+	if *debugAddr != "" {
+		srv, err := metrics.Serve(*debugAddr, reg, trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server listening on http://%s\n", srv.Addr())
+	}
 
 	harnessOpts := harness.Options{
 		Timeout:          *timeout,
@@ -84,6 +112,7 @@ func main() {
 	var report *campaign.Report
 	if needCampaign {
 		fmt.Printf("running campaign: %d programs + mutants against groovyc, kotlinc, javac...\n\n", *n)
+		stopBeat := campaign.StartHeartbeat(os.Stderr, reg, *heartbeat, *n)
 		var err error
 		report, err = campaign.RunContext(ctx, campaign.Options{
 			Seed:          *seed,
@@ -97,7 +126,10 @@ func main() {
 			StateDir:      *state,
 			Resume:        *resume,
 			SnapshotEvery: *snapshotEvery,
+			Metrics:       reg,
+			Trace:         trace,
 		})
+		stopBeat()
 		printRecovery(report)
 		if err != nil {
 			// The partial report is still a valid (if truncated) fold:
@@ -172,6 +204,10 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Println(cov)
+			if *stats {
+				fmt.Println("pipeline stages:")
+				fmt.Println(cov.Stats)
+			}
 		}
 	}
 	if report != nil && *fig == "all" {

@@ -11,6 +11,7 @@
 //	hephaestus fuzz      [-seed N] [-n programs] [-workers W] [-stats]
 //	                     [-compile-timeout D] [-retries R] [-chaos RATE]
 //	                     [-state DIR] [-resume] [-snapshot-every K]
+//	                     [-debug-addr ADDR] [-heartbeat DUR]
 //	                                               run a campaign
 //	hephaestus reduce    [-seed N]                 reduce a bug trigger
 //	hephaestus typegraph [-seed N]                 dump type graphs (DOT)
@@ -25,9 +26,11 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/ir"
+	"repro/internal/metrics"
 	"repro/internal/oracle"
 	"repro/internal/typegraph"
 	"repro/internal/types"
@@ -50,7 +53,9 @@ func main() {
 	chaos := fs.Float64("chaos", 0, "inject seeded faults at this rate (0 disables; exercises the harness)")
 	state := fs.String("state", "", "state directory for durable fuzzing (journal, snapshots, bug corpus)")
 	resume := fs.Bool("resume", false, "resume the campaign recorded in -state instead of starting fresh")
-	snapshotEvery := fs.Int("snapshot-every", 0, "units between report snapshots (0 = default cadence)")
+	snapshotEvery := fs.Int("snapshot-every", 0, "units between report snapshots (0 = default cadence of 64; -1 disables snapshots)")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /events, and /debug/pprof on this address (e.g. 127.0.0.1:6060; :0 picks a free port)")
+	heartbeat := fs.Duration("heartbeat", 0, "print a one-line progress summary at this interval (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
@@ -67,6 +72,19 @@ func main() {
 		StateDir:      *state,
 		Resume:        *resume,
 		SnapshotEvery: *snapshotEvery,
+	}
+	if *debugAddr != "" || *heartbeat > 0 {
+		cfg.Metrics = metrics.NewRegistry()
+		cfg.Trace = metrics.NewTrace(4096)
+	}
+	if *debugAddr != "" {
+		srv, err := metrics.Serve(*debugAddr, cfg.Metrics, cfg.Trace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("debug server listening on http://%s\n", srv.Addr())
 	}
 	if *chaos > 0 {
 		cfg.Chaos = &harness.ChaosOptions{
@@ -118,7 +136,9 @@ func main() {
 	case "fuzz":
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
+		stopBeat := campaign.StartHeartbeat(os.Stderr, cfg.Metrics, *heartbeat, *n)
 		findings, report, err := h.FuzzContext(ctx, *n)
+		stopBeat()
 		if report != nil && report.Recovery.Resumed {
 			fmt.Printf("resumed: %d units restored (%d from snapshot prefix, %d journal records replayed)\n\n",
 				report.Recovery.Recovered, report.Recovery.SnapshotSeq, report.Recovery.Replayed)

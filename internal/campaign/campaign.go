@@ -18,6 +18,7 @@ import (
 	"repro/internal/compilers"
 	"repro/internal/generator"
 	"repro/internal/harness"
+	"repro/internal/metrics"
 	"repro/internal/oracle"
 	"repro/internal/pipeline"
 )
@@ -63,11 +64,23 @@ type Options struct {
 	// survives) and the campaign starts fresh.
 	Resume bool
 	// SnapshotEvery is the number of aggregated units between report
-	// snapshots; 0 means 64.
+	// snapshots: 0 means the default cadence (64), a negative value
+	// disables snapshots entirely (resume then replays the journal from
+	// the top — slower to restore, but no checkpoint I/O during the
+	// run).
 	SnapshotEvery int
 	// SyncEvery is the number of journal records between fsyncs; 0 means
 	// every record (maximum durability, slowest).
 	SyncEvery int
+	// Metrics, when set, exports live campaign instruments (unit/exec
+	// throughput, per-compiler verdict counts, compile wall-time and
+	// journal latency histograms, breaker states) through the registry.
+	// Observation only: the report is bit-for-bit identical with or
+	// without it, and it is excluded from the campaign fingerprint.
+	Metrics *metrics.Registry
+	// Trace, when set, receives structured events (verdicts, retries,
+	// faults, breaker transitions, chaos injections). Observation only.
+	Trace *metrics.Trace
 }
 
 // DefaultOptions returns a small but representative campaign.
@@ -138,6 +151,13 @@ type Report struct {
 	// ground truth when chaos was on. Folded in unit order, so it is
 	// deterministic across worker counts.
 	Faults *harness.Ledger
+	// BugRate buckets units, executions, and bug triggerings by unit
+	// sequence number (SeriesBucketWidth units per bucket): the
+	// bug-rate-over-time series. Folded commutatively like every other
+	// report field, so it survives journal replay and checkpoint/resume
+	// — a resumed campaign's series continues where the killed run's
+	// left off.
+	BugRate map[int]*RateBucket
 	// Corpus is the cross-campaign persistent bug corpus, after this
 	// run's merge; nil unless the campaign is durable (StateDir set).
 	Corpus *Corpus
@@ -170,6 +190,68 @@ func (r *Report) FoundFor(compiler string) []*BugRecord {
 // TotalFound returns the number of distinct bugs found.
 func (r *Report) TotalFound() int { return len(r.Found) }
 
+// SeriesBucketWidth is the number of units per BugRate bucket.
+const SeriesBucketWidth = 32
+
+// RateBucket aggregates one bug-rate bucket: all fields are sums, so
+// buckets fold commutatively across live units and journal replay.
+type RateBucket struct {
+	// Units is the number of units folded into the bucket.
+	Units int `json:"u"`
+	// Execs is the number of (input, compiler) executions.
+	Execs int `json:"x"`
+	// BugHits is the number of bug triggerings (before deduplication).
+	BugHits int `json:"h,omitempty"`
+}
+
+// SeriesPoint is one step of the derived bug-rate series.
+type SeriesPoint struct {
+	// StartSeq and EndSeq bound the bucket's unit range [StartSeq, EndSeq).
+	StartSeq, EndSeq int
+	// Units, Execs, and BugHits restate the bucket's sums.
+	Units, Execs, BugHits int
+	// NewBugs is the number of distinct bugs whose first triggering seed
+	// falls in this bucket.
+	NewBugs int
+	// CumulativeBugs is the running total of distinct bugs through this
+	// bucket.
+	CumulativeBugs int
+}
+
+// BugRateSeries derives the bug-rate-over-time series from the folded
+// BugRate buckets and the Found map, ordered by unit sequence. The
+// series is part of the deterministic report: a resumed campaign's
+// series is identical to an uninterrupted run's.
+func (r *Report) BugRateSeries() []SeriesPoint {
+	if len(r.BugRate) == 0 {
+		return nil
+	}
+	idxs := make([]int, 0, len(r.BugRate))
+	for i := range r.BugRate {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	// A bug's first triggering unit has seed FirstSeed = Opts.Seed + seq.
+	newBugs := map[int]int{}
+	for _, rec := range r.Found {
+		newBugs[int(rec.FirstSeed-r.Opts.Seed)/SeriesBucketWidth]++
+	}
+	out := make([]SeriesPoint, 0, len(idxs))
+	cum := 0
+	for _, i := range idxs {
+		b := r.BugRate[i]
+		cum += newBugs[i]
+		out = append(out, SeriesPoint{
+			StartSeq: i * SeriesBucketWidth,
+			EndSeq:   (i + 1) * SeriesBucketWidth,
+			Units:    b.Units, Execs: b.Execs, BugHits: b.BugHits,
+			NewBugs:        newBugs[i],
+			CumulativeBugs: cum,
+		})
+	}
+	return out
+}
+
 // Run executes the campaign and returns its report. Runs are
 // deterministic for fixed options, regardless of worker count. A run
 // cut short (cancellation, stage failure) is not silently complete: the
@@ -196,9 +278,14 @@ func RunContext(ctx context.Context, opts Options) (*Report, error) {
 		Found:       map[string]*BugRecord{},
 		Verdicts:    map[string]map[oracle.InputKind]map[oracle.Verdict]int{},
 		ProgramsRun: map[oracle.InputKind]int{},
+		BugRate:     map[int]*RateBucket{},
 		Faults:      harness.NewLedger(),
 	}
-	agg := &reportAggregator{report: report, bugIndex: bugIndexFor(opts.Compilers)}
+	agg := &reportAggregator{
+		report:   report,
+		bugIndex: bugIndexFor(opts.Compilers),
+		obs:      newObserver(opts.Metrics, opts.Trace),
+	}
 
 	stages := []pipeline.Stage{&pipeline.Generate{Config: opts.GenConfig}}
 	if opts.Mutate {
@@ -206,12 +293,17 @@ func RunContext(ctx context.Context, opts Options) (*Report, error) {
 	}
 
 	// The execution layer: every compiler behind the resilient harness,
-	// optionally behind chaos fault injection first.
-	h := harness.New(opts.Harness)
+	// optionally behind chaos fault injection first. Observability rides
+	// along on the harness options; it is stripped from the campaign
+	// fingerprint, so a durable run can resume with it toggled.
+	hopts := opts.Harness
+	hopts.Metrics = opts.Metrics
+	hopts.Trace = opts.Trace
+	h := harness.New(hopts)
 	var targets []harness.Target
 	if opts.Chaos != nil {
 		for _, c := range opts.Compilers {
-			targets = append(targets, harness.NewChaos(*opts.Chaos, harness.WrapCompiler(c)))
+			targets = append(targets, harness.NewChaos(*opts.Chaos, harness.WrapCompiler(c)).WithTrace(opts.Trace))
 		}
 	}
 	stages = append(stages,
@@ -225,12 +317,17 @@ func RunContext(ctx context.Context, opts Options) (*Report, error) {
 		report.Err = err
 		return report, err
 	}
+	// Fold restored state into the live instruments so a resumed run's
+	// metrics continue from where the killed run's left off.
+	agg.obs.prime(report)
 
 	p := &pipeline.Pipeline{
 		Source:     pipeline.NewGeneratorSource(opts.Seed, opts.Programs),
 		Stages:     stages,
 		Aggregator: agg,
 		Workers:    opts.Workers,
+		Label:      "campaign",
+		Metrics:    opts.Metrics,
 	}
 	if state != nil {
 		p.Source = &pipeline.SkipSource{Inner: p.Source, Done: state.isDone}
@@ -261,6 +358,10 @@ func RunContext(ctx context.Context, opts Options) (*Report, error) {
 type reportAggregator struct {
 	report   *Report
 	bugIndex map[string]*bugs.Bug
+	// obs mirrors live folds into the metrics registry and event trace;
+	// nil when the campaign is unobserved. Restored state is primed
+	// separately, so obs sees only units folded by this process.
+	obs *observer
 	// last is the record for the most recently folded unit, stashed for
 	// the journaling hook that runs next on the same goroutine.
 	last *unitRecord
@@ -278,6 +379,7 @@ func (a *reportAggregator) Aggregate(u *pipeline.Unit) {
 	rec := recordOf(u)
 	a.last = rec
 	a.fold(rec)
+	a.obs.observeUnit(rec, len(a.report.Found))
 }
 
 // fold applies one unit record to the report.
@@ -286,6 +388,16 @@ func (a *reportAggregator) fold(rec *unitRecord) {
 	r.TEMRepairs += rec.Repairs
 	for _, k := range rec.Inputs {
 		r.ProgramsRun[k]++
+	}
+	rate := r.BugRate[rec.Seq/SeriesBucketWidth]
+	if rate == nil {
+		rate = &RateBucket{}
+		r.BugRate[rec.Seq/SeriesBucketWidth] = rate
+	}
+	rate.Units++
+	rate.Execs += len(rec.Execs)
+	for _, e := range rec.Execs {
+		rate.BugHits += len(e.Bugs)
 	}
 	for _, g := range rec.Gaps {
 		r.Faults.Observe(g.Compiler, harness.Invocation{Outcome: g.Outcome, Attempts: g.Attempts, Flaky: g.Flaky})

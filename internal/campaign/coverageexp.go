@@ -120,6 +120,9 @@ type SuiteCoverage struct {
 	// Percentages relative to the union universe.
 	SuiteLine, SuiteFunc, SuiteBranch float64
 	BothLine, BothFunc, BothBranch    float64
+	// Stats holds the per-stage statistics of both pipeline runs (the
+	// suite replay and the random top-up), each under its own run scope.
+	Stats *pipeline.Stats
 }
 
 // LineChange returns the percentage-point increment random programs add.
@@ -152,6 +155,10 @@ func RunSuiteCoverage(c *compilers.Compiler, random int, seed int64, cfg generat
 // explicit per-stage worker count: one pipeline replays the compiler's
 // test suite, a second streams random programs on top.
 func RunSuiteCoverageContext(ctx context.Context, c *compilers.Compiler, random int, seed int64, cfg generator.Config, workers int) (*SuiteCoverage, error) {
+	// Both pipelines share one Stats: each Run opens its own scope, so
+	// the suite replay and the random top-up report side by side instead
+	// of folding into the same per-stage buckets.
+	stats := pipeline.NewStats()
 	covSuite := coverage.NewCollector()
 	suite := &pipeline.Pipeline{
 		Source: pipeline.NewProgramSource(oracle.Suite, corpus.TestSuite(c.Name())),
@@ -165,6 +172,8 @@ func RunSuiteCoverageContext(ctx context.Context, c *compilers.Compiler, random 
 		},
 		Aggregator: pipeline.Discard{},
 		Workers:    workers,
+		Stats:      stats,
+		Label:      "suite",
 	}
 	if _, err := suite.Run(ctx); err != nil {
 		return nil, err
@@ -183,12 +192,14 @@ func RunSuiteCoverageContext(ctx context.Context, c *compilers.Compiler, random 
 		},
 		Aggregator: pipeline.Discard{},
 		Workers:    workers,
+		Stats:      stats,
+		Label:      "random",
 	}
 	if _, err := randomRun.Run(ctx); err != nil {
 		return nil, err
 	}
 
-	out := &SuiteCoverage{Compiler: c.Name(), Random: random}
+	out := &SuiteCoverage{Compiler: c.Name(), Random: random, Stats: stats}
 	out.SuiteLine, out.SuiteFunc, out.SuiteBranch = covSuite.Percent(covBoth)
 	out.BothLine, out.BothFunc, out.BothBranch = covBoth.Percent(covBoth)
 	return out, nil

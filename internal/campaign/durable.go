@@ -15,11 +15,13 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"time"
 
 	"repro/internal/bugs"
 	"repro/internal/compilers"
 	"repro/internal/harness"
 	"repro/internal/journal"
+	"repro/internal/metrics"
 	"repro/internal/oracle"
 	"repro/internal/pipeline"
 )
@@ -120,6 +122,9 @@ type snapshotState struct {
 	Found       []foundState                                           `json:"found"`
 	Faults      *harness.Ledger                                        `json:"faults"`
 	Breakers    map[string]harness.BreakerSnapshot                     `json:"breakers,omitempty"`
+	// BugRate carries the bug-rate series, so a resumed campaign's
+	// series continues instead of restarting at the resume point.
+	BugRate map[int]*RateBucket `json:"rate,omitempty"`
 }
 
 // metaState is the meta.json side document: which campaign owns the
@@ -172,7 +177,11 @@ type RecoveryInfo struct {
 func fingerprint(opts Options) string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "seed=%d programs=%d mutate=%v", opts.Seed, opts.Programs, opts.Mutate)
-	fmt.Fprintf(h, " gen=%+v harness=%+v", opts.GenConfig, opts.Harness)
+	// Observability is not campaign-defining: a resumed run may toggle
+	// metrics without changing what the campaign computes.
+	hopts := opts.Harness
+	hopts.Metrics, hopts.Trace = nil, nil
+	fmt.Fprintf(h, " gen=%+v harness=%+v", opts.GenConfig, hopts)
 	if opts.Chaos != nil {
 		fmt.Fprintf(h, " chaos=%+v", *opts.Chaos)
 	}
@@ -188,7 +197,16 @@ type durableState struct {
 	w     *journal.Writer
 	fp    string
 
+	// snapshotEvery is the checkpoint cadence in units; negative means
+	// snapshots are disabled and resume relies on journal replay alone.
 	snapshotEvery int
+
+	// appendNs and syncNs time journal writes; lag tracks units folded
+	// since the last checkpoint. Unregistered no-ops when the campaign
+	// is unobserved.
+	appendNs *metrics.Histogram
+	syncNs   *metrics.Histogram
+	lag      *metrics.Gauge
 	// done marks seqs whose folds were restored; read-only once the
 	// pipeline starts (the SkipSource reads it from the source
 	// goroutine).
@@ -223,8 +241,11 @@ func openState(opts Options, report *Report, agg *reportAggregator, h *harness.H
 		done:          map[int]bool{},
 		maxRestored:   -1,
 		lastSeq:       -1,
+		appendNs:      opts.Metrics.Histogram("campaign.journal.append_ns"),
+		syncNs:        opts.Metrics.Histogram("campaign.journal.sync_ns"),
+		lag:           opts.Metrics.Gauge("campaign.journal.lag"),
 	}
-	if st.snapshotEvery <= 0 {
+	if st.snapshotEvery == 0 {
 		st.snapshotEvery = defaultSnapshotEvery
 	}
 
@@ -309,6 +330,9 @@ func (st *durableState) restore(report *Report, agg *reportAggregator, h *harnes
 				report.Faults.Injected = map[string]harness.InjectionCounts{}
 			}
 		}
+		for i, b := range snap.BugRate {
+			report.BugRate[i] = b
+		}
 		agg.restoreFound(snap.Found)
 		h.ImportBreakers(snap.Breakers)
 		snapNext = snap.NextSeq
@@ -366,19 +390,25 @@ func (st *durableState) afterUnit(report *Report, agg *reportAggregator, u *pipe
 		if err != nil {
 			return err
 		}
+		t0 := time.Now()
 		if err := st.w.Append(payload); err != nil {
 			return err
 		}
+		st.appendNs.ObserveDuration(time.Since(t0))
 	}
 	st.sinceSnap++
+	st.lag.Set(int64(st.sinceSnap))
 	// Checkpoints wait until the fold passes every restored seq: before
 	// that the report contains folds beyond any contiguous prefix and a
-	// snapshot would double-count them on the next resume.
-	if st.sinceSnap >= st.snapshotEvery && u.Seq >= st.maxRestored {
+	// snapshot would double-count them on the next resume. A negative
+	// cadence disables snapshots outright; resume then replays the
+	// journal from the top.
+	if st.snapshotEvery > 0 && st.sinceSnap >= st.snapshotEvery && u.Seq >= st.maxRestored {
 		if err := st.checkpoint(report, h, u.Seq+1); err != nil {
 			return err
 		}
 		st.sinceSnap = 0
+		st.lag.Set(0)
 	}
 	return nil
 }
@@ -395,6 +425,7 @@ func (st *durableState) checkpoint(report *Report, h *harness.Harness, nextSeq i
 		Found:       foundStates(report.Found),
 		Faults:      report.Faults,
 		Breakers:    h.ExportBreakers(),
+		BugRate:     report.BugRate,
 	}
 	payload, err := json.Marshal(&snap)
 	if err != nil {
@@ -409,13 +440,16 @@ func (st *durableState) checkpoint(report *Report, h *harness.Harness, nextSeq i
 // persistent corpus — once, however many times the campaign is resumed
 // after finishing.
 func (st *durableState) finish(report *Report, h *harness.Harness, complete bool) error {
+	t0 := time.Now()
 	syncErr := st.w.Sync()
+	st.syncNs.ObserveDuration(time.Since(t0))
 	var snapErr error
 	// The final snapshot is safe only once the fold covers a contiguous
 	// prefix; an abort before passing the restored tail leaves the
 	// on-disk snapshot+journal pair authoritative (the journal already
-	// has this run's records).
-	if syncErr == nil && st.lastSeq >= st.maxRestored {
+	// has this run's records). Disabled snapshots stay disabled here
+	// too: resume is journal-replay only.
+	if syncErr == nil && st.snapshotEvery > 0 && st.lastSeq >= st.maxRestored {
 		snapErr = st.checkpoint(report, h, st.lastSeq+1)
 	}
 	closeErr := st.w.Close()

@@ -30,6 +30,12 @@ func assertSameOutcome(t *testing.T, label string, want, got *Report) {
 	if want.TEMRepairs != got.TEMRepairs {
 		t.Errorf("%s: TEMRepairs = %d, want %d", label, got.TEMRepairs, want.TEMRepairs)
 	}
+	if !reflect.DeepEqual(want.BugRate, got.BugRate) {
+		t.Errorf("%s: bug-rate series differs:\n%+v\nvs\n%+v", label, want.BugRate, got.BugRate)
+	}
+	if !reflect.DeepEqual(want.BugRateSeries(), got.BugRateSeries()) {
+		t.Errorf("%s: derived series differs", label)
+	}
 }
 
 // mutilateState simulates the disk damage a SIGKILL can leave behind:

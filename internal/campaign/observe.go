@@ -1,0 +1,171 @@
+// Campaign observability: the adapter between the deterministic fold
+// and the live metrics registry / event trace. Everything here is
+// observation only — instruments mirror the fold, they never feed back
+// into it — so a campaign's report is bit-for-bit identical with
+// metrics on or off, at any worker count.
+
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/oracle"
+)
+
+// observer mirrors folded units into live instruments. All methods are
+// nil-safe, so the aggregator calls them unconditionally.
+type observer struct {
+	reg   *metrics.Registry
+	trace *metrics.Trace
+
+	units *metrics.Counter
+	execs *metrics.Counter
+	bugs  *metrics.Gauge
+}
+
+// newObserver returns nil when the campaign is unobserved — the hot
+// fold path then costs one nil check, nothing more.
+func newObserver(reg *metrics.Registry, trace *metrics.Trace) *observer {
+	if reg == nil && trace == nil {
+		return nil
+	}
+	return &observer{
+		reg:   reg,
+		trace: trace,
+		units: reg.Counter("campaign.units"),
+		execs: reg.Counter("campaign.execs"),
+		bugs:  reg.Gauge("campaign.bugs"),
+	}
+}
+
+// observeUnit mirrors one live-folded unit: throughput counters,
+// per-compiler verdict counters, the distinct-bug gauge, and one
+// verdict trace event per execution. Runs on the aggregator goroutine,
+// in Seq order.
+func (o *observer) observeUnit(rec *unitRecord, foundBugs int) {
+	if o == nil {
+		return
+	}
+	o.units.Inc()
+	o.execs.Add(int64(len(rec.Execs)))
+	o.bugs.Set(int64(foundBugs))
+	for _, e := range rec.Execs {
+		o.reg.Counter(verdictCounterName(e.Compiler, e.Kind, e.Verdict)).Inc()
+		o.trace.Emit(metrics.Event{
+			Kind:     "verdict",
+			Seq:      rec.Seq,
+			Unit:     rec.Seed,
+			Stage:    e.Kind.String(),
+			Compiler: e.Compiler,
+			Verdict:  e.Verdict.String(),
+		})
+	}
+}
+
+// prime folds state restored from a snapshot and journal replay into
+// the instruments, so a resumed campaign's live counters continue from
+// where the killed run's left off instead of restarting at zero.
+func (o *observer) prime(report *Report) {
+	if o == nil {
+		return
+	}
+	for _, b := range report.BugRate {
+		o.units.Add(int64(b.Units))
+		o.execs.Add(int64(b.Execs))
+	}
+	o.bugs.Set(int64(len(report.Found)))
+	for comp, perKind := range report.Verdicts {
+		for kind, perVerdict := range perKind {
+			for verdict, n := range perVerdict {
+				o.reg.Counter(verdictCounterName(comp, kind, verdict)).Add(int64(n))
+			}
+		}
+	}
+}
+
+func verdictCounterName(comp string, kind oracle.InputKind, verdict oracle.Verdict) string {
+	return "campaign.verdicts." + comp + "." + kind.String() + "." + verdict.String()
+}
+
+// StartHeartbeat launches a goroutine printing a one-line progress
+// summary to w every interval, read from the registry: units done (and
+// units/s since the previous beat), executions, distinct bugs, breaker
+// states, and journal lag. totalUnits sizes the "done/total" fraction;
+// 0 omits it. The returned stop function halts the ticker; it is safe
+// to call more than once.
+func StartHeartbeat(w io.Writer, reg *metrics.Registry, interval time.Duration, totalUnits int) (stop func()) {
+	if reg == nil || interval <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	ticker := time.NewTicker(interval)
+	go func() {
+		defer ticker.Stop()
+		lastUnits, lastBeat := int64(0), time.Now()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				snap := reg.Snapshot()
+				now := time.Now()
+				units := snap.Counters["campaign.units"]
+				rate := float64(units-lastUnits) / now.Sub(lastBeat).Seconds()
+				lastUnits, lastBeat = units, now
+
+				var b strings.Builder
+				fmt.Fprintf(&b, "heartbeat: units %d", units)
+				if totalUnits > 0 {
+					fmt.Fprintf(&b, "/%d", totalUnits)
+				}
+				fmt.Fprintf(&b, " (%.1f/s) execs %d bugs %d",
+					rate, snap.Counters["campaign.execs"], snap.Gauges["campaign.bugs"])
+				b.WriteString(" breakers " + breakerSummary(snap))
+				if lag, ok := snap.Gauges["campaign.journal.lag"]; ok {
+					fmt.Fprintf(&b, " journal lag %d", lag)
+				}
+				fmt.Fprintln(w, b.String())
+			}
+		}
+	}()
+	return func() {
+		select {
+		case <-done:
+		default:
+			close(done)
+		}
+	}
+}
+
+// breakerSummary renders the non-closed breakers from a snapshot, or
+// "closed" when every breaker is admitting traffic.
+func breakerSummary(snap metrics.Snapshot) string {
+	var open []string
+	for name, v := range snap.Gauges {
+		const prefix = "harness.breaker."
+		if strings.HasPrefix(name, prefix) && v != 0 {
+			open = append(open, strings.TrimPrefix(name, prefix)+"="+breakerStateName(v))
+		}
+	}
+	if len(open) == 0 {
+		return "closed"
+	}
+	sort.Strings(open)
+	return strings.Join(open, ",")
+}
+
+func breakerStateName(v int64) string {
+	switch v {
+	case 1:
+		return "open"
+	case 2:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", v)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/generator"
 	"repro/internal/harness"
 	"repro/internal/ir"
+	"repro/internal/metrics"
 	"repro/internal/mutation"
 	"repro/internal/oracle"
 	"repro/internal/reduce"
@@ -61,6 +62,12 @@ type Config struct {
 	// SyncEvery is the journal record count between fsyncs; 0 means
 	// every record.
 	SyncEvery int
+	// Metrics, when set, exports live campaign instruments through the
+	// registry. Observation only.
+	Metrics *metrics.Registry
+	// Trace, when set, receives structured campaign events. Observation
+	// only.
+	Trace *metrics.Trace
 }
 
 // Hephaestus is the façade object.
@@ -170,6 +177,8 @@ func (h *Hephaestus) FuzzContext(ctx context.Context, n int) ([]Finding, *campai
 		Resume:        h.cfg.Resume,
 		SnapshotEvery: h.cfg.SnapshotEvery,
 		SyncEvery:     h.cfg.SyncEvery,
+		Metrics:       h.cfg.Metrics,
+		Trace:         h.cfg.Trace,
 	})
 	var out []Finding
 	for _, rec := range report.Found {

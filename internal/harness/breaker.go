@@ -50,6 +50,11 @@ type Breaker struct {
 	failures int  // consecutive failures while closed
 	skipped  int  // compiles skipped while open
 	probing  bool // a half-open probe is in flight
+
+	// onTransition, when set, observes every state change (called with
+	// the lock held, so it must not call back into the breaker). It is
+	// wired by the harness to the event trace and breaker-state gauge.
+	onTransition func(from, to BreakerState)
 }
 
 // NewBreaker returns a breaker that opens after threshold consecutive
@@ -67,6 +72,25 @@ func (b *Breaker) State() BreakerState {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.state
+}
+
+// OnTransition registers an observer for state changes. Observation
+// only: the callback runs with the breaker's lock held and must not
+// call back into the breaker.
+func (b *Breaker) OnTransition(fn func(from, to BreakerState)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.onTransition = fn
+}
+
+// setState moves the breaker to a new position, notifying the observer.
+// Callers hold b.mu.
+func (b *Breaker) setState(to BreakerState) {
+	from := b.state
+	b.state = to
+	if b.onTransition != nil && from != to {
+		b.onTransition(from, to)
+	}
 }
 
 // Allow reports whether a compile may proceed. A false return means the
@@ -87,7 +111,7 @@ func (b *Breaker) Allow() bool {
 			b.skipped++
 			return false
 		}
-		b.state = BreakerHalfOpen
+		b.setState(BreakerHalfOpen)
 		b.probing = true
 		return true
 	default: // half-open
@@ -116,16 +140,16 @@ func (b *Breaker) Record(ok bool) {
 		}
 		b.failures++
 		if b.failures >= b.threshold {
-			b.state = BreakerOpen
+			b.setState(BreakerOpen)
 			b.skipped = 0
 		}
 	case BreakerHalfOpen:
 		b.probing = false
 		if ok {
-			b.state = BreakerClosed
+			b.setState(BreakerClosed)
 			b.failures = 0
 		} else {
-			b.state = BreakerOpen
+			b.setState(BreakerOpen)
 			b.skipped = 0
 		}
 	default:
@@ -158,7 +182,7 @@ func (b *Breaker) Export() BreakerSnapshot {
 func (b *Breaker) Import(s BreakerSnapshot) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.state = s.State
+	b.setState(s.State)
 	b.failures = s.Failures
 	b.skipped = s.Skipped
 	b.probing = false

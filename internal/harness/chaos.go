@@ -12,6 +12,7 @@ import (
 	"repro/internal/compilers"
 	"repro/internal/coverage"
 	"repro/internal/ir"
+	"repro/internal/metrics"
 )
 
 // ChaosOptions configures deterministic fault injection. Every decision
@@ -57,6 +58,7 @@ func (c InjectionCounts) Total() int64 { return c.Panics + c.Hangs + c.Transient
 type Chaos struct {
 	opts   ChaosOptions
 	target Target
+	trace  *metrics.Trace
 
 	panics, hangs, transients, flips atomic.Int64
 
@@ -76,6 +78,13 @@ func NewChaos(opts ChaosOptions, target Target) *Chaos {
 	return &Chaos{opts: opts, target: target, perUnit: map[int64]*InjectionCounts{}}
 }
 
+// WithTrace attaches an event trace: every injected fault is emitted as
+// a "chaos" event. Observation only. Returns c for chaining.
+func (c *Chaos) WithTrace(trace *metrics.Trace) *Chaos {
+	c.trace = trace
+	return c
+}
+
 // Name implements Target.
 func (c *Chaos) Name() string { return c.target.Name() }
 
@@ -92,8 +101,9 @@ func (c *Chaos) Injected() InjectionCounts {
 }
 
 // note tallies one injected fault, both globally and against the
-// invocation's owning unit.
-func (c *Chaos) note(unit int64, global *atomic.Int64, bump func(*InjectionCounts)) {
+// invocation's owning unit, and emits a trace event when a trace is
+// attached.
+func (c *Chaos) note(unit int64, kind string, global *atomic.Int64, bump func(*InjectionCounts)) {
 	global.Add(1)
 	c.mu.Lock()
 	u := c.perUnit[unit]
@@ -103,6 +113,9 @@ func (c *Chaos) note(unit int64, global *atomic.Int64, bump func(*InjectionCount
 	}
 	bump(u)
 	c.mu.Unlock()
+	c.trace.Emit(metrics.Event{
+		Kind: "chaos", Unit: unit, Compiler: c.target.Name(), Detail: kind,
+	})
 }
 
 // DrainUnit returns and clears the faults injected into one unit's
@@ -130,12 +143,12 @@ func (c *Chaos) Compile(ctx context.Context, p *ir.Program, cov coverage.Recorde
 
 	if key.Replica == 0 {
 		if rng.Float64() < c.opts.PanicRate {
-			c.note(key.Unit, &c.panics, func(u *InjectionCounts) { u.Panics++ })
+			c.note(key.Unit, "panic", &c.panics, func(u *InjectionCounts) { u.Panics++ })
 			panic(fmt.Sprintf("chaos: injected panic (unit %d, input %d, attempt %d)",
 				key.Unit, key.Input, key.Attempt))
 		}
 		if rng.Float64() < c.opts.HangRate {
-			c.note(key.Unit, &c.hangs, func(u *InjectionCounts) { u.Hangs++ })
+			c.note(key.Unit, "hang", &c.hangs, func(u *InjectionCounts) { u.Hangs++ })
 			select {
 			case <-ctx.Done():
 				return nil, ctx.Err()
@@ -145,7 +158,7 @@ func (c *Chaos) Compile(ctx context.Context, p *ir.Program, cov coverage.Recorde
 			}
 		}
 		if key.Attempt == 0 && rng.Float64() < c.opts.TransientRate {
-			c.note(key.Unit, &c.transients, func(u *InjectionCounts) { u.Transients++ })
+			c.note(key.Unit, "transient", &c.transients, func(u *InjectionCounts) { u.Transients++ })
 			return nil, Transient(errors.New("chaos: injected transient fault"))
 		}
 	}
@@ -153,7 +166,7 @@ func (c *Chaos) Compile(ctx context.Context, p *ir.Program, cov coverage.Recorde
 	res, err := c.target.Compile(ctx, p, cov)
 	if err == nil && key.Replica == 1 && rng.Float64() < c.opts.FlakyRate {
 		if flipped := flipStatus(res); flipped != nil {
-			c.note(key.Unit, &c.flips, func(u *InjectionCounts) { u.Flips++ })
+			c.note(key.Unit, "flip", &c.flips, func(u *InjectionCounts) { u.Flips++ })
 			return flipped, nil
 		}
 	}

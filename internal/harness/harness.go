@@ -33,6 +33,7 @@ import (
 	"repro/internal/compilers"
 	"repro/internal/coverage"
 	"repro/internal/ir"
+	"repro/internal/metrics"
 )
 
 // Target is the harness's view of a compiler: a named thing that
@@ -223,6 +224,14 @@ type Options struct {
 	// BreakerCooldown is the number of quarantined compiles an open
 	// breaker skips before probing half-open. 0 means 2×threshold.
 	BreakerCooldown int
+	// Metrics, when set, exports per-compiler wall-time histograms
+	// (harness.compile_wall_ns.<compiler>) and breaker-state gauges
+	// (harness.breaker.<compiler>). Observation only — the compile path
+	// is identical with or without it.
+	Metrics *metrics.Registry
+	// Trace, when set, receives retry, fault, flaky, and breaker
+	// transition events. Observation only.
+	Trace *metrics.Trace
 }
 
 // Harness executes compiles resiliently. Safe for concurrent use.
@@ -231,6 +240,7 @@ type Harness struct {
 
 	mu       sync.Mutex
 	breakers map[string]*Breaker
+	wall     map[string]*metrics.Histogram
 }
 
 // New returns a harness with the given options.
@@ -241,7 +251,7 @@ func New(opts Options) *Harness {
 	if opts.BreakerCooldown <= 0 {
 		opts.BreakerCooldown = 2 * opts.BreakerThreshold
 	}
-	return &Harness{opts: opts, breakers: map[string]*Breaker{}}
+	return &Harness{opts: opts, breakers: map[string]*Breaker{}, wall: map[string]*metrics.Histogram{}}
 }
 
 // Breaker returns the circuit breaker guarding the named compiler,
@@ -253,8 +263,34 @@ func (h *Harness) Breaker(name string) *Breaker {
 	if b == nil {
 		b = NewBreaker(h.opts.BreakerThreshold, h.opts.BreakerCooldown)
 		h.breakers[name] = b
+		if h.opts.Metrics != nil || h.opts.Trace != nil {
+			gauge := h.opts.Metrics.Gauge("harness.breaker." + name)
+			gauge.Set(int64(b.State()))
+			trace := h.opts.Trace
+			b.OnTransition(func(from, to BreakerState) {
+				gauge.Set(int64(to))
+				trace.Emit(metrics.Event{
+					Kind:     "breaker",
+					Compiler: name,
+					Detail:   from.String() + "->" + to.String(),
+				})
+			})
+		}
 	}
 	return b
+}
+
+// wallHistogram returns the per-compiler compile wall-time histogram,
+// creating it on first use.
+func (h *Harness) wallHistogram(name string) *metrics.Histogram {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	hist := h.wall[name]
+	if hist == nil {
+		hist = h.opts.Metrics.Histogram("harness.compile_wall_ns." + name)
+		h.wall[name] = hist
+	}
+	return hist
 }
 
 // ExportBreakers snapshots every circuit breaker, keyed by compiler
@@ -284,15 +320,25 @@ func (h *Harness) ImportBreakers(states map[string]BreakerSnapshot) {
 func (h *Harness) Compile(ctx context.Context, t Target, p *ir.Program, cov coverage.Recorder, key Key) Invocation {
 	br := h.Breaker(t.Name())
 	if !br.Allow() {
+		h.opts.Trace.Emit(metrics.Event{
+			Kind: "fault", Unit: key.Unit, Compiler: t.Name(), Detail: Quarantined.String(),
+		})
 		return Invocation{Outcome: Quarantined, Err: "circuit breaker open"}
 	}
 
+	t0 := time.Now()
 	inv := h.compileWithRetry(ctx, t, p, cov, key)
+	h.wallHistogram(t.Name()).ObserveDuration(time.Since(t0))
 	if inv.Outcome == Aborted {
 		// The campaign is shutting down; tell the breaker nothing.
 		return inv
 	}
 	br.Record(inv.Outcome == Completed)
+	if inv.Outcome != Completed {
+		h.opts.Trace.Emit(metrics.Event{
+			Kind: "fault", Unit: key.Unit, Compiler: t.Name(), Detail: inv.Outcome.String(),
+		})
+	}
 
 	if h.opts.DoubleCompile && inv.Outcome == Completed {
 		key.Replica = 1
@@ -303,6 +349,9 @@ func (h *Harness) Compile(ctx context.Context, t Target, p *ir.Program, cov cove
 		if probe.Outcome != Aborted &&
 			(probe.Outcome != Completed || probe.Result.Status != inv.Result.Status) {
 			inv.Flaky = true
+			h.opts.Trace.Emit(metrics.Event{
+				Kind: "flaky", Unit: key.Unit, Compiler: t.Name(), Detail: "double-compile status flip",
+			})
 		}
 	}
 	return inv
@@ -320,6 +369,10 @@ func (h *Harness) compileWithRetry(ctx context.Context, t Target, p *ir.Program,
 		if inv.Outcome != Errored || !inv.transient || attempt >= h.opts.Retries {
 			return inv
 		}
+		h.opts.Trace.Emit(metrics.Event{
+			Kind: "retry", Unit: key.Unit, Compiler: t.Name(),
+			Detail: fmt.Sprintf("attempt %d: %s", attempt, inv.Err),
+		})
 		if !h.backoff(ctx, attempt, key) {
 			inv.Outcome = Aborted
 			inv.Err = ctx.Err().Error()

@@ -1,0 +1,187 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Errorf("counter = %d, want 5", c.Load())
+	}
+	var g Gauge
+	g.Set(7)
+	g.SetMax(3)
+	if g.Load() != 7 {
+		t.Errorf("gauge after SetMax(3) = %d, want 7", g.Load())
+	}
+	g.SetMax(11)
+	if g.Load() != 11 {
+		t.Errorf("gauge after SetMax(11) = %d, want 11", g.Load())
+	}
+}
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Trace
+	var r *Registry
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.SetMax(2)
+	h.Observe(5)
+	tr.Emit(Event{Kind: "x"})
+	if c.Load() != 0 || g.Load() != 0 || h.Snapshot().Count != 0 || tr.Total() != 0 || tr.Tail(10) != nil {
+		t.Error("nil instruments must read as zero")
+	}
+	r.Counter("a").Inc()
+	r.Gauge("b").Set(1)
+	r.Histogram("c").Observe(1)
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms) != 0 {
+		t.Error("nil registry must hand out unregistered instruments")
+	}
+}
+
+func TestHistogramBucketsAndStats(t *testing.T) {
+	h := NewHistogram([]int64{10, 100, 1000})
+	for _, v := range []int64{5, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 || s.Sum != 5126 || s.Min != 5 || s.Max != 5000 {
+		t.Errorf("snapshot stats: %+v", s)
+	}
+	want := map[int64]int64{10: 2, 100: 2, -1: 1}
+	for _, b := range s.Buckets {
+		if want[b.LE] != b.N {
+			t.Errorf("bucket le=%d n=%d, want %d", b.LE, b.N, want[b.LE])
+		}
+		delete(want, b.LE)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing buckets: %v", want)
+	}
+	if s.Mean() != 5126.0/5 {
+		t.Errorf("mean = %v", s.Mean())
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.ObserveDuration(time.Duration(w*1000+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 8000 {
+		t.Errorf("count = %d, want 8000", got)
+	}
+}
+
+func TestRegistrySharesInstrumentsByName(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x").Inc()
+	r.Counter("x").Inc()
+	if got := r.Counter("x").Load(); got != 2 {
+		t.Errorf("shared counter = %d, want 2", got)
+	}
+	snap := r.Snapshot()
+	if snap.Counters["x"] != 2 {
+		t.Errorf("snapshot counters = %v", snap.Counters)
+	}
+	if _, err := json.Marshal(snap); err != nil {
+		t.Errorf("snapshot not marshalable: %v", err)
+	}
+}
+
+func TestTraceRingOverwritesOldest(t *testing.T) {
+	tr := NewTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Seq: i, Kind: "k"})
+	}
+	if tr.Total() != 10 {
+		t.Errorf("total = %d, want 10", tr.Total())
+	}
+	tail := tr.Tail(0)
+	if len(tail) != 4 {
+		t.Fatalf("tail length = %d, want 4", len(tail))
+	}
+	for i, e := range tail {
+		if e.Seq != 6+i || e.ID != int64(6+i) {
+			t.Errorf("tail[%d] = seq %d id %d, want %d", i, e.Seq, e.ID, 6+i)
+		}
+	}
+	if got := tr.Tail(2); len(got) != 2 || got[0].Seq != 8 {
+		t.Errorf("Tail(2) = %+v", got)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("campaign.units").Add(42)
+	reg.Histogram("lat").Observe(100)
+	tr := NewTrace(16)
+	tr.Emit(Event{Seq: 1, Kind: "verdict", Compiler: "groovyc", Verdict: "pass"})
+	srv, err := Serve("127.0.0.1:0", reg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+
+	var snap Snapshot
+	if err := json.Unmarshal(get("/metrics"), &snap); err != nil {
+		t.Fatalf("/metrics not JSON: %v", err)
+	}
+	if snap.Counters["campaign.units"] != 42 || snap.Histograms["lat"].Count != 1 {
+		t.Errorf("/metrics snapshot: %+v", snap)
+	}
+
+	var events struct {
+		Total  int64   `json:"total"`
+		Events []Event `json:"events"`
+	}
+	if err := json.Unmarshal(get("/events?n=5"), &events); err != nil {
+		t.Fatalf("/events not JSON: %v", err)
+	}
+	if events.Total != 1 || len(events.Events) != 1 || events.Events[0].Kind != "verdict" {
+		t.Errorf("/events: %+v", events)
+	}
+
+	if body := get("/debug/pprof/"); len(body) == 0 {
+		t.Error("/debug/pprof/ empty")
+	}
+}

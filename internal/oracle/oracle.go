@@ -6,7 +6,11 @@
 // mutation are ill-typed and must be rejected; a crash is always a bug.
 package oracle
 
-import "repro/internal/compilers"
+import (
+	"fmt"
+
+	"repro/internal/compilers"
+)
 
 // InputKind records how a test program was derived.
 type InputKind int
@@ -40,8 +44,12 @@ func (k InputKind) String() string {
 		return "TEM&TOM"
 	case REMMutant:
 		return "REM"
-	default:
+	case Suite:
 		return "suite"
+	default:
+		// Never mislabel a future kind: reports, corpus keys, and the
+		// event trace must surface it as unknown, not as "suite".
+		return fmt.Sprintf("unknown(%d)", int(k))
 	}
 }
 
@@ -86,8 +94,12 @@ func (v Verdict) String() string {
 		return "URB"
 	case CompilerHang:
 		return "hang"
-	default:
+	case CompilerCrash:
 		return "crash"
+	default:
+		// Never mislabel a future verdict: surface it as unknown rather
+		// than silently folding it into "crash" counts.
+		return fmt.Sprintf("unknown(%d)", int(v))
 	}
 }
 

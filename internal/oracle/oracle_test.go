@@ -1,45 +1,81 @@
 package oracle_test
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/compilers"
 	"repro/internal/oracle"
 )
 
-func TestOracleJudgement(t *testing.T) {
-	ok := &compilers.Result{Status: compilers.OK}
-	rejected := &compilers.Result{Status: compilers.Rejected}
-	crashed := &compilers.Result{Status: compilers.Crashed}
-	timedOut := &compilers.Result{Status: compilers.TimedOut}
-	cases := []struct {
-		kind oracle.InputKind
-		res  *compilers.Result
-		want oracle.Verdict
-	}{
-		{oracle.Generated, ok, oracle.Pass},
-		{oracle.Generated, rejected, oracle.UnexpectedCompileTimeError},
-		{oracle.Generated, crashed, oracle.CompilerCrash},
-		{oracle.TEMMutant, rejected, oracle.UnexpectedCompileTimeError},
-		{oracle.TEMMutant, ok, oracle.Pass},
-		{oracle.TOMMutant, rejected, oracle.Pass},
-		{oracle.TOMMutant, ok, oracle.UnexpectedAcceptance},
-		{oracle.TOMMutant, crashed, oracle.CompilerCrash},
-		{oracle.TEMTOMMutant, ok, oracle.UnexpectedAcceptance},
-		{oracle.Suite, ok, oracle.Pass},
-		// A hang is a reportable bug whatever the derivation — distinct
-		// from a crash, and never a pass even for ill-typed inputs whose
-		// rejection path wedged.
-		{oracle.Generated, timedOut, oracle.CompilerHang},
-		{oracle.TEMMutant, timedOut, oracle.CompilerHang},
-		{oracle.TOMMutant, timedOut, oracle.CompilerHang},
-		{oracle.TEMTOMMutant, timedOut, oracle.CompilerHang},
-		{oracle.Suite, timedOut, oracle.CompilerHang},
-		{oracle.REMMutant, timedOut, oracle.CompilerHang},
+var allKinds = []oracle.InputKind{
+	oracle.Generated, oracle.TEMMutant, oracle.TOMMutant,
+	oracle.TEMTOMMutant, oracle.Suite, oracle.REMMutant,
+}
+
+var allStatuses = []compilers.Status{
+	compilers.OK, compilers.Rejected, compilers.Crashed, compilers.TimedOut,
+}
+
+// TestJudgeMatrix pins the oracle over the full InputKind × Status
+// space: crashes and hangs are bugs whatever the derivation (notably
+// a TimedOut rejection path for an ill-typed mutant is still a hang,
+// never a pass), well-typed kinds must compile, ill-typed kinds must be
+// rejected.
+func TestJudgeMatrix(t *testing.T) {
+	want := map[oracle.InputKind]map[compilers.Status]oracle.Verdict{
+		oracle.Generated: {
+			compilers.OK:       oracle.Pass,
+			compilers.Rejected: oracle.UnexpectedCompileTimeError,
+			compilers.Crashed:  oracle.CompilerCrash,
+			compilers.TimedOut: oracle.CompilerHang,
+		},
+		oracle.TEMMutant: {
+			compilers.OK:       oracle.Pass,
+			compilers.Rejected: oracle.UnexpectedCompileTimeError,
+			compilers.Crashed:  oracle.CompilerCrash,
+			compilers.TimedOut: oracle.CompilerHang,
+		},
+		oracle.TOMMutant: {
+			compilers.OK:       oracle.UnexpectedAcceptance,
+			compilers.Rejected: oracle.Pass,
+			compilers.Crashed:  oracle.CompilerCrash,
+			compilers.TimedOut: oracle.CompilerHang,
+		},
+		oracle.TEMTOMMutant: {
+			compilers.OK:       oracle.UnexpectedAcceptance,
+			compilers.Rejected: oracle.Pass,
+			compilers.Crashed:  oracle.CompilerCrash,
+			compilers.TimedOut: oracle.CompilerHang,
+		},
+		oracle.Suite: {
+			compilers.OK:       oracle.Pass,
+			compilers.Rejected: oracle.UnexpectedCompileTimeError,
+			compilers.Crashed:  oracle.CompilerCrash,
+			compilers.TimedOut: oracle.CompilerHang,
+		},
+		oracle.REMMutant: {
+			compilers.OK:       oracle.Pass,
+			compilers.Rejected: oracle.UnexpectedCompileTimeError,
+			compilers.Crashed:  oracle.CompilerCrash,
+			compilers.TimedOut: oracle.CompilerHang,
+		},
 	}
-	for _, c := range cases {
-		if got := oracle.Judge(c.kind, c.res); got != c.want {
-			t.Errorf("Judge(%s, %s) = %s, want %s", c.kind, c.res.Status, got, c.want)
+	for _, kind := range allKinds {
+		for _, status := range allStatuses {
+			got := oracle.Judge(kind, &compilers.Result{Status: status})
+			if got != want[kind][status] {
+				t.Errorf("Judge(%s, %s) = %s, want %s", kind, status, got, want[kind][status])
+			}
+		}
+	}
+	// The matrix above must be total over both enums.
+	if len(want) != len(allKinds) {
+		t.Fatalf("matrix covers %d kinds, want %d", len(want), len(allKinds))
+	}
+	for kind, byStatus := range want {
+		if len(byStatus) != len(allStatuses) {
+			t.Fatalf("matrix for %s covers %d statuses, want %d", kind, len(byStatus), len(allStatuses))
 		}
 	}
 }
@@ -51,6 +87,7 @@ func TestInputKindStrings(t *testing.T) {
 		oracle.TOMMutant:    "TOM",
 		oracle.TEMTOMMutant: "TEM&TOM",
 		oracle.Suite:        "suite",
+		oracle.REMMutant:    "REM",
 	}
 	for k, want := range kinds {
 		if k.String() != want {
@@ -70,6 +107,22 @@ func TestInputKindStrings(t *testing.T) {
 	for v, want := range verdicts {
 		if v.String() != want {
 			t.Errorf("verdict %d = %q, want %q", v, v.String(), want)
+		}
+	}
+}
+
+// TestUnknownValuesNeverMislabel pins the fallthrough fix: a future
+// InputKind must not masquerade as "suite" in corpus keys or reports,
+// nor a future Verdict as "crash" in figures and the event trace.
+func TestUnknownValuesNeverMislabel(t *testing.T) {
+	for _, n := range []int{6, 7, 99, -1} {
+		if got, want := oracle.InputKind(n).String(), fmt.Sprintf("unknown(%d)", n); got != want {
+			t.Errorf("InputKind(%d).String() = %q, want %q", n, got, want)
+		}
+	}
+	for _, n := range []int{5, 42, -3} {
+		if got, want := oracle.Verdict(n).String(), fmt.Sprintf("unknown(%d)", n); got != want {
+			t.Errorf("Verdict(%d).String() = %q, want %q", n, got, want)
 		}
 	}
 }

@@ -26,6 +26,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // Source produces the units that flow through the pipeline. Next is
@@ -82,6 +84,16 @@ type Pipeline struct {
 	// Buffer is the capacity of each inter-stage channel (the
 	// backpressure bound). 0 means 2×Workers.
 	Buffer int
+	// Stats, when set, receives this run's per-stage statistics as a
+	// fresh run scope; several pipelines may share one Stats without
+	// folding their counts together. Nil means Run allocates its own.
+	Stats *Stats
+	// Label names this run's scope in the shared Stats (and in registry
+	// instrument names). Empty means an auto-generated "run<N>".
+	Label string
+	// Metrics, when set, exports every stage instrument of this run
+	// through the registry (pipeline.<label>.<stage>.<metric>).
+	Metrics *metrics.Registry
 }
 
 // Run executes the pipeline until the source is exhausted, a stage
@@ -101,12 +113,17 @@ func (p *Pipeline) Run(ctx context.Context) (*Stats, error) {
 		return nil, fmt.Errorf("pipeline: source and aggregator are required")
 	}
 
-	stats := NewStats()
-	srcStats := stats.Stage(p.Source.Name())
-	for _, st := range p.Stages {
-		stats.Stage(st.Name()) // register in pipeline order for display
+	stats := p.Stats
+	if stats == nil {
+		stats = NewStats()
 	}
-	aggStats := stats.Stage(p.Aggregator.Name())
+	stats.Bind(p.Metrics)
+	run := stats.NewRun(p.Label)
+	srcStats := run.Stage(p.Source.Name())
+	for _, st := range p.Stages {
+		run.Stage(st.Name()) // register in pipeline order for display
+	}
+	aggStats := run.Stage(p.Aggregator.Name())
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -136,7 +153,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Stats, error) {
 	// channel and feeding the next.
 	in := feed
 	for _, stage := range p.Stages {
-		st := stats.Stage(stage.Name())
+		st := run.Stage(stage.Name())
 		// Bind this stage's channels locally: `in` is reassigned below,
 		// and the workers must not observe that reassignment.
 		stageIn, stageOut := in, make(chan *Unit, buffer)

@@ -275,6 +275,53 @@ func TestStatsString(t *testing.T) {
 	if st.In() != 1 || st.Out() != 1 || st.MaxQueue() != 5 || st.Busy() != 3*time.Millisecond {
 		t.Errorf("counters: in=%d out=%d q=%d busy=%v", st.In(), st.Out(), st.MaxQueue(), st.Busy())
 	}
+	if st.Service().Count != 1 {
+		t.Errorf("service histogram count = %d, want 1", st.Service().Count)
+	}
+}
+
+func TestStatsRunScopesDoNotFoldTogether(t *testing.T) {
+	// Two pipelines sharing one Stats must not merge same-named stage
+	// buckets: each run gets its own scope, and the rendered table shows
+	// run-prefixed rows plus a totals row.
+	s := NewStats()
+	a := s.NewRun("suite")
+	b := s.NewRun("random")
+	a.Stage("execute").addIn()
+	a.Stage("execute").addIn()
+	b.Stage("execute").addIn()
+	if got := a.Stage("execute").In(); got != 2 {
+		t.Errorf("suite/execute in = %d, want 2", got)
+	}
+	if got := b.Stage("execute").In(); got != 1 {
+		t.Errorf("random/execute in = %d, want 1", got)
+	}
+	if got := len(s.Stages()); got != 2 {
+		t.Errorf("Stages() = %d buckets, want 2", got)
+	}
+	out := s.String()
+	for _, want := range []string{"suite/execute", "random/execute", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestStatsTotalsRow(t *testing.T) {
+	s := NewStats()
+	s.Stage("generate").addIn()
+	s.Stage("execute").addIn()
+	s.Stage("execute").addIn()
+	out := s.String()
+	if !strings.Contains(out, "total") {
+		t.Errorf("multi-stage table missing totals row:\n%s", out)
+	}
+	// A single-row table needs no totals line.
+	one := NewStats()
+	one.Stage("generate").addIn()
+	if strings.Contains(one.String(), "total") {
+		t.Errorf("single-stage table should not have a totals row:\n%s", one.String())
+	}
 }
 
 func TestSkipSourceMarksRecoveredAndStagesPassThrough(t *testing.T) {

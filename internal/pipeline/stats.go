@@ -5,21 +5,40 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
 )
 
-// StageStats instruments one stage (or the source/aggregator): units
-// in and out, cumulative busy time across workers, and the peak depth
-// of the stage's input queue. Counters are atomics so worker pools
-// update them without contention.
+// StageStats instruments one stage (or the source/aggregator): units in
+// and out, cumulative busy time across workers, per-call service-time
+// histogram, and the peak depth of the stage's input queue. The
+// instruments are the shared metrics types, so worker pools update them
+// without contention and a bound registry exports them live.
 type StageStats struct {
-	name     string
-	order    int
-	in       atomic.Int64
-	out      atomic.Int64
-	busy     atomic.Int64 // nanoseconds
-	maxQueue atomic.Int64
+	name  string
+	order int
+
+	in       *metrics.Counter
+	out      *metrics.Counter
+	busy     *metrics.Counter // nanoseconds
+	maxQueue *metrics.Gauge
+	service  *metrics.Histogram
+}
+
+// newStageStats builds a stage's instruments, drawing them from reg
+// under prefix when a registry is bound (a nil reg hands out
+// unregistered instruments).
+func newStageStats(name, prefix string, order int, reg *metrics.Registry) *StageStats {
+	return &StageStats{
+		name:     name,
+		order:    order,
+		in:       reg.Counter(prefix + ".in"),
+		out:      reg.Counter(prefix + ".out"),
+		busy:     reg.Counter(prefix + ".busy_ns"),
+		maxQueue: reg.Gauge(prefix + ".max_queue"),
+		service:  reg.Histogram(prefix + ".service_ns"),
+	}
 }
 
 // Name returns the stage name.
@@ -37,63 +56,159 @@ func (s *StageStats) Busy() time.Duration { return time.Duration(s.busy.Load()) 
 // MaxQueue returns the peak observed input-queue depth.
 func (s *StageStats) MaxQueue() int64 { return s.maxQueue.Load() }
 
-func (s *StageStats) addIn()                  { s.in.Add(1) }
-func (s *StageStats) addOut()                 { s.out.Add(1) }
-func (s *StageStats) addBusy(d time.Duration) { s.busy.Add(int64(d)) }
+// Service returns the stage's per-call service-time snapshot.
+func (s *StageStats) Service() metrics.HistogramSnapshot { return s.service.Snapshot() }
 
-func (s *StageStats) observeQueue(depth int) {
-	d := int64(depth)
-	for {
-		cur := s.maxQueue.Load()
-		if d <= cur || s.maxQueue.CompareAndSwap(cur, d) {
-			return
-		}
-	}
+func (s *StageStats) addIn()  { s.in.Inc() }
+func (s *StageStats) addOut() { s.out.Inc() }
+
+func (s *StageStats) addBusy(d time.Duration) {
+	s.busy.Add(int64(d))
+	s.service.ObserveDuration(d)
 }
 
-// Stats collects per-stage statistics for one pipeline run.
-type Stats struct {
+func (s *StageStats) observeQueue(depth int) { s.maxQueue.SetMax(int64(depth)) }
+
+// RunStats is one pipeline run's per-stage statistics. Each Pipeline.Run
+// gets its own RunStats, so two pipelines sharing a Stats (coverage
+// experiments, a campaign's resume re-emission) never fold unrelated
+// runs into one row.
+type RunStats struct {
+	label string
+	reg   *metrics.Registry
+
 	mu     sync.Mutex
 	stages map[string]*StageStats
 }
 
-// NewStats returns an empty Stats.
-func NewStats() *Stats {
-	return &Stats{stages: map[string]*StageStats{}}
-}
+// Label returns the run's display label.
+func (r *RunStats) Label() string { return r.label }
 
-// Stage returns (registering if needed) the stats bucket for a stage
-// name. Stages sharing a name share a bucket.
-func (s *Stats) Stage(name string) *StageStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stages[name]
+// Stage returns (registering if needed) this run's stats bucket for a
+// stage name. Stages sharing a name within one run share a bucket.
+func (r *RunStats) Stage(name string) *StageStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.stages[name]
 	if st == nil {
-		st = &StageStats{name: name, order: len(s.stages)}
-		s.stages[name] = st
+		prefix := "pipeline." + r.label + "." + name
+		st = newStageStats(name, prefix, len(r.stages), r.reg)
+		r.stages[name] = st
 	}
 	return st
 }
 
-// Stages returns the per-stage stats in registration (pipeline) order.
-func (s *Stats) Stages() []*StageStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make([]*StageStats, 0, len(s.stages))
-	for _, st := range s.stages {
+// Stages returns the run's per-stage stats in registration order.
+func (r *RunStats) Stages() []*StageStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*StageStats, 0, len(r.stages))
+	for _, st := range r.stages {
 		out = append(out, st)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].order < out[j].order })
 	return out
 }
 
-// String renders the stats as an aligned table, one row per stage.
+// Stats collects per-stage statistics, scoped per pipeline run. A Stats
+// may be shared across several Pipeline.Run calls — each run gets a
+// fresh RunStats scope — and may be bound to a metrics.Registry, which
+// then exports every stage instrument live.
+type Stats struct {
+	mu   sync.Mutex
+	runs []*RunStats
+	reg  *metrics.Registry
+}
+
+// NewStats returns an empty Stats.
+func NewStats() *Stats { return &Stats{} }
+
+// Bind attaches a metrics registry: stage instruments created after the
+// bind are drawn from it (named pipeline.<run>.<stage>.<metric>).
+func (s *Stats) Bind(reg *metrics.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.reg == nil {
+		s.reg = reg
+	}
+}
+
+// NewRun opens a fresh per-run scope. An empty label is replaced with
+// "run<N>" so registry names (and display rows) stay distinct across
+// runs sharing this Stats.
+func (s *Stats) NewRun(label string) *RunStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if label == "" {
+		label = fmt.Sprintf("run%d", len(s.runs))
+	}
+	r := &RunStats{label: label, reg: s.reg, stages: map[string]*StageStats{}}
+	s.runs = append(s.runs, r)
+	return r
+}
+
+// Runs returns the per-run scopes in creation order.
+func (s *Stats) Runs() []*RunStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*RunStats(nil), s.runs...)
+}
+
+// Stage returns the stats bucket for a stage name in the default run
+// scope, creating the scope on first use. Single-run callers (and
+// tests) can treat a Stats as one flat namespace; Pipeline.Run always
+// opens an explicit scope instead.
+func (s *Stats) Stage(name string) *StageStats {
+	s.mu.Lock()
+	if len(s.runs) == 0 {
+		s.runs = append(s.runs, &RunStats{label: "run0", reg: s.reg, stages: map[string]*StageStats{}})
+	}
+	r := s.runs[0]
+	s.mu.Unlock()
+	return r.Stage(name)
+}
+
+// Stages returns every run's per-stage stats, runs in creation order,
+// stages in registration (pipeline) order within each run.
+func (s *Stats) Stages() []*StageStats {
+	var out []*StageStats
+	for _, r := range s.Runs() {
+		out = append(out, r.Stages()...)
+	}
+	return out
+}
+
+// String renders the stats as an aligned table: one row per stage, rows
+// namespaced by run label when more than one run is present, and a
+// totals row summing units and busy time across all rows.
 func (s *Stats) String() string {
+	runs := s.Runs()
+	multi := len(runs) > 1
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-12s %8s %8s %12s %10s\n", "stage", "in", "out", "busy", "max queue")
-	for _, st := range s.Stages() {
-		fmt.Fprintf(&b, "%-12s %8d %8d %12s %10d\n",
-			st.Name(), st.In(), st.Out(), st.Busy().Round(time.Microsecond), st.MaxQueue())
+	fmt.Fprintf(&b, "%-24s %8s %8s %12s %10s\n", "stage", "in", "out", "busy", "max queue")
+	var totalIn, totalOut, maxQ int64
+	var totalBusy time.Duration
+	rows := 0
+	for _, r := range runs {
+		for _, st := range r.Stages() {
+			name := st.Name()
+			if multi {
+				name = r.Label() + "/" + name
+			}
+			fmt.Fprintf(&b, "%-24s %8d %8d %12s %10d\n",
+				name, st.In(), st.Out(), st.Busy().Round(time.Microsecond), st.MaxQueue())
+			totalIn += st.In()
+			totalOut += st.Out()
+			totalBusy += st.Busy()
+			if st.MaxQueue() > maxQ {
+				maxQ = st.MaxQueue()
+			}
+			rows++
+		}
+	}
+	if rows > 1 {
+		fmt.Fprintf(&b, "%-24s %8d %8d %12s %10d\n",
+			"total", totalIn, totalOut, totalBusy.Round(time.Microsecond), maxQ)
 	}
 	return b.String()
 }
