@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/benchkit"
 	"repro/internal/bugs"
 	"repro/internal/campaign"
 	"repro/internal/checker"
@@ -28,7 +29,6 @@ import (
 	"repro/internal/mutation"
 	"repro/internal/reduce"
 	"repro/internal/translate"
-	"repro/internal/typegraph"
 	"repro/internal/types"
 )
 
@@ -153,16 +153,7 @@ func BenchmarkFig10SuiteCoverage(b *testing.B) {
 
 // BenchmarkBatchCompilation measures the Section 3.5 batching pipeline:
 // generating and compiling a batch of packaged programs.
-func BenchmarkBatchCompilation(b *testing.B) {
-	comp := compilers.Groovyc()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		g := generator.New(generator.DefaultConfig().WithSeed(int64(i)))
-		for _, p := range g.GenerateBatch(10) {
-			comp.Compile(p, nil)
-		}
-	}
-}
+func BenchmarkBatchCompilation(b *testing.B) { benchkit.BatchCompilation(b) }
 
 // BenchmarkTEMCombinationSearch measures Algorithm 2's maximal-set
 // enumeration, whose worst case is exponential but is tamed by the
@@ -183,110 +174,44 @@ func BenchmarkTEMCombinationSearch(b *testing.B) {
 }
 
 // ----- component benchmarks -----
+//
+// Bodies live in internal/benchkit so cmd/bench can run the same tier
+// programmatically and diff BENCH_*.json files across commits.
 
 // BenchmarkGeneration measures raw program generation throughput.
-func BenchmarkGeneration(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		generator.New(generator.DefaultConfig().WithSeed(int64(i))).Generate()
-	}
-}
+func BenchmarkGeneration(b *testing.B) { benchkit.Generation(b) }
 
 // BenchmarkTypeCheck measures the reference checker on generated programs.
-func BenchmarkTypeCheck(b *testing.B) {
-	progs := make([]*ir.Program, 8)
-	for i := range progs {
-		progs[i] = generator.New(generator.DefaultConfig().WithSeed(int64(i))).Generate()
-	}
-	bt := types.NewBuiltins()
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		checker.Check(progs[i%len(progs)], bt, checker.Options{})
-	}
-}
+func BenchmarkTypeCheck(b *testing.B) { benchkit.TypeCheck(b) }
 
 // BenchmarkTypeGraph measures type-graph construction for all methods of
 // a program (the analysis underlying both mutations).
-func BenchmarkTypeGraph(b *testing.B) {
-	prog := generator.New(generator.DefaultConfig().WithSeed(1)).Generate()
-	bt := types.NewBuiltins()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		a := typegraph.Analyze(prog, bt)
-		a.BuildAll()
-	}
-}
+func BenchmarkTypeGraph(b *testing.B) { benchkit.TypeGraph(b) }
 
 // BenchmarkTEM measures the full type erasure mutation.
-func BenchmarkTEM(b *testing.B) {
-	progs := make([]*ir.Program, 8)
-	for i := range progs {
-		progs[i] = generator.New(generator.DefaultConfig().WithSeed(int64(i))).Generate()
-	}
-	bt := types.NewBuiltins()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		mutation.TypeErasure(progs[i%len(progs)], bt)
-	}
-}
+func BenchmarkTEM(b *testing.B) { benchkit.TEM(b) }
 
 // BenchmarkTOM measures the full type overwriting mutation.
-func BenchmarkTOM(b *testing.B) {
-	progs := make([]*ir.Program, 8)
-	for i := range progs {
-		progs[i] = generator.New(generator.DefaultConfig().WithSeed(int64(i))).Generate()
-	}
-	bt := types.NewBuiltins()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		mutation.TypeOverwriting(progs[i%len(progs)], bt, rand.New(rand.NewSource(int64(i))))
-	}
-}
+func BenchmarkTOM(b *testing.B) { benchkit.TOM(b) }
 
 // BenchmarkTranslate measures each language translator.
 func BenchmarkTranslate(b *testing.B) {
-	prog := generator.New(generator.DefaultConfig().WithSeed(2)).Generate()
 	for _, tr := range translate.All() {
-		b.Run(tr.Name(), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				tr.Translate(prog)
-			}
-		})
+		b.Run(tr.Name(), benchkit.TranslateLang(tr))
 	}
 }
 
 // BenchmarkUnify measures type unification on hierarchy-related
 // parameterized types (Definition 3.2).
-func BenchmarkUnify(b *testing.B) {
-	bt := types.NewBuiltins()
-	aT := types.NewParameter("A", "T")
-	ctorA := types.NewConstructor("A", []*types.Parameter{aT}, nil)
-	bT := types.NewParameter("B", "T")
-	ctorB := types.NewConstructor("B", []*types.Parameter{bT}, ctorA.Apply(bT))
-	tp := types.NewParameter("m", "T")
-	left := ctorB.Apply(ctorA.Apply(tp))
-	right := ctorA.Apply(ctorA.Apply(bt.Long))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		types.Unify(left, right)
-	}
-}
+func BenchmarkUnify(b *testing.B) { benchkit.Unify(b) }
 
-// BenchmarkSubtype measures the subtyping relation on nested generics.
-func BenchmarkSubtype(b *testing.B) {
-	bt := types.NewBuiltins()
-	aT := types.NewParameter("A", "T")
-	ctorA := types.NewConstructor("A", []*types.Parameter{aT}, nil)
-	sub := ctorA.Apply(ctorA.Apply(ctorA.Apply(bt.Int)))
-	sup := ctorA.Apply(ctorA.Apply(ctorA.Apply(&types.Projection{Var: types.Covariant, Bound: bt.Number})))
-	_ = sup
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		types.IsSubtype(sub, sub)
-	}
-}
+// BenchmarkSubtype measures the subtyping relation on nested generics
+// across a genuine hierarchy climb (the earlier reflexive-only version
+// lives on as BenchmarkSubtypeReflexive).
+func BenchmarkSubtype(b *testing.B) { benchkit.Subtype(b) }
+
+// BenchmarkSubtypeReflexive measures the reflexive fast path.
+func BenchmarkSubtypeReflexive(b *testing.B) { benchkit.SubtypeReflexive(b) }
 
 // ----- ablation benchmarks (design choices called out in DESIGN.md) -----
 

@@ -1,0 +1,73 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestCampaignDeterministicWithAndWithoutTypeCaches is the invisibility
+// contract of the types-kernel memo caches: a campaign report is
+// bit-for-bit identical whether the caches are on or off, at one worker
+// and at eight. A divergence here means a cache key conflates two types
+// the relations distinguish (see types/fingerprint.go).
+func TestCampaignDeterministicWithAndWithoutTypeCaches(t *testing.T) {
+	prevCaching := types.CachingEnabled()
+	defer types.SetCaching(prevCaching)
+
+	run := func(caching bool, workers int) *Report {
+		types.SetCaching(caching)
+		// Start cold so earlier tests' entries cannot mask key conflation.
+		types.ResetCaches()
+		o := smallOptions(40)
+		o.Workers = workers
+		return Run(o)
+	}
+
+	baseline := run(false, 1)
+	if baseline.Err != nil {
+		t.Fatalf("uncached baseline campaign failed: %v", baseline.Err)
+	}
+	if len(baseline.ProgramsRun) == 0 {
+		t.Fatal("baseline campaign ran no programs")
+	}
+
+	for _, tc := range []struct {
+		name    string
+		caching bool
+		workers int
+	}{
+		{"cached-1-worker", true, 1},
+		{"cached-8-workers", true, 8},
+		{"uncached-8-workers", false, 8},
+	} {
+		got := run(tc.caching, tc.workers)
+		if got.Err != nil {
+			t.Fatalf("%s campaign failed: %v", tc.name, got.Err)
+		}
+		if !reflect.DeepEqual(baseline.Found, got.Found) {
+			t.Errorf("%s: Found differs from uncached single-worker baseline", tc.name)
+		}
+		if !reflect.DeepEqual(baseline.Verdicts, got.Verdicts) {
+			t.Errorf("%s: Verdicts differ from uncached single-worker baseline", tc.name)
+		}
+		if !reflect.DeepEqual(baseline.ProgramsRun, got.ProgramsRun) {
+			t.Errorf("%s: ProgramsRun %v, baseline %v", tc.name, got.ProgramsRun, baseline.ProgramsRun)
+		}
+	}
+
+	// The cached runs above must actually have exercised the cache,
+	// otherwise this test proves nothing.
+	types.SetCaching(true)
+	types.ResetCaches()
+	o := smallOptions(10)
+	o.Workers = 1
+	if r := Run(o); r.Err != nil {
+		t.Fatalf("cache-stat campaign failed: %v", r.Err)
+	}
+	hits, misses := types.CacheStats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("campaign did not exercise the type caches: hits=%d misses=%d", hits, misses)
+	}
+}

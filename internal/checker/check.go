@@ -24,12 +24,14 @@ func Check(p *ir.Program, b *types.Builtins, opts Options) *Result {
 	if probes == nil {
 		probes = coverage.Nop{}
 	}
+	_, nop := probes.(coverage.Nop)
 	c := &checker{
-		env:    NewEnv(p, b),
-		probes: probes,
-		result: &Result{InferredReturns: map[string]string{}},
-		rets:   map[*ir.FuncDecl]types.Type{},
-		inFly:  map[*ir.FuncDecl]bool{},
+		env:        NewEnv(p, b),
+		probes:     probes,
+		probesLive: !nop,
+		result:     &Result{InferredReturns: map[string]string{}},
+		rets:       map[*ir.FuncDecl]types.Type{},
+		inFly:      map[*ir.FuncDecl]bool{},
 	}
 	if opts.RecordTypes {
 		c.result.ExprTypes = map[ir.Expr]types.Type{}
@@ -75,7 +77,12 @@ func (s *scope) isMutable(name string) bool {
 type checker struct {
 	env    *Env
 	probes coverage.Recorder
-	result *Result
+	// probesLive is false for the no-op recorder; probe sites whose names
+	// need runtime string building check it first so the unobserved
+	// checker (generation filtering, benchmarks) never concatenates just
+	// to feed a discarding sink.
+	probesLive bool
+	result     *Result
 
 	curClass *ir.ClassDecl
 	curFunc  *ir.FuncDecl
@@ -162,6 +169,80 @@ func exprKind(e ir.Expr) string {
 	return "other"
 }
 
+// typeOfProbe is "stc.typeOf." + exprKind(e) with the concatenation done
+// at compile time: this probe fires once per expression, and building its
+// name at runtime dominated the checker's CPU profile.
+func typeOfProbe(e ir.Expr) string {
+	switch e.(type) {
+	case *ir.Const:
+		return "stc.typeOf.const"
+	case *ir.VarRef:
+		return "stc.typeOf.var"
+	case *ir.FieldAccess:
+		return "stc.typeOf.field"
+	case *ir.BinaryOp:
+		return "stc.typeOf.binop"
+	case *ir.Block:
+		return "stc.typeOf.block"
+	case *ir.Call:
+		return "stc.typeOf.call"
+	case *ir.New:
+		return "stc.typeOf.new"
+	case *ir.Assign:
+		return "stc.typeOf.assign"
+	case *ir.If:
+		return "stc.typeOf.if"
+	case *ir.MethodRef:
+		return "stc.typeOf.methodref"
+	case *ir.Lambda:
+		return "stc.typeOf.lambda"
+	case *ir.Cast:
+		return "stc.typeOf.cast"
+	case *ir.Is:
+		return "stc.typeOf.is"
+	}
+	return "stc.typeOf.other"
+}
+
+// probeKinds is the closed vocabulary kindOf draws from. probeNames
+// precomputes prefix+kind for every entry so kind-faceted probe sites
+// look their name up instead of concatenating per call.
+var probeKinds = []string{
+	"nil", "top", "bottom", "builtin", "simple", "boundedParam", "param",
+	"ctor", "app", "projApp", "nestedApp", "func", "proj", "intersection",
+	"other",
+}
+
+func probeNames(prefix string) map[string]string {
+	m := make(map[string]string, len(probeKinds))
+	for _, k := range probeKinds {
+		m[k] = prefix + k
+	}
+	return m
+}
+
+// probeName returns the precomputed prefix+kind name, falling back to
+// concatenation for kinds outside the table (none today; defensive).
+func probeName(m map[string]string, prefix, kind string) string {
+	if s, ok := m[kind]; ok {
+		return s
+	}
+	return prefix + kind
+}
+
+var (
+	isSubtypeProbes     = probeNames("types.isSubtype.")
+	returnTypeProbes    = probeNames("infer.returnType.")
+	varDeclProbes       = probeNames("infer.varDecl.")
+	lambdaParamProbes   = probeNames("infer.lambda.param.")
+	gcFromArgProbes     = probeNames("infer.genericCall.fromArg.")
+	gcFromTargetProbes  = probeNames("infer.genericCall.fromTarget.")
+	gcUnboundProbes     = probeNames("infer.genericCall.unbound.")
+	diaFromArgProbes    = probeNames("infer.diamond.fromArg.")
+	diaFromTargetProbes = probeNames("infer.diamond.fromTarget.")
+	diaUnboundProbes    = probeNames("infer.diamond.unbound.")
+)
+
 func (c *checker) errorf(kind DiagKind, format string, args ...any) {
 	// Diagnostic construction and rendering is compiler code too: these
 	// probe sites are reached only on erroneous input — the paths TOM
@@ -194,7 +275,7 @@ func (c *checker) conforms(got, want types.Type, what string) bool {
 	}
 	c.probes.Func("types.isSubtype")
 	ok := types.IsSubtype(got, want)
-	c.probes.Branch("types.isSubtype."+kindOf(want), ok)
+	c.probes.Branch(probeName(isSubtypeProbes, "types.isSubtype.", kindOf(want)), ok)
 	if !ok {
 		c.errorf(TypeMismatch, "%s: inferred type is %s but %s was expected", what, got, want)
 	}
@@ -332,7 +413,7 @@ func (c *checker) checkTypeWellFormed(t types.Type, what string) {
 			arg = proj.Bound
 		}
 		bound := sigma.Apply(p.UpperBound())
-		if len(types.FreeParameters(bound)) > 0 {
+		if types.HasFreeParameters(bound) {
 			continue // bound still generic (checked at instantiation)
 		}
 		c.probes.Branch("types.boundSatisfied", types.IsSubtype(arg, bound))
@@ -387,7 +468,7 @@ func (c *checker) checkFunc(f *ir.FuncDecl, owner *ir.ClassDecl) {
 	// Inferred return type (type-erasure case 3). Memoized, because other
 	// declarations may already have demanded it.
 	got := c.returnTypeOf(f, owner)
-	c.probes.Line("infer.returnType." + kindOf(got))
+	c.probes.Line(probeName(returnTypeProbes, "infer.returnType.", kindOf(got)))
 	key := f.Name
 	if owner != nil {
 		key = owner.Name + "." + f.Name
@@ -450,7 +531,7 @@ func (c *checker) checkVarDecl(sc *scope, v *ir.VarDecl) {
 	}
 	// var x = e (type-erasure case 1): the declared type is the inferred
 	// type of the right-hand side.
-	c.probes.Line("infer.varDecl." + kindOf(got))
+	c.probes.Line(probeName(varDeclProbes, "infer.varDecl.", kindOf(got)))
 	if _, isBottom := got.(types.Bottom); isBottom {
 		c.errorf(InferenceFailure, "cannot infer a type for %s from a null initializer", v.Name)
 	}
@@ -469,7 +550,7 @@ func (c *checker) typeOf(sc *scope, e ir.Expr, expected types.Type) types.Type {
 }
 
 func (c *checker) typeOfInner(sc *scope, e ir.Expr, expected types.Type) types.Type {
-	c.probes.Func("stc.typeOf." + exprKind(e))
+	c.probes.Func(typeOfProbe(e))
 	switch t := e.(type) {
 	case *ir.Const:
 		c.probes.Line("stc.const")
@@ -540,7 +621,9 @@ func (c *checker) typeOfInner(sc *scope, e ir.Expr, expected types.Type) types.T
 		}
 		thenT := c.typeOf(sc, t.Then, expected)
 		elseT := c.typeOf(sc, t.Else, expected)
-		c.probes.Line("code.lub." + kindOf(thenT) + "-" + kindOf(elseT))
+		if c.probesLive {
+			c.probes.Line("code.lub." + kindOf(thenT) + "-" + kindOf(elseT))
+		}
 		return types.Lub(thenT, elseT)
 
 	case *ir.MethodRef:
@@ -669,7 +752,7 @@ func (c *checker) typeOfLambda(sc *scope, t *ir.Lambda, expected types.Type) typ
 			}
 		case target != nil:
 			// Type-erasure case 4: parameter type from the target type.
-			c.probes.Line("infer.lambda.param." + kindOf(target.Params[i]))
+			c.probes.Line(probeName(lambdaParamProbes, "infer.lambda.param.", kindOf(target.Params[i])))
 			paramTypes[i] = target.Params[i]
 		default:
 			c.errorf(InferenceFailure, "cannot infer type of lambda parameter %s", p.Name)

@@ -143,7 +143,7 @@ func (c *checker) checkGenericCall(sc *scope, call *ir.Call, sig MethodSig, expe
 			// Constraint collection deliberately ignores bounds here;
 			// the explicit bound-conformance pass below reports
 			// violations, as the real inference engines do.
-			c.probes.Line("infer.genericCall.fromArg." + kindOf(argTypes[i]))
+			c.probes.Line(probeName(gcFromArgProbes, "infer.genericCall.fromArg.", kindOf(argTypes[i])))
 			s := c.unifyProbe("infer.genericCall.unify", pt, argTypes[i])
 			if s == nil {
 				c.errorf(TypeMismatch, "argument %d of %s: cannot instantiate %s from %s",
@@ -158,7 +158,7 @@ func (c *checker) checkGenericCall(sc *scope, call *ir.Call, sig MethodSig, expe
 		// already satisfy the target (projection positions constrain
 		// without dictating); otherwise the target binding wins.
 		if expected != nil && mentionsAny(sig.Ret, sig.TypeParams) {
-			c.probes.Line("infer.genericCall.fromTarget." + kindOf(expected))
+			c.probes.Line(probeName(gcFromTargetProbes, "infer.genericCall.fromTarget.", kindOf(expected)))
 			if s := c.unifyProbe("infer.genericCall.targetUnify", sig.Ret, expected); s != nil {
 				chooseBindings(sigma, s, sig.TypeParams, sig.Ret, expected)
 			}
@@ -169,8 +169,8 @@ func (c *checker) checkGenericCall(sc *scope, call *ir.Call, sig MethodSig, expe
 			if _, ok := sigma.Lookup(tp); ok {
 				continue
 			}
-			c.probes.Branch("infer.genericCall.unbound."+kindOf(tp.UpperBound()), true)
-			if tp.Bound != nil && len(types.FreeParameters(sigma.Apply(tp.Bound))) == 0 {
+			c.probes.Branch(probeName(gcUnboundProbes, "infer.genericCall.unbound.", kindOf(tp.UpperBound())), true)
+			if tp.Bound != nil && !types.HasFreeParameters(sigma.Apply(tp.Bound)) {
 				sigma.Bind(tp, sigma.Apply(tp.Bound))
 				continue
 			}
@@ -193,7 +193,9 @@ func (c *checker) checkGenericCall(sc *scope, call *ir.Call, sig MethodSig, expe
 		bound := sigma.Apply(tp.UpperBound())
 		c.probes.Func("types.boundCheck")
 		ok := types.IsSubtype(instCheck, bound)
-		c.probes.Branch("types.boundCheck."+kindOf(instCheck)+"-"+kindOf(bound), ok)
+		if c.probesLive {
+			c.probes.Branch("types.boundCheck."+kindOf(instCheck)+"-"+kindOf(bound), ok)
+		}
 		if !ok {
 			c.errorf(BoundViolation,
 				"type parameter bound for %s of %s is not satisfied: inferred type %s is not a subtype of %s",
@@ -353,7 +355,7 @@ func (c *checker) inferDiamond(sc *scope, n *ir.New, decl *ir.ClassDecl, ctor *t
 		if !mentionsAny(fieldTypes[i], ctor.Params) {
 			continue
 		}
-		c.probes.Line("infer.diamond.fromArg." + kindOf(argTypes[i]))
+		c.probes.Line(probeName(diaFromArgProbes, "infer.diamond.fromArg.", kindOf(argTypes[i])))
 		s := c.unifyProbe("infer.diamond.unify", fieldTypes[i], argTypes[i])
 		if s == nil {
 			c.errorf(TypeMismatch, "constructor argument %d of %s: cannot instantiate %s from %s",
@@ -371,7 +373,7 @@ func (c *checker) inferDiamond(sc *scope, n *ir.New, decl *ir.ClassDecl, ctor *t
 			selfArgs[i] = p
 		}
 		self := ctor.Apply(selfArgs...)
-		c.probes.Line("infer.diamond.fromTarget." + kindOf(expected))
+		c.probes.Line(probeName(diaFromTargetProbes, "infer.diamond.fromTarget.", kindOf(expected)))
 		if s := c.unifyProbe("infer.diamond.targetUnify", self, expected); s != nil {
 			chooseBindings(sigma, s, ctor.Params, self, expected)
 		}
@@ -380,8 +382,8 @@ func (c *checker) inferDiamond(sc *scope, n *ir.New, decl *ir.ClassDecl, ctor *t
 		if _, ok := sigma.Lookup(tp); ok {
 			continue
 		}
-		c.probes.Branch("infer.diamond.unbound."+kindOf(tp.UpperBound()), true)
-		if tp.Bound != nil && len(types.FreeParameters(sigma.Apply(tp.Bound))) == 0 {
+		c.probes.Branch(probeName(diaUnboundProbes, "infer.diamond.unbound.", kindOf(tp.UpperBound())), true)
+		if tp.Bound != nil && !types.HasFreeParameters(sigma.Apply(tp.Bound)) {
 			sigma.Bind(tp, sigma.Apply(tp.Bound))
 			continue
 		}
@@ -488,7 +490,9 @@ func chooseBindings(sigma, target *types.Substitution, params []*types.Parameter
 // information is omitted (the Figure 9 TEM rows).
 func (c *checker) unifyProbe(site string, t1, t2 types.Type) *types.Substitution {
 	s := types.UnifyUnchecked(t1, t2)
-	c.probes.Branch(site+"."+kindOf(t1)+"-"+kindOf(t2), s != nil)
+	if c.probesLive {
+		c.probes.Branch(site+"."+kindOf(t1)+"-"+kindOf(t2), s != nil)
+	}
 	return s
 }
 

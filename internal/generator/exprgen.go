@@ -207,7 +207,7 @@ func (g *Generator) completeSubstitution(sigma *types.Substitution, params []*ty
 			if proj, isProj := got.(*types.Projection); isProj {
 				check = proj.Bound
 			}
-			if len(types.FreeParameters(bound)) == 0 && !types.IsSubtype(check, bound) {
+			if !types.HasFreeParameters(bound) && !types.IsSubtype(check, bound) {
 				return false
 			}
 			continue

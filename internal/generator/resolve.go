@@ -67,7 +67,7 @@ func (g *Generator) resolveMethodCall(t types.Type, sc *scope, depth int) ir.Exp
 	// Step 3: generate a fresh method with return type t
 	// (generateMatchingMethod). Only ground types can be returned by a new
 	// top-level function.
-	if len(types.FreeParameters(t)) == 0 && depth >= 1 {
+	if !types.HasFreeParameters(t) && depth >= 1 {
 		return g.generateMatchingMethod(t)
 	}
 	return nil

@@ -29,7 +29,7 @@ func (g *Groovy) Translate(p *ir.Program) string {
 	for _, f := range ir.AllMethods(p) {
 		g.callable[f.Name] = true
 	}
-	w := &writer{typeFn: g.typ, constFn: g.constant}
+	w := newWriter(g.typ, g.constant)
 	if p.Package != "" {
 		w.linef("package %s", p.Package)
 		w.blank()
@@ -49,16 +49,23 @@ func (g *Groovy) Translate(p *ir.Program) string {
 			g.method(w, t, true)
 			w.blank()
 		case *ir.VarDecl:
-			decl := "static def"
+			w.lineStart()
+			w.ws("static ")
 			if t.DeclType != nil {
-				decl = "static " + g.typ(t.DeclType)
+				w.ws(g.typ(t.DeclType))
+			} else {
+				w.ws("def")
 			}
-			w.line(decl + " " + t.Name + " = " + w.expr(t.Init, g))
+			w.ws(" ")
+			w.ws(t.Name)
+			w.ws(" = ")
+			w.expr(t.Init, g)
+			w.lineEnd()
 		}
 	}
 	w.indent--
 	w.line("}")
-	return w.String()
+	return w.finish()
 }
 
 func (g *Groovy) typ(t types.Type) string {
@@ -184,11 +191,10 @@ func (g *Groovy) class(w *writer, c *ir.ClassDecl) {
 		w.linef("%s(%s) {", c.Name, strings.Join(params, ", "))
 		w.indent++
 		if c.Super != nil && len(c.Super.Args) > 0 {
-			args := make([]string, len(c.Super.Args))
-			for i, a := range c.Super.Args {
-				args[i] = w.expr(a, g)
-			}
-			w.linef("super(%s)", strings.Join(args, ", "))
+			w.lineStart()
+			w.ws("super")
+			w.exprList(c.Super.Args, g)
+			w.lineEnd()
 		}
 		for _, f := range c.Fields {
 			w.linef("this.%s = %s", f.Name, f.Name)
@@ -251,55 +257,61 @@ func (g *Groovy) returnOrDiscard(w *writer, e ir.Expr, void bool) {
 				return
 			}
 		}
-		w.line(w.expr(e, g))
+		w.lineStart()
+		w.expr(e, g)
+		w.lineEnd()
 		return
 	}
-	w.line("return " + w.expr(e, g))
+	w.lineStart()
+	w.ws("return ")
+	w.expr(e, g)
+	w.lineEnd()
 }
 
 func (g *Groovy) statement(w *writer, s ir.Node) {
 	switch st := s.(type) {
 	case *ir.VarDecl:
-		decl := "def"
+		w.lineStart()
 		if st.DeclType != nil {
-			decl = g.typ(st.DeclType)
+			w.ws(g.typ(st.DeclType))
+		} else {
+			w.ws("def")
 		}
-		w.line(decl + " " + st.Name + " = " + w.expr(st.Init, g))
-	case *ir.Assign:
-		w.line(w.expr(st, g))
+		w.ws(" ")
+		w.ws(st.Name)
+		w.ws(" = ")
+		w.expr(st.Init, g)
+		w.lineEnd()
 	case ir.Expr:
-		w.line(w.expr(st, g))
+		w.lineStart()
+		w.expr(st, g)
+		w.lineEnd()
 	}
 }
 
 // ----- expression rendering -----
 
-func (g *Groovy) renderNew(w *writer, n *ir.New) string {
-	name := n.Class.Name()
+func (g *Groovy) renderNew(w *writer, n *ir.New) {
+	w.ws("new ")
+	w.ws(n.Class.Name())
 	if _, param := n.Class.(*types.Constructor); param {
 		if n.TypeArgs == nil {
-			name += "<>"
+			w.ws("<>")
 		} else {
-			parts := make([]string, len(n.TypeArgs))
+			w.ws("<")
 			for i, a := range n.TypeArgs {
-				parts[i] = g.typ(a)
+				if i > 0 {
+					w.ws(", ")
+				}
+				w.ws(g.typ(a))
 			}
-			name += "<" + strings.Join(parts, ", ") + ">"
+			w.ws(">")
 		}
 	}
-	args := make([]string, len(n.Args))
-	for i, a := range n.Args {
-		args[i] = w.expr(a, g)
-	}
-	return "new " + name + "(" + strings.Join(args, ", ") + ")"
+	w.exprList(n.Args, g)
 }
 
-func (g *Groovy) renderCall(w *writer, c *ir.Call) string {
-	args := make([]string, len(c.Args))
-	for i, a := range c.Args {
-		args[i] = w.expr(a, g)
-	}
-	argList := "(" + strings.Join(args, ", ") + ")"
+func (g *Groovy) renderCall(w *writer, c *ir.Call) {
 	targs := ""
 	if len(c.TypeArgs) > 0 {
 		parts := make([]string, len(c.TypeArgs))
@@ -308,72 +320,97 @@ func (g *Groovy) renderCall(w *writer, c *ir.Call) string {
 		}
 		targs = "<" + strings.Join(parts, ", ") + ">"
 	}
-	if c.Recv != nil {
-		recv := w.expr(c.Recv, g)
-		if targs != "" {
-			return recv + "." + targs + c.Name + argList
-		}
-		return recv + "." + c.Name + argList
-	}
-	if !g.callable[c.Name] {
+	switch {
+	case c.Recv != nil:
+		w.expr(c.Recv, g)
+		w.ws(".")
+		w.ws(targs)
+		w.ws(c.Name)
+	case !g.callable[c.Name]:
 		// Invoking a closure-typed variable: closure() or closure.call().
-		return c.Name + ".call" + argList
+		w.ws(c.Name)
+		w.ws(".call")
+	case targs != "":
+		w.ws("Globals.")
+		w.ws(targs)
+		w.ws(c.Name)
+	default:
+		w.ws(c.Name)
 	}
-	if targs != "" {
-		return "Globals." + targs + c.Name + argList
-	}
-	return c.Name + argList
+	w.exprList(c.Args, g)
 }
 
-func (g *Groovy) renderLambda(w *writer, l *ir.Lambda) string {
-	params := make([]string, len(l.Params))
-	for i, p := range l.Params {
-		if p.Type != nil {
-			params[i] = g.typ(p.Type) + " " + p.Name
-		} else {
-			params[i] = p.Name
+func (g *Groovy) renderLambda(w *writer, l *ir.Lambda) {
+	if len(l.Params) == 0 {
+		w.ws("{ -> ")
+	} else {
+		w.ws("{ ")
+		for i, p := range l.Params {
+			if i > 0 {
+				w.ws(", ")
+			}
+			if p.Type != nil {
+				w.ws(g.typ(p.Type))
+				w.ws(" ")
+			}
+			w.ws(p.Name)
 		}
+		w.ws(" -> ")
 	}
-	body := w.expr(l.Body, g)
-	if len(params) == 0 {
-		return "{ -> " + body + " }"
-	}
-	return "{ " + strings.Join(params, ", ") + " -> " + body + " }"
+	w.expr(l.Body, g)
+	w.ws(" }")
 }
 
 // renderBlock lowers a block in expression position to an
 // immediately-invoked closure.
-func (g *Groovy) renderBlock(w *writer, b *ir.Block) string {
-	var sb strings.Builder
-	sb.WriteString("({ ->\n")
+func (g *Groovy) renderBlock(w *writer, b *ir.Block) {
+	w.ws("({ ->")
+	w.lineEnd()
 	w.indent++
-	inner := &writer{typeFn: g.typ, constFn: g.constant, indent: w.indent}
 	for _, s := range b.Stmts {
-		g.statement(inner, s)
+		g.statement(w, s)
 	}
 	if b.Value != nil {
-		inner.line("return " + inner.expr(b.Value, g))
+		w.lineStart()
+		w.ws("return ")
+		w.expr(b.Value, g)
+		w.lineEnd()
 	} else {
-		inner.line("return null")
+		w.line("return null")
 	}
-	sb.WriteString(inner.String())
 	w.indent--
-	sb.WriteString(strings.Repeat("    ", w.indent) + "})()")
-	return sb.String()
+	w.writeIndent()
+	w.ws("})()")
 }
 
-func (g *Groovy) renderIf(w *writer, e *ir.If) string {
-	return "(" + w.expr(e.Cond, g) + " ? " + w.expr(e.Then, g) + " : " + w.expr(e.Else, g) + ")"
+func (g *Groovy) renderIf(w *writer, e *ir.If) {
+	w.ws("(")
+	w.expr(e.Cond, g)
+	w.ws(" ? ")
+	w.expr(e.Then, g)
+	w.ws(" : ")
+	w.expr(e.Else, g)
+	w.ws(")")
 }
 
-func (g *Groovy) renderCast(w *writer, c *ir.Cast) string {
-	return "(" + w.expr(c.Expr, g) + " as " + g.typ(c.Target) + ")"
+func (g *Groovy) renderCast(w *writer, c *ir.Cast) {
+	w.ws("(")
+	w.expr(c.Expr, g)
+	w.ws(" as ")
+	w.ws(g.typ(c.Target))
+	w.ws(")")
 }
 
-func (g *Groovy) renderIs(w *writer, c *ir.Is) string {
-	return "(" + w.expr(c.Expr, g) + " instanceof " + c.Target.Name() + ")"
+func (g *Groovy) renderIs(w *writer, c *ir.Is) {
+	w.ws("(")
+	w.expr(c.Expr, g)
+	w.ws(" instanceof ")
+	w.ws(c.Target.Name())
+	w.ws(")")
 }
 
-func (g *Groovy) renderMethodRef(w *writer, m *ir.MethodRef) string {
-	return w.expr(m.Recv, g) + ".&" + m.Method
+func (g *Groovy) renderMethodRef(w *writer, m *ir.MethodRef) {
+	w.expr(m.Recv, g)
+	w.ws(".&")
+	w.ws(m.Method)
 }

@@ -38,7 +38,7 @@ func (j *Java) Translate(p *ir.Program) string {
 		j.callable[f.Name] = true
 	}
 
-	w := &writer{typeFn: j.typ, constFn: j.constant}
+	w := newWriter(j.typ, j.constant)
 	if p.Package != "" {
 		w.linef("package %s;", p.Package)
 		w.blank()
@@ -58,19 +58,24 @@ func (j *Java) Translate(p *ir.Program) string {
 			j.method(w, t, true)
 			w.blank()
 		case *ir.VarDecl:
-			line := "static "
+			w.lineStart()
+			w.ws("static ")
 			if t.DeclType != nil {
-				line += j.typ(t.DeclType)
+				w.ws(j.typ(t.DeclType))
 			} else {
-				line += "var"
+				w.ws("var")
 			}
-			line += " " + t.Name + " = " + w.expr(t.Init, j) + ";"
-			w.line(line)
+			w.ws(" ")
+			w.ws(t.Name)
+			w.ws(" = ")
+			w.expr(t.Init, j)
+			w.ws(";")
+			w.lineEnd()
 		}
 	}
 	w.indent--
 	w.line("}")
-	return w.String()
+	return w.finish()
 }
 
 func (j *Java) typ(t types.Type) string {
@@ -212,11 +217,11 @@ func (j *Java) class(w *writer, c *ir.ClassDecl) {
 		w.linef("%s(%s) {", c.Name, strings.Join(params, ", "))
 		w.indent++
 		if c.Super != nil && len(c.Super.Args) > 0 {
-			args := make([]string, len(c.Super.Args))
-			for i, a := range c.Super.Args {
-				args[i] = w.expr(a, j)
-			}
-			w.linef("super(%s);", strings.Join(args, ", "))
+			w.lineStart()
+			w.ws("super")
+			w.exprList(c.Super.Args, j)
+			w.ws(";")
+			w.lineEnd()
 		}
 		for _, f := range c.Fields {
 			w.linef("this.%s = %s;", f.Name, f.Name)
@@ -287,66 +292,88 @@ func (j *Java) returnOrDiscard(w *writer, e ir.Expr, void bool) {
 		}
 		switch e.(type) {
 		case *ir.Call, *ir.New, *ir.Assign:
-			w.line(w.expr(e, j) + ";")
+			w.lineStart()
+			w.expr(e, j)
+			w.ws(";")
+			w.lineEnd()
 		default:
 			j.tmpN++
-			w.linef("var tmp%d = %s;", j.tmpN, w.expr(e, j))
+			w.lineStart()
+			w.buf = fmt.Appendf(w.buf, "var tmp%d = ", j.tmpN)
+			w.expr(e, j)
+			w.ws(";")
+			w.lineEnd()
 		}
 		return
 	}
-	w.line("return " + w.expr(e, j) + ";")
+	w.lineStart()
+	w.ws("return ")
+	w.expr(e, j)
+	w.ws(";")
+	w.lineEnd()
 }
 
 func (j *Java) statement(w *writer, s ir.Node) {
 	switch st := s.(type) {
 	case *ir.VarDecl:
-		line := "var"
+		w.lineStart()
 		if st.DeclType != nil {
-			line = j.typ(st.DeclType)
+			w.ws(j.typ(st.DeclType))
+		} else {
+			w.ws("var")
 		}
-		w.line(line + " " + st.Name + " = " + w.expr(st.Init, j) + ";")
+		w.ws(" ")
+		w.ws(st.Name)
+		w.ws(" = ")
+		w.expr(st.Init, j)
+		w.ws(";")
+		w.lineEnd()
 	case *ir.Assign:
-		w.line(w.expr(st, j) + ";")
+		w.lineStart()
+		w.expr(st, j)
+		w.ws(";")
+		w.lineEnd()
 	case ir.Expr:
 		switch st.(type) {
 		case *ir.Call, *ir.New:
-			w.line(w.expr(st, j) + ";")
+			w.lineStart()
+			w.expr(st, j)
+			w.ws(";")
+			w.lineEnd()
 		default:
 			j.tmpN++
-			w.linef("var tmp%d = %s;", j.tmpN, w.expr(st, j))
+			w.lineStart()
+			w.buf = fmt.Appendf(w.buf, "var tmp%d = ", j.tmpN)
+			w.expr(st, j)
+			w.ws(";")
+			w.lineEnd()
 		}
 	}
 }
 
 // ----- expression rendering -----
 
-func (j *Java) renderNew(w *writer, n *ir.New) string {
-	name := n.Class.Name()
+func (j *Java) renderNew(w *writer, n *ir.New) {
+	w.ws("new ")
+	w.ws(n.Class.Name())
 	if _, param := n.Class.(*types.Constructor); param {
 		if n.TypeArgs == nil {
-			name += "<>" // diamond
+			w.ws("<>") // diamond
 		} else {
-			parts := make([]string, len(n.TypeArgs))
+			w.ws("<")
 			for i, a := range n.TypeArgs {
-				parts[i] = j.typ(a)
+				if i > 0 {
+					w.ws(", ")
+				}
+				w.ws(j.typ(a))
 			}
-			name += "<" + strings.Join(parts, ", ") + ">"
+			w.ws(">")
 		}
 	}
-	args := make([]string, len(n.Args))
-	for i, a := range n.Args {
-		args[i] = w.expr(a, j)
-	}
-	return "new " + name + "(" + strings.Join(args, ", ") + ")"
+	w.exprList(n.Args, j)
 }
 
-func (j *Java) renderCall(w *writer, c *ir.Call) string {
-	args := make([]string, len(c.Args))
-	for i, a := range c.Args {
-		args[i] = w.expr(a, j)
-	}
-	argList := "(" + strings.Join(args, ", ") + ")"
-
+func (j *Java) renderCall(w *writer, c *ir.Call) {
 	targs := ""
 	if len(c.TypeArgs) > 0 {
 		parts := make([]string, len(c.TypeArgs))
@@ -355,80 +382,104 @@ func (j *Java) renderCall(w *writer, c *ir.Call) string {
 		}
 		targs = "<" + strings.Join(parts, ", ") + ">"
 	}
-	if c.Recv != nil {
-		recv := w.expr(c.Recv, j)
-		if targs != "" {
-			return recv + "." + targs + c.Name + argList
-		}
-		return recv + "." + c.Name + argList
-	}
-	if !j.callable[c.Name] {
+	switch {
+	case c.Recv != nil:
+		w.expr(c.Recv, j)
+		w.ws(".")
+		w.ws(targs)
+		w.ws(c.Name)
+	case !j.callable[c.Name]:
 		// Invocation of a function-typed variable.
-		switch len(c.Args) {
-		case 0:
-			return c.Name + ".get()"
-		default:
-			return c.Name + ".apply" + argList
+		w.ws(c.Name)
+		if len(c.Args) == 0 {
+			w.ws(".get()")
+			return
 		}
-	}
-	if targs != "" {
+		w.ws(".apply")
+	case targs != "":
 		// Unqualified generic calls need explicit qualification in Java.
-		return "Globals." + targs + c.Name + argList
+		w.ws("Globals.")
+		w.ws(targs)
+		w.ws(c.Name)
+	default:
+		w.ws(c.Name)
 	}
-	return c.Name + argList
+	w.exprList(c.Args, j)
 }
 
-func (j *Java) renderLambda(w *writer, l *ir.Lambda) string {
-	params := make([]string, len(l.Params))
+func (j *Java) renderLambda(w *writer, l *ir.Lambda) {
+	w.ws("(")
 	for i, p := range l.Params {
-		if p.Type != nil {
-			params[i] = j.typ(p.Type) + " " + p.Name
-		} else {
-			params[i] = p.Name
+		if i > 0 {
+			w.ws(", ")
 		}
+		if p.Type != nil {
+			w.ws(j.typ(p.Type))
+			w.ws(" ")
+		}
+		w.ws(p.Name)
 	}
-	return "(" + strings.Join(params, ", ") + ") -> " + w.expr(l.Body, j)
+	w.ws(") -> ")
+	w.expr(l.Body, j)
 }
 
 // renderBlock lowers an expression-position block into an
 // immediately-invoked Supplier lambda, typed by the checker's recorded
 // type for the block.
-func (j *Java) renderBlock(w *writer, b *ir.Block) string {
+func (j *Java) renderBlock(w *writer, b *ir.Block) {
 	blockType := "Object"
 	if t := j.exprTypes[b]; t != nil {
 		blockType = j.typ(t)
 	}
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "((java.util.function.Supplier<%s>) () -> {\n", blockType)
+	w.buf = fmt.Appendf(w.buf, "((java.util.function.Supplier<%s>) () -> {", blockType)
+	w.lineEnd()
 	w.indent++
-	inner := &writer{typeFn: j.typ, constFn: j.constant, indent: w.indent}
 	for _, s := range b.Stmts {
-		j.statement(inner, s)
+		j.statement(w, s)
 	}
 	if b.Value != nil {
-		inner.line("return " + inner.expr(b.Value, j) + ";")
+		w.lineStart()
+		w.ws("return ")
+		w.expr(b.Value, j)
+		w.ws(";")
+		w.lineEnd()
 	} else {
-		inner.line("return null;")
+		w.line("return null;")
 	}
-	sb.WriteString(inner.String())
 	w.indent--
-	sb.WriteString(strings.Repeat("    ", w.indent) + "}).get()")
-	return sb.String()
+	w.writeIndent()
+	w.ws("}).get()")
 }
 
-func (j *Java) renderIf(w *writer, e *ir.If) string {
-	return "(" + w.expr(e.Cond, j) + " ? " + w.expr(e.Then, j) + " : " + w.expr(e.Else, j) + ")"
+func (j *Java) renderIf(w *writer, e *ir.If) {
+	w.ws("(")
+	w.expr(e.Cond, j)
+	w.ws(" ? ")
+	w.expr(e.Then, j)
+	w.ws(" : ")
+	w.expr(e.Else, j)
+	w.ws(")")
 }
 
-func (j *Java) renderCast(w *writer, c *ir.Cast) string {
-	return "((" + j.typ(c.Target) + ") " + w.expr(c.Expr, j) + ")"
+func (j *Java) renderCast(w *writer, c *ir.Cast) {
+	w.ws("((")
+	w.ws(j.typ(c.Target))
+	w.ws(") ")
+	w.expr(c.Expr, j)
+	w.ws(")")
 }
 
-func (j *Java) renderIs(w *writer, c *ir.Is) string {
+func (j *Java) renderIs(w *writer, c *ir.Is) {
 	// instanceof requires a reifiable type: use the raw class name.
-	return "(" + w.expr(c.Expr, j) + " instanceof " + c.Target.Name() + ")"
+	w.ws("(")
+	w.expr(c.Expr, j)
+	w.ws(" instanceof ")
+	w.ws(c.Target.Name())
+	w.ws(")")
 }
 
-func (j *Java) renderMethodRef(w *writer, m *ir.MethodRef) string {
-	return w.expr(m.Recv, j) + "::" + m.Method
+func (j *Java) renderMethodRef(w *writer, m *ir.MethodRef) {
+	w.expr(m.Recv, j)
+	w.ws("::")
+	w.ws(m.Method)
 }

@@ -22,7 +22,7 @@ func (*Kotlin) FileExt() string { return ".kt" }
 
 // Translate renders p as a Kotlin file.
 func (k *Kotlin) Translate(p *ir.Program) string {
-	w := &writer{typeFn: k.typ, constFn: k.constant}
+	w := newWriter(k.typ, k.constant)
 	if p.Package != "" {
 		w.linef("package %s", p.Package)
 		w.blank()
@@ -40,7 +40,7 @@ func (k *Kotlin) Translate(p *ir.Program) string {
 			k.varDecl(w, t)
 		}
 	}
-	return w.String()
+	return w.finish()
 }
 
 func (k *Kotlin) typ(t types.Type) string {
@@ -151,33 +151,37 @@ func (k *Kotlin) class(w *writer, c *ir.ClassDecl) {
 			head = "class "
 		}
 	}
-	line := head + c.Name + k.typeParams(c.TypeParams)
+	w.lineStart()
+	w.ws(head)
+	w.ws(c.Name)
+	w.ws(k.typeParams(c.TypeParams))
 	if len(c.Fields) > 0 && c.Kind == ir.RegularClass {
-		parts := make([]string, len(c.Fields))
+		w.ws("(")
 		for i, f := range c.Fields {
+			if i > 0 {
+				w.ws(", ")
+			}
 			kw := "val"
 			if f.Mutable {
 				kw = "var"
 			}
-			parts[i] = fmt.Sprintf("%s %s: %s", kw, f.Name, k.typ(f.Type))
+			w.buf = fmt.Appendf(w.buf, "%s %s: %s", kw, f.Name, k.typ(f.Type))
 		}
-		line += "(" + strings.Join(parts, ", ") + ")"
+		w.ws(")")
 	}
 	if c.Super != nil {
-		line += " : " + k.typ(c.Super.Type)
+		w.ws(" : ")
+		w.ws(k.typ(c.Super.Type))
 		if c.Kind == ir.RegularClass {
-			args := make([]string, len(c.Super.Args))
-			for i, a := range c.Super.Args {
-				args[i] = w.expr(a, k)
-			}
-			line += "(" + strings.Join(args, ", ") + ")"
+			w.exprList(c.Super.Args, k)
 		}
 	}
 	if len(c.Methods) == 0 {
-		w.line(line)
+		w.lineEnd()
 		return
 	}
-	w.line(line + " {")
+	w.ws(" {")
+	w.lineEnd()
 	w.indent++
 	for i, m := range c.Methods {
 		if i > 0 {
@@ -196,22 +200,34 @@ func (k *Kotlin) fun(w *writer, f *ir.FuncDecl, inOpenKind bool) {
 	} else if inOpenKind && f.Body != nil {
 		head = "fun "
 	}
+	w.lineStart()
+	w.ws(head)
 	if tp := k.typeParams(f.TypeParams); tp != "" {
-		head += tp + " "
+		w.ws(tp)
+		w.ws(" ")
 	}
-	params := make([]string, len(f.Params))
+	w.ws(f.Name)
+	w.ws("(")
 	for i, p := range f.Params {
-		params[i] = p.Name + ": " + k.typ(p.Type)
+		if i > 0 {
+			w.ws(", ")
+		}
+		w.ws(p.Name)
+		w.ws(": ")
+		w.ws(k.typ(p.Type))
 	}
-	head += f.Name + "(" + strings.Join(params, ", ") + ")"
+	w.ws(")")
 	if f.Ret != nil {
-		head += ": " + k.typ(f.Ret)
+		w.ws(": ")
+		w.ws(k.typ(f.Ret))
 	}
 	if f.Body == nil {
-		w.line(head)
+		w.lineEnd()
 		return
 	}
-	w.line(head + " = " + w.expr(f.Body, k))
+	w.ws(" = ")
+	w.expr(f.Body, k)
+	w.lineEnd()
 }
 
 func (k *Kotlin) varDecl(w *writer, v *ir.VarDecl) {
@@ -219,103 +235,127 @@ func (k *Kotlin) varDecl(w *writer, v *ir.VarDecl) {
 	if v.Mutable {
 		kw = "var"
 	}
-	line := kw + " " + v.Name
+	w.lineStart()
+	w.ws(kw)
+	w.ws(" ")
+	w.ws(v.Name)
 	if v.DeclType != nil {
-		line += ": " + k.typ(v.DeclType)
+		w.ws(": ")
+		w.ws(k.typ(v.DeclType))
 	}
 	if v.Init != nil {
-		line += " = " + w.expr(v.Init, k)
+		w.ws(" = ")
+		w.expr(v.Init, k)
 	}
-	w.line(line)
+	w.lineEnd()
 }
 
-// ----- expression rendering (languageExpr interface) -----
+// ----- expression rendering (language interface) -----
 
-func (k *Kotlin) renderNew(w *writer, n *ir.New) string {
-	name := n.Class.Name()
+func (k *Kotlin) renderNew(w *writer, n *ir.New) {
+	w.ws(n.Class.Name())
 	if _, param := n.Class.(*types.Constructor); param && n.TypeArgs != nil {
-		parts := make([]string, len(n.TypeArgs))
+		w.ws("<")
 		for i, a := range n.TypeArgs {
-			parts[i] = k.typ(a)
+			if i > 0 {
+				w.ws(", ")
+			}
+			w.ws(k.typ(a))
 		}
-		name += "<" + strings.Join(parts, ", ") + ">"
+		w.ws(">")
 	}
-	args := make([]string, len(n.Args))
-	for i, a := range n.Args {
-		args[i] = w.expr(a, k)
-	}
-	return name + "(" + strings.Join(args, ", ") + ")"
+	w.exprList(n.Args, k)
 }
 
-func (k *Kotlin) renderCall(w *writer, c *ir.Call) string {
-	s := ""
+func (k *Kotlin) renderCall(w *writer, c *ir.Call) {
 	if c.Recv != nil {
-		s = w.expr(c.Recv, k) + "."
+		w.expr(c.Recv, k)
+		w.ws(".")
 	}
-	s += c.Name
+	w.ws(c.Name)
 	if len(c.TypeArgs) > 0 {
-		parts := make([]string, len(c.TypeArgs))
+		w.ws("<")
 		for i, a := range c.TypeArgs {
-			parts[i] = k.typ(a)
+			if i > 0 {
+				w.ws(", ")
+			}
+			w.ws(k.typ(a))
 		}
-		s += "<" + strings.Join(parts, ", ") + ">"
+		w.ws(">")
 	}
-	args := make([]string, len(c.Args))
-	for i, a := range c.Args {
-		args[i] = w.expr(a, k)
-	}
-	return s + "(" + strings.Join(args, ", ") + ")"
+	w.exprList(c.Args, k)
 }
 
-func (k *Kotlin) renderLambda(w *writer, l *ir.Lambda) string {
-	params := make([]string, len(l.Params))
-	for i, p := range l.Params {
-		params[i] = p.Name
-		if p.Type != nil {
-			params[i] += ": " + k.typ(p.Type)
+func (k *Kotlin) renderLambda(w *writer, l *ir.Lambda) {
+	w.ws("{ ")
+	if len(l.Params) > 0 {
+		for i, p := range l.Params {
+			if i > 0 {
+				w.ws(", ")
+			}
+			w.ws(p.Name)
+			if p.Type != nil {
+				w.ws(": ")
+				w.ws(k.typ(p.Type))
+			}
 		}
+		w.ws(" -> ")
 	}
-	body := w.expr(l.Body, k)
-	if len(params) == 0 {
-		return "{ " + body + " }"
-	}
-	return "{ " + strings.Join(params, ", ") + " -> " + body + " }"
+	w.expr(l.Body, k)
+	w.ws(" }")
 }
 
-func (k *Kotlin) renderBlock(w *writer, b *ir.Block) string {
-	var sb strings.Builder
-	sb.WriteString("run {\n")
+func (k *Kotlin) renderBlock(w *writer, b *ir.Block) {
+	w.ws("run {")
+	w.lineEnd()
 	w.indent++
 	for _, s := range b.Stmts {
 		switch st := s.(type) {
 		case *ir.VarDecl:
-			inner := &writer{typeFn: k.typ, constFn: k.constant, indent: w.indent}
-			k.varDecl(inner, st)
-			sb.WriteString(inner.String())
+			k.varDecl(w, st)
 		case ir.Expr:
-			sb.WriteString(strings.Repeat("    ", w.indent) + w.expr(st, k) + "\n")
+			w.lineStart()
+			w.expr(st, k)
+			w.lineEnd()
 		}
 	}
 	if b.Value != nil {
-		sb.WriteString(strings.Repeat("    ", w.indent) + w.expr(b.Value, k) + "\n")
+		w.lineStart()
+		w.expr(b.Value, k)
+		w.lineEnd()
 	}
 	w.indent--
-	sb.WriteString(strings.Repeat("    ", w.indent) + "}")
-	return sb.String()
+	w.writeIndent()
+	w.ws("}")
 }
 
-func (k *Kotlin) renderIf(w *writer, e *ir.If) string {
-	return "if (" + w.expr(e.Cond, k) + ") " + w.expr(e.Then, k) + " else " + w.expr(e.Else, k)
+func (k *Kotlin) renderIf(w *writer, e *ir.If) {
+	w.ws("if (")
+	w.expr(e.Cond, k)
+	w.ws(") ")
+	w.expr(e.Then, k)
+	w.ws(" else ")
+	w.expr(e.Else, k)
 }
 
-func (k *Kotlin) renderCast(w *writer, c *ir.Cast) string {
-	return "(" + w.expr(c.Expr, k) + " as " + k.typ(c.Target) + ")"
+func (k *Kotlin) renderCast(w *writer, c *ir.Cast) {
+	w.ws("(")
+	w.expr(c.Expr, k)
+	w.ws(" as ")
+	w.ws(k.typ(c.Target))
+	w.ws(")")
 }
 
-func (k *Kotlin) renderIs(w *writer, c *ir.Is) string {
-	return "(" + w.expr(c.Expr, k) + " is " + k.typ(c.Target) + ")"
+func (k *Kotlin) renderIs(w *writer, c *ir.Is) {
+	w.ws("(")
+	w.expr(c.Expr, k)
+	w.ws(" is ")
+	w.ws(k.typ(c.Target))
+	w.ws(")")
 }
 
-func (k *Kotlin) renderMethodRef(w *writer, m *ir.MethodRef) string {
-	return w.expr(m.Recv, k) + "::" + m.Method
+func (k *Kotlin) renderMethodRef(w *writer, m *ir.MethodRef) {
+	w.expr(m.Recv, k)
+	w.ws("::")
+	w.ws(m.Method)
 }

@@ -3,6 +3,7 @@ package translate
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/ir"
 	"repro/internal/types"
@@ -10,69 +11,157 @@ import (
 
 // language is the per-language expression renderer; forms whose syntax
 // coincides across the targets (variables, field accesses, binary
-// operators, assignments) are rendered by the shared writer.
+// operators, assignments) are rendered by the shared writer. Renderers
+// append directly into the writer's buffer — expressions are never built
+// by returning and concatenating strings, which was quadratic in both time
+// and allocations for nested expressions.
 type language interface {
-	renderNew(w *writer, n *ir.New) string
-	renderCall(w *writer, c *ir.Call) string
-	renderLambda(w *writer, l *ir.Lambda) string
-	renderBlock(w *writer, b *ir.Block) string
-	renderIf(w *writer, e *ir.If) string
-	renderCast(w *writer, c *ir.Cast) string
-	renderIs(w *writer, c *ir.Is) string
-	renderMethodRef(w *writer, m *ir.MethodRef) string
+	renderNew(w *writer, n *ir.New)
+	renderCall(w *writer, c *ir.Call)
+	renderLambda(w *writer, l *ir.Lambda)
+	renderBlock(w *writer, b *ir.Block)
+	renderIf(w *writer, e *ir.If)
+	renderCast(w *writer, c *ir.Cast)
+	renderIs(w *writer, c *ir.Is)
+	renderMethodRef(w *writer, m *ir.MethodRef)
 }
 
-// writer accumulates indented source lines.
+// writer accumulates rendered source into a single reusable byte buffer.
+// Instances are pooled across Translate calls; the only per-translation
+// allocation on the writer's account is the final string conversion.
 type writer struct {
-	sb      strings.Builder
+	buf     []byte
 	indent  int
 	typeFn  func(types.Type) string
 	constFn func(types.Type) string
 }
 
-func (w *writer) String() string { return w.sb.String() }
+var writerPool = sync.Pool{
+	New: func() any {
+		return &writer{buf: make([]byte, 0, 8192)}
+	},
+}
+
+// newWriter returns a pooled writer reset for a fresh translation.
+func newWriter(typeFn, constFn func(types.Type) string) *writer {
+	w := writerPool.Get().(*writer)
+	w.buf = w.buf[:0]
+	w.indent = 0
+	w.typeFn = typeFn
+	w.constFn = constFn
+	return w
+}
+
+// finish materializes the rendered source and returns the writer to the
+// pool. The writer must not be used afterwards.
+func (w *writer) finish() string {
+	s := string(w.buf)
+	w.typeFn = nil
+	w.constFn = nil
+	writerPool.Put(w)
+	return s
+}
+
+func (w *writer) String() string { return string(w.buf) }
+
+// ws appends a raw string.
+func (w *writer) ws(s string) { w.buf = append(w.buf, s...) }
+
+var indentStrings = [...]string{
+	"",
+	"    ",
+	"        ",
+	"            ",
+	"                ",
+	"                    ",
+	"                        ",
+}
+
+// writeIndent appends the current indentation without starting a line.
+func (w *writer) writeIndent() {
+	n := w.indent
+	if n < len(indentStrings) {
+		w.buf = append(w.buf, indentStrings[n]...)
+		return
+	}
+	w.buf = append(w.buf, strings.Repeat("    ", n)...)
+}
+
+// lineStart begins an indented line; the caller appends its pieces and
+// closes with lineEnd.
+func (w *writer) lineStart() { w.writeIndent() }
+
+// lineEnd terminates the current line.
+func (w *writer) lineEnd() { w.buf = append(w.buf, '\n') }
 
 func (w *writer) line(s string) {
-	w.sb.WriteString(strings.Repeat("    ", w.indent))
-	w.sb.WriteString(s)
-	w.sb.WriteString("\n")
+	w.writeIndent()
+	w.ws(s)
+	w.lineEnd()
 }
 
 func (w *writer) linef(format string, args ...any) {
-	w.line(fmt.Sprintf(format, args...))
+	w.writeIndent()
+	w.buf = fmt.Appendf(w.buf, format, args...)
+	w.lineEnd()
 }
 
-func (w *writer) blank() { w.sb.WriteString("\n") }
+func (w *writer) blank() { w.buf = append(w.buf, '\n') }
 
-// expr renders an expression, delegating language-specific forms.
-func (w *writer) expr(e ir.Expr, lang language) string {
+// expr renders an expression into the buffer, delegating
+// language-specific forms.
+func (w *writer) expr(e ir.Expr, lang language) {
 	switch t := e.(type) {
 	case *ir.Const:
-		return w.constFn(t.Type)
+		w.ws(w.constFn(t.Type))
 	case *ir.VarRef:
-		return t.Name
+		w.ws(t.Name)
 	case *ir.FieldAccess:
-		return w.expr(t.Recv, lang) + "." + t.Field
+		w.expr(t.Recv, lang)
+		w.buf = append(w.buf, '.')
+		w.ws(t.Field)
 	case *ir.BinaryOp:
-		return "(" + w.expr(t.Left, lang) + " " + t.Op + " " + w.expr(t.Right, lang) + ")"
+		w.buf = append(w.buf, '(')
+		w.expr(t.Left, lang)
+		w.buf = append(w.buf, ' ')
+		w.ws(t.Op)
+		w.buf = append(w.buf, ' ')
+		w.expr(t.Right, lang)
+		w.buf = append(w.buf, ')')
 	case *ir.Assign:
-		return w.expr(t.Target, lang) + " = " + w.expr(t.Value, lang)
+		w.expr(t.Target, lang)
+		w.ws(" = ")
+		w.expr(t.Value, lang)
 	case *ir.New:
-		return lang.renderNew(w, t)
+		lang.renderNew(w, t)
 	case *ir.Call:
-		return lang.renderCall(w, t)
+		lang.renderCall(w, t)
 	case *ir.Lambda:
-		return lang.renderLambda(w, t)
+		lang.renderLambda(w, t)
 	case *ir.Block:
-		return lang.renderBlock(w, t)
+		lang.renderBlock(w, t)
 	case *ir.If:
-		return lang.renderIf(w, t)
+		lang.renderIf(w, t)
 	case *ir.Cast:
-		return lang.renderCast(w, t)
+		lang.renderCast(w, t)
 	case *ir.Is:
-		return lang.renderIs(w, t)
+		lang.renderIs(w, t)
 	case *ir.MethodRef:
-		return lang.renderMethodRef(w, t)
+		lang.renderMethodRef(w, t)
+	default:
+		w.ws("/* unsupported */")
 	}
-	return "/* unsupported */"
+}
+
+// exprList renders a comma-separated, parenthesized expression list —
+// the shape shared by constructor calls, method calls, and super calls.
+func (w *writer) exprList(es []ir.Expr, lang language) {
+	w.buf = append(w.buf, '(')
+	for i, e := range es {
+		if i > 0 {
+			w.ws(", ")
+		}
+		w.expr(e, lang)
+	}
+	w.buf = append(w.buf, ')')
 }

@@ -108,7 +108,7 @@ func Preserves(g *Graph, cands ...*Candidate) bool {
 		if (!n.IsDecl && n.Param == nil) || n.Rigid || vanished[id] {
 			continue
 		}
-		before := g.Infer(id, nil)
+		before := g.BaselineInfer(id)
 		after := g.InferBlocked(id, erased, vanished)
 		if !before.Equal(after) {
 			return false

@@ -79,6 +79,20 @@ type Graph struct {
 	// while building the graph (double-circled and shadowed nodes of
 	// Figure 6).
 	Candidates []*Candidate
+
+	// Memoized query state, dropped on any mutation. Preserves is called
+	// once per candidate combination (worst case thousands of times per
+	// graph) and both the sorted node list and the erasure-free baseline
+	// inference are combination-independent, so recomputing them per call
+	// dominated the whole mutation. A graph is built and then queried by a
+	// single goroutine, so the memos need no locking.
+	sortedIDs []string
+	baseInfer map[string]types.Type
+}
+
+func (g *Graph) invalidate() {
+	g.sortedIDs = nil
+	g.baseInfer = nil
 }
 
 // NewGraph returns an empty type graph.
@@ -89,14 +103,18 @@ func NewGraph() *Graph {
 // Node returns the node with the given ID, or nil.
 func (g *Graph) Node(id string) *Node { return g.nodes[id] }
 
-// Nodes returns all node IDs in deterministic order.
+// Nodes returns all node IDs in deterministic order. Callers must not
+// mutate the returned slice: it is memoized until the graph changes.
 func (g *Graph) Nodes() []string {
-	ids := make([]string, 0, len(g.nodes))
-	for id := range g.nodes {
-		ids = append(ids, id)
+	if g.sortedIDs == nil {
+		ids := make([]string, 0, len(g.nodes))
+		for id := range g.nodes {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		g.sortedIDs = ids
 	}
-	sort.Strings(ids)
-	return ids
+	return g.sortedIDs
 }
 
 // Edges returns the out-edges of a node.
@@ -118,6 +136,7 @@ func (g *Graph) ensure(n *Node) *Node {
 	if existing, ok := g.nodes[n.ID]; ok {
 		return existing
 	}
+	g.invalidate()
 	g.nodes[n.ID] = n
 	return n
 }
@@ -156,6 +175,7 @@ func (g *Graph) AddEdge(from, to string, kind EdgeKind) {
 			return
 		}
 	}
+	g.invalidate()
 	g.out[from] = append(g.out[from], Edge{To: to, Kind: kind})
 }
 
@@ -208,6 +228,20 @@ func (g *Graph) VisitedTypes(start string, erased Erasure, blocked map[string]bo
 // under an optional erasure.
 func (g *Graph) Infer(start string, erased Erasure) types.Type {
 	return g.InferBlocked(start, erased, nil)
+}
+
+// BaselineInfer is Infer(start, nil) memoized per graph — the erasure-free
+// inference Preserves compares every candidate combination against.
+func (g *Graph) BaselineInfer(start string) types.Type {
+	if t, ok := g.baseInfer[start]; ok {
+		return t
+	}
+	t := g.Infer(start, nil)
+	if g.baseInfer == nil {
+		g.baseInfer = make(map[string]types.Type, len(g.nodes))
+	}
+	g.baseInfer[start] = t
+	return t
 }
 
 // InferBlocked is Infer with a set of non-traversable (vanished) nodes.

@@ -1,0 +1,148 @@
+package types
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Bounded memo caches for the two hottest relations in the kernel:
+// IsSubtype and Supertype-of-an-application. Every generated or mutated
+// program pays these thousands of times (TEM's Algorithm 2 re-checks whole
+// candidate combinations), and the relations are pure functions of their
+// canonical fingerprints, so memoization is invisible to results: a cache
+// hit returns exactly the value the recursive walk would have computed.
+// There is consequently no invalidation — entries are never wrong, only
+// evicted for space.
+//
+// The caches are process-global (pipeline workers share types.Builtins and
+// the generated constructors) and sharded 64 ways to keep lock contention
+// off the hot path. Each shard is bounded; when full it is reset
+// wholesale, which keeps memory constant without LRU bookkeeping.
+// Lookups build the key into a pooled scratch buffer and index the map
+// with a non-allocating string conversion; only inserts materialize the
+// key.
+//
+// SetCaching(false) routes every query through the uncached walk — the
+// determinism suites assert campaign reports are bit-for-bit identical
+// either way at 1 and 8 workers.
+
+const (
+	cacheShardCount   = 64
+	cacheShardMaxKeys = 4096
+	// pairSep separates the two fingerprints of a relation key; it differs
+	// from fpSep so (a, bc) and (ab, c) cannot collide.
+	pairSep = 0x1e
+)
+
+type relShard struct {
+	mu sync.Mutex
+	m  map[string]bool
+}
+
+type typeShard struct {
+	mu sync.Mutex
+	m  map[string]Type
+}
+
+var (
+	cachingDisabled atomic.Bool // zero value: caching on
+	subtypeCache    [cacheShardCount]relShard
+	supertypeCache  [cacheShardCount]typeShard
+
+	cacheHits   atomic.Uint64
+	cacheMisses atomic.Uint64
+)
+
+var keyBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	},
+}
+
+// CachingEnabled reports whether the memo caches are consulted.
+func CachingEnabled() bool { return !cachingDisabled.Load() }
+
+// SetCaching toggles the memo caches (on by default) and returns the
+// previous setting. Disabling also drops all cached entries so a
+// subsequent enable starts cold; results never depend on the setting,
+// only speed does.
+func SetCaching(enabled bool) (prev bool) {
+	prev = !cachingDisabled.Swap(!enabled)
+	if !enabled {
+		ResetCaches()
+	}
+	return prev
+}
+
+// ResetCaches drops every memoized entry and zeroes the hit/miss counters.
+func ResetCaches() {
+	for i := range subtypeCache {
+		s := &subtypeCache[i]
+		s.mu.Lock()
+		s.m = nil
+		s.mu.Unlock()
+	}
+	for i := range supertypeCache {
+		s := &supertypeCache[i]
+		s.mu.Lock()
+		s.m = nil
+		s.mu.Unlock()
+	}
+	cacheHits.Store(0)
+	cacheMisses.Store(0)
+}
+
+// CacheStats returns the cumulative hit/miss counts of both caches since
+// the last reset. Used by tests to prove the cache is exercised; campaign
+// results never depend on them.
+func CacheStats() (hits, misses uint64) {
+	return cacheHits.Load(), cacheMisses.Load()
+}
+
+// cachedSubtype consults the subtype cache for the pair key in buf.
+func cachedSubtype(key []byte) (val, ok bool) {
+	s := &subtypeCache[fnv1a(key)%cacheShardCount]
+	s.mu.Lock()
+	val, ok = s.m[string(key)]
+	s.mu.Unlock()
+	if ok {
+		cacheHits.Add(1)
+	} else {
+		cacheMisses.Add(1)
+	}
+	return val, ok
+}
+
+func storeSubtype(key []byte, val bool) {
+	s := &subtypeCache[fnv1a(key)%cacheShardCount]
+	s.mu.Lock()
+	if s.m == nil || len(s.m) >= cacheShardMaxKeys {
+		s.m = make(map[string]bool, 64)
+	}
+	s.m[string(key)] = val
+	s.mu.Unlock()
+}
+
+func cachedSupertype(key []byte) (Type, bool) {
+	s := &supertypeCache[fnv1a(key)%cacheShardCount]
+	s.mu.Lock()
+	t, ok := s.m[string(key)]
+	s.mu.Unlock()
+	if ok {
+		cacheHits.Add(1)
+	} else {
+		cacheMisses.Add(1)
+	}
+	return t, ok
+}
+
+func storeSupertype(key []byte, t Type) {
+	s := &supertypeCache[fnv1a(key)%cacheShardCount]
+	s.mu.Lock()
+	if s.m == nil || len(s.m) >= cacheShardMaxKeys {
+		s.m = make(map[string]Type, 64)
+	}
+	s.m[string(key)] = t
+	s.mu.Unlock()
+}

@@ -1,0 +1,328 @@
+package types
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// withColdCaches runs f with the memo caches enabled but empty, restoring
+// the previous toggle state and dropping test entries afterwards.
+func withColdCaches(t *testing.T, f func()) {
+	t.Helper()
+	prev := SetCaching(true)
+	ResetCaches()
+	defer func() {
+		ResetCaches()
+		SetCaching(prev)
+	}()
+	f()
+}
+
+func TestCachingToggle(t *testing.T) {
+	prev := SetCaching(true)
+	defer SetCaching(prev)
+
+	if !CachingEnabled() {
+		t.Fatal("caching should be enabled after SetCaching(true)")
+	}
+	if got := SetCaching(false); !got {
+		t.Fatal("SetCaching(false) should report previous=true")
+	}
+	if CachingEnabled() {
+		t.Fatal("caching should be disabled after SetCaching(false)")
+	}
+	if got := SetCaching(true); got {
+		t.Fatal("SetCaching(true) should report previous=false")
+	}
+}
+
+func TestCacheStatsCountHitsAndMisses(t *testing.T) {
+	withColdCaches(t, func() {
+		b := NewBuiltins()
+		aT := NewParameter("A", "T")
+		ctorA := NewConstructor("A", []*Parameter{aT}, nil)
+		bT := NewParameter("B", "T")
+		ctorB := NewConstructor("B", []*Parameter{bT}, ctorA.Apply(bT))
+		sub := ctorB.Apply(b.Int)
+		sup := ctorA.Apply(&Projection{Var: Covariant, Bound: b.Number})
+		// The pair memo only accepts queries whose fingerprints are
+		// already paid for; warm them the way repeated climbs would.
+		Fingerprint(sub)
+		Fingerprint(sup)
+
+		if !IsSubtype(sub, sup) {
+			t.Fatal("B<Int> <: A<out Number> expected")
+		}
+		_, misses := CacheStats()
+		if misses == 0 {
+			t.Fatal("first query should miss the cache")
+		}
+		hits0, _ := CacheStats()
+		for i := 0; i < 10; i++ {
+			IsSubtype(sub, sup)
+		}
+		hits, _ := CacheStats()
+		if hits < hits0+10 {
+			t.Fatalf("repeat queries should hit the cache: hits %d -> %d", hits0, hits)
+		}
+	})
+}
+
+func TestCacheDisabledBypassesStats(t *testing.T) {
+	prev := SetCaching(false)
+	defer SetCaching(prev)
+	ResetCaches()
+
+	b := NewBuiltins()
+	if !IsSubtype(b.Int, b.Number) {
+		t.Fatal("Int <: Number expected")
+	}
+	hits, misses := CacheStats()
+	if hits != 0 || misses != 0 {
+		t.Fatalf("disabled cache should not be consulted: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestCacheBounded floods the caches with more distinct pairs than they can
+// hold and checks queries stay correct (shards reset wholesale; entries are
+// evicted, never wrong).
+func TestCacheBounded(t *testing.T) {
+	withColdCaches(t, func() {
+		b := NewBuiltins()
+		aT := NewParameter("A", "T")
+		ctorA := NewConstructor("A", []*Parameter{aT}, nil)
+		bT := NewParameter("B", "T")
+		ctorB := NewConstructor("B", []*Parameter{bT}, ctorA.Apply(bT))
+		sub := ctorB.Apply(b.Int)
+		sup := ctorA.Apply(&Projection{Var: Covariant, Bound: b.Number})
+		Fingerprint(sub)
+		Fingerprint(sup)
+		if !IsSubtype(sub, sup) {
+			t.Fatal("B<Int> <: A<out Number> expected")
+		}
+
+		total := cacheShardCount*cacheShardMaxKeys/8 + 10_000
+		for i := 0; i < total; i++ {
+			// Distinct cross-constructor applications flood both the
+			// supertype and the relation shards; fingerprints are warmed
+			// so the pair memo accepts each query.
+			flood := ctorB.Apply(NewSimple(fmt.Sprintf("Flood%d", i), b.Number))
+			Fingerprint(flood)
+			if IsSubtype(flood, b.Number) {
+				t.Fatalf("B<Flood%d> <: Number not expected", i)
+			}
+		}
+		// After the flood, evicted answers must still be recomputed
+		// correctly (entries are dropped, never wrong).
+		if !IsSubtype(sub, sup) {
+			t.Fatal("relations corrupted after cache churn")
+		}
+		if !IsSubtype(b.Int, b.Number) || IsSubtype(b.Number, b.Int) {
+			t.Fatal("basic relations corrupted after cache churn")
+		}
+	})
+}
+
+// TestConcurrentCacheAccess hammers the memoized relations from many
+// goroutines over a shared universe; run under -race this proves the
+// shards, the fingerprint memo boxes, and the key pool are thread-safe.
+func TestConcurrentCacheAccess(t *testing.T) {
+	withColdCaches(t, func() {
+		g := newTypeGen()
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(seed int64) {
+				defer wg.Done()
+				r := rand.New(rand.NewSource(seed))
+				for i := 0; i < 2000; i++ {
+					t1 := g.random(r, 3)
+					t2 := g.random(r, 3)
+					IsSubtype(t1, t2)
+					Supertype(t1)
+					Unify(t1, t2)
+				}
+			}(int64(w))
+		}
+		wg.Wait()
+	})
+}
+
+// TestCachedUncachedAgree is the central invisibility property: over random
+// type pairs, IsSubtype answers identically with the memo caches on and
+// off.
+func TestCachedUncachedAgree(t *testing.T) {
+	g := newTypeGen()
+	r := rand.New(rand.NewSource(77))
+	prev := CachingEnabled()
+	defer SetCaching(prev)
+
+	for i := 0; i < 5000; i++ {
+		t1 := g.random(r, 4)
+		t2 := g.random(r, 4)
+
+		SetCaching(true)
+		cached := IsSubtype(t1, t2)
+		cachedAgain := IsSubtype(t1, t2) // second query served from cache
+		SetCaching(false)
+		uncached := IsSubtype(t1, t2)
+
+		if cached != uncached || cachedAgain != uncached {
+			t.Fatalf("cache changed the relation for %s <: %s: cached=%v again=%v uncached=%v",
+				t1, t2, cached, cachedAgain, uncached)
+		}
+	}
+}
+
+// TestFingerprintSoundness checks the property the caches rely on: equal
+// fingerprints imply Equal types, and distinct hierarchies sharing a name
+// (as successive generated programs produce) get distinct fingerprints.
+func TestFingerprintSoundness(t *testing.T) {
+	b := NewBuiltins()
+	g := newTypeGen()
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 3000; i++ {
+		t1 := g.random(r, 3)
+		t2 := g.random(r, 3)
+		if Fingerprint(t1) == Fingerprint(t2) && !t1.Equal(t2) {
+			t.Fatalf("fingerprint collision: %s vs %s", t1, t2)
+		}
+		if t1.Equal(t2) && Fingerprint(t1) != Fingerprint(t2) {
+			t.Fatalf("equal types, distinct fingerprints: %s vs %s", t1, t2)
+		}
+	}
+
+	// Same name, different declared hierarchy — the cross-program reuse
+	// case. Fingerprints must differ or the process-global cache would
+	// poison later programs.
+	cls1a := NewSimple("Cls1", b.Number)
+	cls1b := NewSimple("Cls1", b.String)
+	if Fingerprint(cls1a) == Fingerprint(cls1b) {
+		t.Fatal("same-name types with different supertypes must fingerprint differently")
+	}
+
+	// Same-name constructors with different variance must differ too.
+	pa := NewParameter("C", "T")
+	pb := &Parameter{Owner: "C", ParamName: "T", Var: Covariant}
+	ca := NewConstructor("C", []*Parameter{pa}, nil)
+	cb := NewConstructor("C", []*Parameter{pb}, nil)
+	if Fingerprint(ca.Apply(b.Int)) == Fingerprint(cb.Apply(b.Int)) {
+		t.Fatal("applications of same-name constructors with different variance must fingerprint differently")
+	}
+}
+
+// TestFingerprintCyclicHierarchy checks the walk terminates on (malformed)
+// cyclic hierarchies and on F-bounded parameters, and that the F-bounded
+// case still reaches a fixed point.
+func TestFingerprintCyclicHierarchy(t *testing.T) {
+	a := NewSimple("A", nil)
+	b := NewSimple("B", a)
+	a.Super = b // deliberate cycle: A : B, B : A
+
+	fp1 := Fingerprint(a)
+	fp2 := Fingerprint(a)
+	if fp1 == "" || fp1 != fp2 {
+		t.Fatalf("cyclic fingerprint should be stable and nonempty: %q vs %q", fp1, fp2)
+	}
+	if Fingerprint(a) == Fingerprint(b) {
+		t.Fatal("the two halves of the cycle are distinct types")
+	}
+
+	// F-bounded parameter: T : Comparable<T>.
+	cmpT := NewParameter("Comparable", "T")
+	comparable := NewConstructor("Comparable", []*Parameter{cmpT}, nil)
+	tp := NewParameter("m", "T")
+	tp.Bound = comparable.Apply(tp)
+	if Fingerprint(tp) != Fingerprint(tp) {
+		t.Fatal("F-bounded fingerprint should be stable")
+	}
+}
+
+// TestSuperChainCyclicEndsInTop is the regression test for the capped
+// SuperChain path: even a cyclic hierarchy yields a chain terminated by ⊤,
+// preserving the invariant lub2 and UnifyPrime iterate on.
+func TestSuperChainCyclicEndsInTop(t *testing.T) {
+	a := NewSimple("A", nil)
+	b := NewSimple("B", a)
+	a.Super = b // cycle
+
+	chain := SuperChain(a)
+	if len(chain) == 0 {
+		t.Fatal("empty chain")
+	}
+	if _, ok := chain[len(chain)-1].(Top); !ok {
+		t.Fatalf("capped SuperChain must end in Top, got %s", chain[len(chain)-1])
+	}
+
+	// Lub over the cyclic hierarchy must terminate (and fall back to ⊤).
+	got := Lub(a, NewSimple("C", nil))
+	if _, ok := got.(Top); !ok {
+		t.Fatalf("Lub over unrelated cyclic hierarchy should be Top, got %s", got)
+	}
+}
+
+// TestMalformedAppArity checks that applications whose argument count does
+// not match their constructor — as partial erasure can produce — fail soft
+// in every entry point instead of panicking.
+func TestMalformedAppArity(t *testing.T) {
+	b := NewBuiltins()
+	p1 := NewParameter("Pair", "K")
+	p2 := NewParameter("Pair", "V")
+	sup := NewConstructor("Sup", []*Parameter{NewParameter("Sup", "T")}, nil)
+	pair := NewConstructor("Pair", []*Parameter{p1, p2}, sup.Apply(p1))
+
+	malformed := &App{Ctor: pair, Args: []Type{b.Int}} // one arg, two params
+	wellFormed := pair.Apply(b.Int, b.String)
+
+	if got := Supertype(malformed); got == nil {
+		t.Fatal("Supertype(malformed) must not be nil")
+	} else if _, ok := got.(Top); !ok {
+		t.Fatalf("Supertype(malformed) should fail soft to Top, got %s", got)
+	}
+
+	if IsSubtype(malformed, wellFormed) {
+		t.Fatal("malformed app must not be a subtype of a well-formed one")
+	}
+	if IsSubtype(wellFormed, malformed) {
+		t.Fatal("well-formed app must not be a subtype of a malformed one")
+	}
+	if IsSubtype(malformed, sup.Apply(b.Int)) {
+		t.Fatal("malformed app must not climb its hierarchy")
+	}
+
+	if sigma := Unify(malformed, wellFormed); sigma != nil {
+		t.Fatal("Unify(malformed, ...) should fail, not panic")
+	}
+	if sigma := Unify(wellFormed, malformed); sigma != nil {
+		t.Fatal("Unify(..., malformed) should fail, not panic")
+	}
+	// UnifyPrime reports "no dependency" as an empty substitution; the
+	// malformed operand must simply not panic the pointwise loops.
+	if sigma := UnifyPrime(malformed, wellFormed); sigma == nil {
+		t.Fatal("UnifyPrime never returns nil")
+	}
+	if sigma := UnifyPrime(wellFormed, malformed); sigma == nil {
+		t.Fatal("UnifyPrime never returns nil")
+	}
+
+	// Lub must also survive a malformed operand.
+	_ = Lub(malformed, wellFormed)
+}
+
+// TestHasFreeParametersAgreesWithFreeParameters pins the fast groundness
+// check to the reference implementation.
+func TestHasFreeParametersAgreesWithFreeParameters(t *testing.T) {
+	g := newTypeGen()
+	r := rand.New(rand.NewSource(123))
+	for i := 0; i < 3000; i++ {
+		tt := g.random(r, 4)
+		if HasFreeParameters(tt) != (len(FreeParameters(tt)) > 0) {
+			t.Fatalf("HasFreeParameters disagrees with FreeParameters for %s", tt)
+		}
+	}
+	if HasFreeParameters(nil) {
+		t.Fatal("nil type has no free parameters")
+	}
+}

@@ -1,0 +1,274 @@
+package types
+
+import (
+	"strconv"
+	"sync/atomic"
+)
+
+// Canonical type fingerprints.
+//
+// Fingerprint(t) is a compact byte string capturing everything the
+// subtyping and supertype relations can observe about t: variant tags,
+// nominal names, the full declared supertype chain, type-parameter IDs and
+// bounds, constructor arities and declaration-site variances, and argument
+// structure. Two types with equal fingerprints are structurally
+// indistinguishable to IsSubtype/Supertype, which is what makes the memo
+// caches in cache.go sound — nominal names alone would not be, because
+// generated programs reuse class names (Cls1, Cls2, ...) with different
+// hierarchies across one process-wide campaign.
+//
+// Fingerprint equality implies Equal (the fingerprint embeds every field
+// Equal compares); the converse holds on any single well-formed program,
+// where nominal names are unique.
+//
+// Declarations are immutable once built, so every nominal node (Simple,
+// Parameter, Constructor, App) memoizes its own fingerprint in an atomic
+// box the first time it is walked: steady-state fingerprinting of a
+// declared type is a single pointer load and byte copy, and a freshly
+// substituted application only walks its own spine, appending the cached
+// fingerprints of its leaves. The memo is skipped for (malformed, test
+// -only) cyclic hierarchies, whose back-reference markers are relative to
+// the walk root and therefore not context-free.
+//
+// Each variant is tagged with a distinct leading byte and fields are
+// separated with 0x1f (ASCII unit separator, which cannot occur in
+// generated identifiers), so fingerprints of distinct shapes cannot
+// collide by concatenation.
+
+const fpSep = 0x1f
+
+// fpBox lazily memoizes a node's fingerprint. Concurrent first walks may
+// race to store; they store equal values, and the atomic pointer keeps the
+// race benign under -race.
+type fpBox struct {
+	v atomic.Pointer[string]
+}
+
+// ready reports whether the box already holds a memoized fingerprint.
+func (b *fpBox) ready() bool { return b.v.Load() != nil }
+
+// fingerprintReady reports whether t's fingerprint is already memoized, so
+// appending it is a pointer load and a byte copy rather than a walk.
+// Extremal types are single tag bytes and trivially ready; non-nominal
+// compound shapes (projections, function types, intersections) carry no
+// memo box and report false.
+func fingerprintReady(t Type) bool {
+	switch tt := t.(type) {
+	case Top, Bottom:
+		return true
+	case *Simple:
+		return tt.fp.ready()
+	case *Parameter:
+		return tt.fp.ready()
+	case *Constructor:
+		return tt.fp.ready()
+	case *App:
+		return tt.fp.ready()
+	}
+	return false
+}
+
+// AppendFingerprint appends t's canonical fingerprint to dst and returns
+// the extended slice. A nil type contributes a distinct "nil" tag.
+func AppendFingerprint(dst []byte, t Type) []byte {
+	var st fpWalk
+	return st.walk(dst, t)
+}
+
+// Fingerprint returns t's canonical fingerprint as a string.
+func Fingerprint(t Type) string {
+	return string(AppendFingerprint(make([]byte, 0, 64), t))
+}
+
+// Hash returns a 64-bit FNV-1a hash of t's canonical fingerprint, for
+// callers that want a fixed-width key (e.g. shard selection). Hash equality
+// does not imply type equality; exact callers use Fingerprint.
+func Hash(t Type) uint64 {
+	var buf [192]byte
+	b := AppendFingerprint(buf[:0], t)
+	return fnv1a(b)
+}
+
+// fpWalk tracks the declarations on the current walk stack so cyclic
+// hierarchies terminate, and counts emitted back-references so memoization
+// can be suppressed for the cyclic case. The stack stays nil for the
+// overwhelmingly common acyclic walk.
+type fpWalk struct {
+	seen     []any // *Simple, *Constructor, or *Parameter being walked
+	backrefs int
+}
+
+func (st *fpWalk) entered(node any) bool {
+	for _, s := range st.seen {
+		if s == node {
+			return true
+		}
+	}
+	return false
+}
+
+// memoized appends box's cached fingerprint if present.
+func memoized(dst []byte, box *fpBox) ([]byte, bool) {
+	if s := box.v.Load(); s != nil {
+		return append(dst, *s...), true
+	}
+	return dst, false
+}
+
+// memoize stores dst[start:] as box's fingerprint unless the subtree walk
+// emitted a back-reference (its output would then depend on the walk
+// root).
+func (st *fpWalk) memoize(box *fpBox, dst []byte, start, backrefs0 int) {
+	if st.backrefs != backrefs0 {
+		return
+	}
+	s := string(dst[start:])
+	box.v.Store(&s)
+}
+
+func (st *fpWalk) walk(dst []byte, t Type) []byte {
+	if t == nil {
+		return append(dst, '0')
+	}
+	switch tt := t.(type) {
+	case Top:
+		return append(dst, 'T')
+	case Bottom:
+		return append(dst, 'B')
+	case *Simple:
+		if out, ok := memoized(dst, &tt.fp); ok {
+			return out
+		}
+		start, b0 := len(dst), st.backrefs
+		dst = append(dst, 'S')
+		dst = append(dst, tt.TypeName...)
+		if tt.Super != nil {
+			if st.entered(tt) {
+				st.backrefs++
+				return append(dst, '@') // cyclic hierarchy: back-reference
+			}
+			st.seen = append(st.seen, tt)
+			dst = append(dst, ':')
+			dst = st.walk(dst, tt.Super)
+			st.seen = st.seen[:len(st.seen)-1]
+		}
+		st.memoize(&tt.fp, dst, start, b0)
+		return dst
+	case *Parameter:
+		if out, ok := memoized(dst, &tt.fp); ok {
+			return out
+		}
+		start, b0 := len(dst), st.backrefs
+		dst = append(dst, 'P')
+		dst = append(dst, tt.Owner...)
+		dst = append(dst, '.')
+		dst = append(dst, tt.ParamName...)
+		if tt.Bound != nil {
+			if st.entered(tt) {
+				st.backrefs++
+				return append(dst, '@') // F-bounded: T : Comparable<T>
+			}
+			st.seen = append(st.seen, tt)
+			dst = append(dst, ':')
+			dst = st.walk(dst, tt.Bound)
+			st.seen = st.seen[:len(st.seen)-1]
+		}
+		st.memoize(&tt.fp, dst, start, b0)
+		return dst
+	case *Constructor:
+		return st.walkCtor(dst, tt)
+	case *App:
+		if out, ok := memoized(dst, &tt.fp); ok {
+			return out
+		}
+		start, b0 := len(dst), st.backrefs
+		dst = append(dst, 'A')
+		dst = st.walkCtor(dst, tt.Ctor)
+		dst = append(dst, '(')
+		for i, a := range tt.Args {
+			if i > 0 {
+				dst = append(dst, fpSep)
+			}
+			dst = st.walk(dst, a)
+		}
+		dst = append(dst, ')')
+		st.memoize(&tt.fp, dst, start, b0)
+		return dst
+	case *Projection:
+		if tt.Var == Covariant {
+			dst = append(dst, 'o')
+		} else {
+			dst = append(dst, 'i')
+		}
+		return st.walk(dst, tt.Bound)
+	case *Func:
+		dst = append(dst, 'F', '(')
+		for i, p := range tt.Params {
+			if i > 0 {
+				dst = append(dst, fpSep)
+			}
+			dst = st.walk(dst, p)
+		}
+		dst = append(dst, ')')
+		return st.walk(dst, tt.Ret)
+	case *Intersection:
+		dst = append(dst, 'X', '(')
+		for i, m := range tt.Members {
+			if i > 0 {
+				dst = append(dst, fpSep)
+			}
+			dst = st.walk(dst, m)
+		}
+		return append(dst, ')')
+	}
+	return append(dst, '?')
+}
+
+// walkCtor fingerprints a constructor: name, arity, per-parameter
+// declaration-site variances, and the declared supertype (which may
+// mention the constructor's own parameters).
+func (st *fpWalk) walkCtor(dst []byte, c *Constructor) []byte {
+	if out, ok := memoized(dst, &c.fp); ok {
+		return out
+	}
+	start, b0 := len(dst), st.backrefs
+	dst = append(dst, 'C')
+	dst = append(dst, c.TypeName...)
+	dst = append(dst, fpSep)
+	dst = strconv.AppendInt(dst, int64(len(c.Params)), 10)
+	for _, p := range c.Params {
+		switch p.Var {
+		case Covariant:
+			dst = append(dst, 'o')
+		case Contravariant:
+			dst = append(dst, 'i')
+		default:
+			dst = append(dst, '=')
+		}
+	}
+	if c.Super != nil {
+		if st.entered(c) {
+			st.backrefs++
+			return append(dst, '@')
+		}
+		st.seen = append(st.seen, c)
+		dst = append(dst, ':')
+		dst = st.walk(dst, c.Super)
+		st.seen = st.seen[:len(st.seen)-1]
+	}
+	st.memoize(&c.fp, dst, start, b0)
+	return dst
+}
+
+func fnv1a(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

@@ -87,6 +87,8 @@ type Simple struct {
 	Builtin bool
 	// Sealed (non-open) types cannot be extended; mirrors Kotlin's default.
 	Final bool
+
+	fp fpBox
 }
 
 // NewSimple returns a nominal type with the given name and supertype
@@ -115,6 +117,8 @@ type Parameter struct {
 	Bound Type
 	// Var is the declaration-site variance (Kotlin `out T` / `in T`).
 	Var Variance
+
+	fp fpBox
 }
 
 // NewParameter returns an unbounded, invariant type parameter.
@@ -159,6 +163,8 @@ type Constructor struct {
 	// Super is the declared supertype (may reference Params); nil means ⊤.
 	Super Type
 	Final bool
+
+	fp fpBox
 }
 
 // NewConstructor returns a type constructor over the given parameters.
@@ -199,6 +205,8 @@ func (c *Constructor) Apply(args ...Type) *App {
 type App struct {
 	Ctor *Constructor
 	Args []Type
+
+	fp fpBox
 }
 
 func (a *App) Name() string { return a.Ctor.TypeName }
@@ -342,6 +350,39 @@ func ContainsParameter(t Type, p *Parameter) bool {
 	case *Intersection:
 		for _, m := range tt.Members {
 			if ContainsParameter(m, p) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// HasFreeParameters reports whether any type parameter occurs in t. It is
+// the allocation-free fast path for the very common "is t ground?" check,
+// short-circuiting on the first parameter instead of collecting them all
+// like FreeParameters.
+func HasFreeParameters(t Type) bool {
+	switch tt := t.(type) {
+	case *Parameter:
+		return true
+	case *App:
+		for _, a := range tt.Args {
+			if HasFreeParameters(a) {
+				return true
+			}
+		}
+	case *Projection:
+		return HasFreeParameters(tt.Bound)
+	case *Func:
+		for _, a := range tt.Params {
+			if HasFreeParameters(a) {
+				return true
+			}
+		}
+		return HasFreeParameters(tt.Ret)
+	case *Intersection:
+		for _, m := range tt.Members {
+			if HasFreeParameters(m) {
 				return true
 			}
 		}

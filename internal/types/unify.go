@@ -34,7 +34,7 @@ func Unify(t1, t2 Type) *Substitution {
 // partially bound results re-check the conformance they need.)
 func groundVerified(sigma *Substitution, t1, t2 Type) bool {
 	inst := sigma.Apply(t1)
-	if len(FreeParameters(inst)) > 0 || len(FreeParameters(t2)) > 0 {
+	if HasFreeParameters(inst) || HasFreeParameters(t2) {
 		return true
 	}
 	return IsSubtype(inst, t2) || IsSubtype(t2, inst)
@@ -67,11 +67,16 @@ func unifyInto(t1, t2 Type, sigma *Substitution, checkBounds bool) bool {
 		sigma.Bind(p, target)
 		return true
 	}
-	if sigma.Apply(t1).Equal(t2) || IsSubtype(sigma.Apply(t1), t2) {
+	// Apply the accumulated substitution once; the instantiation is reused
+	// for the conformance probe, the groundness check, and — unless the
+	// supertype climbs below extended sigma — the ground fallback.
+	inst := sigma.Apply(t1)
+	bindings0 := sigma.Len()
+	if inst.Equal(t2) || IsSubtype(inst, t2) {
 		// Already conformant under the accumulated substitution; make
 		// sure remaining free parameters of t1 also get bound when the
 		// shapes line up, but structural success is enough here.
-		if len(FreeParameters(sigma.Apply(t1))) == 0 {
+		if !HasFreeParameters(inst) {
 			return true
 		}
 	}
@@ -79,7 +84,12 @@ func unifyInto(t1, t2 Type, sigma *Substitution, checkBounds bool) bool {
 	a1, ok1 := t1.(*App)
 	a2, ok2 := t2.(*App)
 	if ok1 && ok2 && a1.Ctor.Equal(a2.Ctor) {
-		// unify((Λα.t)t̄1, (Λα.t)t̄2): pointwise on arguments.
+		// unify((Λα.t)t̄1, (Λα.t)t̄2): pointwise on arguments. A malformed
+		// application with mismatched arity unifies with nothing.
+		n := len(a1.Ctor.Params)
+		if len(a1.Args) != n || len(a2.Args) != n {
+			return false
+		}
 		for i := range a1.Args {
 			if !unifyArg(a1.Args[i], a2.Args[i], sigma, checkBounds) {
 				return false
@@ -109,7 +119,12 @@ func unifyInto(t1, t2 Type, sigma *Substitution, checkBounds bool) bool {
 		}
 	}
 	// Ground fallback: no parameters left to bind, pure subtype check.
-	return IsSubtype(sigma.Apply(t1), t2)
+	// The failed climbs above may still have bound parameters (they bind
+	// before refuting); re-instantiate only in that case.
+	if sigma.Len() != bindings0 {
+		inst = sigma.Apply(t1)
+	}
+	return IsSubtype(inst, t2)
 }
 
 func unifyArg(a1, a2 Type, sigma *Substitution, checkBounds bool) bool {
@@ -123,7 +138,7 @@ func unifyArg(a1, a2 Type, sigma *Substitution, checkBounds bool) bool {
 		// equality: bind any parameters inside the bound structurally,
 		// otherwise accept when the concrete side is contained
 		// (t2 <: bound for `out`, bound <: t2 for `in`).
-		if len(FreeParameters(p1.Bound)) > 0 {
+		if HasFreeParameters(p1.Bound) {
 			return unifyInto(p1.Bound, a2, sigma, checkBounds)
 		}
 		if p1.Var == Covariant {
@@ -145,6 +160,10 @@ func unifyArg(a1, a2 Type, sigma *Substitution, checkBounds bool) bool {
 		}
 		if na1, ok := a1.(*App); ok {
 			if na2, ok2 := a2.(*App); ok2 && na1.Ctor.Equal(na2.Ctor) {
+				n := len(na1.Ctor.Params)
+				if len(na1.Args) != n || len(na2.Args) != n {
+					return false
+				}
 				for i := range na1.Args {
 					if !unifyArg(na1.Args[i], na2.Args[i], sigma, checkBounds) {
 						return false
@@ -163,7 +182,7 @@ func unifyArg(a1, a2 Type, sigma *Substitution, checkBounds bool) bool {
 // parameters, as in fun <T, K : T>).
 func boundAdmits(p *Parameter, t Type, sigma *Substitution) bool {
 	bound := sigma.Apply(p.UpperBound())
-	if len(FreeParameters(bound)) > 0 {
+	if HasFreeParameters(bound) {
 		// Bound still mentions unbound parameters; defer judgement.
 		return true
 	}
@@ -194,7 +213,7 @@ func UnifyPrime(t1, t2 Type) *Substitution {
 		}
 		return sigma
 	}
-	if a1.Ctor.Equal(a2.Ctor) {
+	if a1.Ctor.Equal(a2.Ctor) && sameArity(a1, a2) {
 		for i := range a1.Args {
 			recordDependency(a1.Args[i], a2.Args[i], a2.Ctor.Params[i], sigma)
 		}
@@ -203,7 +222,7 @@ func UnifyPrime(t1, t2 Type) *Substitution {
 	// Walk a2's supertype chain looking for a1's constructor, tracking the
 	// substituted arguments (class B<T> : A<T> relates B's T to A's).
 	for _, sup := range SuperChain(a2) {
-		if sa, ok := sup.(*App); ok && sa.Ctor.Equal(a1.Ctor) {
+		if sa, ok := sup.(*App); ok && sa.Ctor.Equal(a1.Ctor) && sameArity(sa, a1) {
 			for i := range sa.Args {
 				recordDependency(a1.Args[i], sa.Args[i], a1.Ctor.Params[i], sigma)
 			}
@@ -212,7 +231,7 @@ func UnifyPrime(t1, t2 Type) *Substitution {
 	}
 	// Or a1's chain for a2's constructor.
 	for _, sup := range SuperChain(a1) {
-		if sa, ok := sup.(*App); ok && sa.Ctor.Equal(a2.Ctor) {
+		if sa, ok := sup.(*App); ok && sa.Ctor.Equal(a2.Ctor) && sameArity(sa, a2) {
 			for i := range sa.Args {
 				recordDependency(sa.Args[i], a2.Args[i], a2.Ctor.Params[i], sigma)
 			}
@@ -220,6 +239,14 @@ func UnifyPrime(t1, t2 Type) *Substitution {
 		}
 	}
 	return sigma
+}
+
+// sameArity reports that both applications carry exactly as many arguments
+// as their (shared) constructor has parameters, so pointwise loops over
+// one side may index the other.
+func sameArity(a, b *App) bool {
+	n := len(a.Ctor.Params)
+	return len(a.Args) == n && len(b.Args) == n
 }
 
 // recordDependency maps the parameter on the "to" side to whatever stands
@@ -240,7 +267,7 @@ func recordDependency(from, to Type, fallback *Parameter, sigma *Substitution) {
 	// A<B<Int>> still records T ↦ Int.
 	fa, okf := from.(*App)
 	ta, okt := to.(*App)
-	if okf && okt && fa.Ctor.Equal(ta.Ctor) {
+	if okf && okt && fa.Ctor.Equal(ta.Ctor) && sameArity(fa, ta) {
 		for i := range fa.Args {
 			recordDependency(fa.Args[i], ta.Args[i], ta.Ctor.Params[i], sigma)
 		}
