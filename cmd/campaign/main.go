@@ -35,113 +35,83 @@
 // SIGINT/SIGTERM take a final snapshot and flush the partial figures
 // before the nonzero exit. The state dir also accumulates a persistent
 // bug corpus across campaigns.
+//
+// -report-json FILE writes the deterministic report document — the
+// same bytes the fuzzing server's report endpoint serves — so CI can
+// diff an in-process run against an HTTP-fetched one.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
-	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/cli"
 	"repro/internal/compilers"
 	"repro/internal/generator"
-	"repro/internal/harness"
-	"repro/internal/metrics"
 	"repro/internal/oracle"
 )
 
 func main() {
+	cfg := cli.NewConfig()
+	cfg.Programs = 400
 	fig := flag.String("fig", "all", "figure to reproduce: 7a, 7b, 7c, 8, 9, 10, all")
-	n := flag.Int("n", 400, "number of generated programs")
 	covN := flag.Int("covn", 150, "programs for the coverage experiments")
-	seed := flag.Int64("seed", 0, "base seed")
-	workers := flag.Int("workers", 0, "pipeline workers per stage (0 = GOMAXPROCS)")
-	stats := flag.Bool("stats", false, "print per-stage pipeline statistics")
-	timeout := flag.Duration("compile-timeout", 10*time.Second, "per-compile watchdog budget (0 disables)")
-	retries := flag.Int("retries", 2, "max retries for transient compile faults")
-	chaos := flag.Float64("chaos", 0, "inject seeded faults at this rate (0 disables; exercises the harness)")
-	state := flag.String("state", "", "state directory for durable campaigns (journal, snapshots, bug corpus)")
-	resume := flag.Bool("resume", false, "resume the campaign recorded in -state instead of starting fresh")
-	snapshotEvery := flag.Int("snapshot-every", 0, "units between report snapshots (0 = default cadence of 64; -1 disables snapshots)")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /events, and /debug/pprof on this address (e.g. 127.0.0.1:6060; :0 picks a free port)")
-	heartbeat := flag.Duration("heartbeat", 0, "print a one-line progress summary at this interval (0 disables)")
+	reportJSON := flag.String("report-json", "", "write the deterministic report document (JSON) to this file")
+	cfg.RegisterCampaignFlags(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	var reg *metrics.Registry
-	var trace *metrics.Trace
-	if *debugAddr != "" || *heartbeat > 0 {
-		reg = metrics.NewRegistry()
-		trace = metrics.NewTrace(4096)
+	obs, err := cfg.StartObservability(os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	if *debugAddr != "" {
-		srv, err := metrics.Serve(*debugAddr, reg, trace)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
-			os.Exit(1)
-		}
-		defer srv.Close()
-		fmt.Printf("debug server listening on http://%s\n", srv.Addr())
-	}
-
-	harnessOpts := harness.Options{
-		Timeout:          *timeout,
-		Retries:          *retries,
-		Seed:             *seed,
-		BreakerThreshold: 10,
-	}
-	var chaosOpts *harness.ChaosOptions
-	if *chaos > 0 {
-		chaosOpts = &harness.ChaosOptions{
-			Seed:          *seed,
-			PanicRate:     *chaos,
-			HangRate:      *chaos,
-			TransientRate: *chaos,
-			FlakyRate:     *chaos,
-		}
-		harnessOpts.DoubleCompile = true
-	}
+	defer obs.Close()
 
 	needCampaign := map[string]bool{"7a": true, "7b": true, "7c": true, "8": true, "all": true}[*fig]
 	var report *campaign.Report
 	if needCampaign {
-		fmt.Printf("running campaign: %d programs + mutants against groovyc, kotlinc, javac...\n\n", *n)
-		stopBeat := campaign.StartHeartbeat(os.Stderr, reg, *heartbeat, *n)
-		var err error
-		report, err = campaign.RunContext(ctx, campaign.Options{
-			Seed:          *seed,
-			Programs:      *n,
-			BatchSize:     20,
-			Workers:       *workers,
-			GenConfig:     generator.DefaultConfig(),
-			Mutate:        true,
-			Harness:       harnessOpts,
-			Chaos:         chaosOpts,
-			StateDir:      *state,
-			Resume:        *resume,
-			SnapshotEvery: *snapshotEvery,
-			Metrics:       reg,
-			Trace:         trace,
-		})
+		opts, err := cfg.CampaignOptions()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		opts.Metrics = obs.Registry
+		opts.Trace = obs.Trace
+
+		fmt.Printf("running campaign: %d programs + mutants against groovyc, kotlinc, javac...\n\n", cfg.Programs)
+		c := campaign.New(opts)
+		stopBeat := campaign.StartHeartbeat(os.Stderr, c.Status, cfg.Heartbeat)
+		if err := c.Start(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+			os.Exit(1)
+		}
+		report, err = c.Wait()
 		stopBeat()
 		printRecovery(report)
+		writeReportDoc(report, *reportJSON)
 		if err != nil {
 			// The partial report is still a valid (if truncated) fold:
 			// flush the figures and stats it supports — a durable run
 			// has also just snapshotted this exact state for -resume —
 			// before signalling the incomplete run.
 			fmt.Fprintf(os.Stderr, "campaign aborted: %v\n", err)
+			if report == nil {
+				os.Exit(1)
+			}
 			fmt.Fprintf(os.Stderr, "partial report: %d distinct bugs over %d generated programs\n",
 				report.TotalFound(), report.ProgramsRun[oracle.Generated])
-			flushPartial(report, *fig, *stats)
-			if *state != "" {
-				fmt.Fprintf(os.Stderr, "state saved; resume with -state %s -resume\n", *state)
+			flushPartial(report, *fig, cfg.Stats)
+			if cfg.StateDir != "" {
+				fmt.Fprintf(os.Stderr, "state saved; resume with -state %s -resume\n", cfg.StateDir)
 			}
 			os.Exit(1)
 		}
@@ -150,7 +120,7 @@ func main() {
 			fmt.Println(report.Faults)
 		}
 		printCorpus(report)
-		if *stats {
+		if cfg.Stats {
 			fmt.Println("pipeline stages:")
 			fmt.Println(report.Stats)
 		}
@@ -183,13 +153,13 @@ func main() {
 	if show("9") {
 		fmt.Println("Figure 9: coverage increase by TEM and TOM (RQ3)")
 		for _, c := range compilers.All() {
-			cov, err := campaign.RunMutationCoverageContext(ctx, c, *covN, *seed, generator.DefaultConfig(), *workers)
+			cov, err := campaign.RunMutationCoverageContext(ctx, c, *covN, cfg.Seed, generator.DefaultConfig(), cfg.Workers)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "coverage experiment aborted: %v\n", err)
 				os.Exit(1)
 			}
 			fmt.Println(cov)
-			if *stats {
+			if cfg.Stats {
 				fmt.Println("pipeline stages:")
 				fmt.Println(cov.Stats)
 			}
@@ -198,13 +168,13 @@ func main() {
 	if show("10") {
 		fmt.Println("Figure 10: test-suite coverage plus random programs (RQ4)")
 		for _, c := range compilers.All() {
-			cov, err := campaign.RunSuiteCoverageContext(ctx, c, *covN, *seed+5000, generator.DefaultConfig(), *workers)
+			cov, err := campaign.RunSuiteCoverageContext(ctx, c, *covN, cfg.Seed+5000, generator.DefaultConfig(), cfg.Workers)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "coverage experiment aborted: %v\n", err)
 				os.Exit(1)
 			}
 			fmt.Println(cov)
-			if *stats {
+			if cfg.Stats {
 				fmt.Println("pipeline stages:")
 				fmt.Println(cov.Stats)
 			}
@@ -212,6 +182,29 @@ func main() {
 	}
 	if report != nil && *fig == "all" {
 		fmt.Println(report.VerdictSummary())
+	}
+}
+
+// writeReportDoc writes the deterministic report document, encoded
+// exactly as the fuzzing server's report endpoint encodes it, so the
+// two are diffable byte for byte.
+func writeReportDoc(report *campaign.Report, path string) {
+	if path == "" || report == nil {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "report-json: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report.Doc()); err == nil {
+		err = f.Close()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "report-json: %v\n", err)
+		os.Exit(1)
 	}
 }
 

@@ -24,13 +24,11 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
-	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/cli"
 	"repro/internal/core"
-	"repro/internal/harness"
 	"repro/internal/ir"
-	"repro/internal/metrics"
 	"repro/internal/oracle"
 	"repro/internal/typegraph"
 	"repro/internal/types"
@@ -43,66 +41,35 @@ func main() {
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
-	seed := fs.Int64("seed", 0, "generation seed")
+	cfg := cli.NewConfig()
+	cfg.Programs = 100
 	lang := fs.String("lang", "ir", "output language: ir, java, kotlin, groovy")
-	n := fs.Int("n", 100, "number of programs for fuzzing")
-	workers := fs.Int("workers", 0, "pipeline workers per stage (0 = GOMAXPROCS)")
-	stats := fs.Bool("stats", false, "print per-stage pipeline statistics after fuzzing")
-	timeout := fs.Duration("compile-timeout", 10*time.Second, "per-compile watchdog budget (0 disables)")
-	retries := fs.Int("retries", 2, "max retries for transient compile faults")
-	chaos := fs.Float64("chaos", 0, "inject seeded faults at this rate (0 disables; exercises the harness)")
-	state := fs.String("state", "", "state directory for durable fuzzing (journal, snapshots, bug corpus)")
-	resume := fs.Bool("resume", false, "resume the campaign recorded in -state instead of starting fresh")
-	snapshotEvery := fs.Int("snapshot-every", 0, "units between report snapshots (0 = default cadence of 64; -1 disables snapshots)")
-	debugAddr := fs.String("debug-addr", "", "serve /metrics, /events, and /debug/pprof on this address (e.g. 127.0.0.1:6060; :0 picks a free port)")
-	heartbeat := fs.Duration("heartbeat", 0, "print a one-line progress summary at this interval (0 disables)")
+	cfg.RegisterCampaignFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
 	}
 
-	cfg := core.Config{
-		Seed:    *seed,
-		Workers: *workers,
-		Harness: harness.Options{
-			Timeout:          *timeout,
-			Retries:          *retries,
-			Seed:             *seed,
-			BreakerThreshold: 10,
-		},
-		StateDir:      *state,
-		Resume:        *resume,
-		SnapshotEvery: *snapshotEvery,
+	coreCfg, err := cfg.CoreConfig()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
-	if *debugAddr != "" || *heartbeat > 0 {
-		cfg.Metrics = metrics.NewRegistry()
-		cfg.Trace = metrics.NewTrace(4096)
+	obs, err := cfg.StartObservability(os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	if *debugAddr != "" {
-		srv, err := metrics.Serve(*debugAddr, cfg.Metrics, cfg.Trace)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
-			os.Exit(1)
-		}
-		defer srv.Close()
-		fmt.Printf("debug server listening on http://%s\n", srv.Addr())
-	}
-	if *chaos > 0 {
-		cfg.Chaos = &harness.ChaosOptions{
-			Seed:          *seed,
-			PanicRate:     *chaos,
-			HangRate:      *chaos,
-			TransientRate: *chaos,
-			FlakyRate:     *chaos,
-		}
-		cfg.Harness.DoubleCompile = true
-	}
-	h := core.New(cfg)
+	defer obs.Close()
+	coreCfg.Metrics = obs.Registry
+	coreCfg.Trace = obs.Trace
+
+	h := core.New(coreCfg)
 	switch cmd {
 	case "generate":
-		tc := h.GenerateTestCaseSeed(*seed)
+		tc := h.GenerateTestCaseSeed(cfg.Seed)
 		emit(h, tc.Program, *lang)
 	case "mutate":
-		tc := h.GenerateTestCaseSeed(*seed)
+		tc := h.GenerateTestCaseSeed(cfg.Seed)
 		fmt.Println("== original ==")
 		emit(h, tc.Program, *lang)
 		if tc.TEM != nil {
@@ -131,14 +98,20 @@ func main() {
 			fmt.Fprintln(os.Stderr, "translate needs -lang java|kotlin|groovy")
 			os.Exit(2)
 		}
-		tc := h.GenerateTestCaseSeed(*seed)
+		tc := h.GenerateTestCaseSeed(cfg.Seed)
 		emit(h, tc.Program, *lang)
 	case "fuzz":
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 		defer stop()
-		stopBeat := campaign.StartHeartbeat(os.Stderr, cfg.Metrics, *heartbeat, *n)
-		findings, report, err := h.FuzzContext(ctx, *n)
+		c := h.FuzzCampaign(cfg.Programs)
+		stopBeat := campaign.StartHeartbeat(os.Stderr, c.Status, cfg.Heartbeat)
+		if err := c.Start(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "campaign: %v\n", err)
+			os.Exit(1)
+		}
+		report, err := c.Wait()
 		stopBeat()
+		findings := core.Findings(report)
 		if report != nil && report.Recovery.Resumed {
 			fmt.Printf("resumed: %d units restored (%d from snapshot prefix, %d journal records replayed)\n\n",
 				report.Recovery.Recovered, report.Recovery.SnapshotSeq, report.Recovery.Replayed)
@@ -149,6 +122,9 @@ func main() {
 			// signal the incomplete campaign through the exit code. A
 			// durable run has also just snapshotted this state.
 			fmt.Fprintf(os.Stderr, "campaign aborted: %v\n", err)
+			if report == nil {
+				os.Exit(1)
+			}
 			fmt.Fprintf(os.Stderr, "partial report: %d distinct bugs before the abort\n", len(findings))
 			for _, f := range findings {
 				fmt.Printf("  %-22s %-8s %-6s found by %-9s (seed %d)\n",
@@ -158,17 +134,17 @@ func main() {
 			if report.Faults.Faults() {
 				fmt.Println(report.Faults)
 			}
-			if *stats && report.Stats != nil {
+			if cfg.Stats && report.Stats != nil {
 				fmt.Println("pipeline stages:")
 				fmt.Println(report.Stats)
 			}
-			if *state != "" {
-				fmt.Fprintf(os.Stderr, "state saved; resume with -state %s -resume\n", *state)
+			if cfg.StateDir != "" {
+				fmt.Fprintf(os.Stderr, "state saved; resume with -state %s -resume\n", cfg.StateDir)
 			}
 			os.Exit(1)
 		}
 		fmt.Printf("campaign: %d programs (plus mutants), %d distinct bugs\n\n",
-			*n, len(findings))
+			cfg.Programs, len(findings))
 		for _, f := range findings {
 			fmt.Printf("  %-22s %-8s %-6s found by %-9s (seed %d)\n",
 				f.BugID, f.Compiler, f.Symptom, f.Technique, f.FirstSeed)
@@ -182,25 +158,25 @@ func main() {
 			fmt.Printf("bug corpus: %d distinct bugs over %d campaigns\n",
 				len(report.Corpus.Bugs), report.Corpus.Campaigns)
 		}
-		if *stats {
+		if cfg.Stats {
 			fmt.Println("pipeline stages:")
 			fmt.Println(report.Stats)
 		}
 	case "reduce":
-		tc := h.GenerateTestCaseSeed(*seed)
+		tc := h.GenerateTestCaseSeed(cfg.Seed)
 		comp := h.Compilers()[0]
 		verdict, res := h.Judge(oracle.Generated, comp, tc.Program)
 		if verdict == oracle.Pass || len(res.Triggered) == 0 {
-			fmt.Printf("seed %d triggers no %s bug; try another seed\n", *seed, comp.Name())
+			fmt.Printf("seed %d triggers no %s bug; try another seed\n", cfg.Seed, comp.Name())
 			return
 		}
 		bug := res.Triggered[0]
-		fmt.Printf("reducing seed %d for %s (%d nodes)...\n", *seed, bug.ID, ir.CountNodes(tc.Program))
+		fmt.Printf("reducing seed %d for %s (%d nodes)...\n", cfg.Seed, bug.ID, ir.CountNodes(tc.Program))
 		reduced := h.ReduceFor(tc.Program, comp, bug.ID)
 		fmt.Printf("reduced to %d nodes:\n\n", ir.CountNodes(reduced))
 		emit(h, reduced, *lang)
 	case "typegraph":
-		tc := h.GenerateTestCaseSeed(*seed)
+		tc := h.GenerateTestCaseSeed(cfg.Seed)
 		a := typegraph.Analyze(tc.Program, types.NewBuiltins())
 		for name, g := range a.BuildAll() {
 			fmt.Printf("// method %s (%d nodes, %d edges, %d candidates)\n",

@@ -13,6 +13,7 @@ package campaign
 import (
 	"context"
 	"sort"
+	"sync"
 
 	"repro/internal/bugs"
 	"repro/internal/compilers"
@@ -81,6 +82,15 @@ type Options struct {
 	// Trace, when set, receives structured events (verdicts, retries,
 	// faults, breaker transitions, chaos injections). Observation only.
 	Trace *metrics.Trace
+	// Gate, when set, is called on the source goroutine before each new
+	// unit enters the pipeline; blocking in it stalls the feed channel
+	// and backpressures every bounded stage channel behind it. This is
+	// the admission-control hook the multi-tenant server hangs its
+	// per-tenant rate limits on. A Gate error ends the source (the run
+	// finishes early via its context). Units restored by a resume are
+	// not gated. Scheduling only — a Gate must not vary what the
+	// campaign computes — so it is excluded from the fingerprint.
+	Gate func(ctx context.Context) error
 }
 
 // DefaultOptions returns a small but representative campaign.
@@ -256,6 +266,8 @@ func (r *Report) BugRateSeries() []SeriesPoint {
 // deterministic for fixed options, regardless of worker count. A run
 // cut short (cancellation, stage failure) is not silently complete: the
 // report carries the error in Err and Complete() returns false.
+//
+// Run is a shim over the lifecycle API: New + Start + Wait.
 func Run(opts Options) *Report {
 	report, _ := RunContext(context.Background(), opts)
 	return report
@@ -265,12 +277,33 @@ func Run(opts Options) *Report {
 // returns promptly with the context's error and the (partial) report
 // aggregated so far; a nil error means the report is complete and
 // deterministic for the options, regardless of worker count.
+//
+// RunContext is a shim over the lifecycle API: New + Start + Wait.
 func RunContext(ctx context.Context, opts Options) (*Report, error) {
-	if opts.Compilers == nil {
-		opts.Compilers = compilers.All()
+	c := New(opts)
+	if err := c.Start(ctx); err != nil {
+		return nil, err
 	}
-	if opts.BatchSize <= 0 {
-		opts.BatchSize = 1
+	return c.Wait()
+}
+
+// fuzzPlan is the standard fuzzing campaign behind the lifecycle: the
+// body RunContext used to be, run once per segment. A resume segment
+// (after Pause, or Options.Resume) restores the snapshot+journal first
+// and skips restored units, so every segment folds exactly the units
+// no earlier segment did.
+type fuzzPlan struct{}
+
+func (fuzzPlan) name() string { return "campaign" }
+
+func (fuzzPlan) pausable(c *Campaign) bool { return c.opts.StateDir != "" }
+
+func (fuzzPlan) run(ctx context.Context, c *Campaign, resume bool) error {
+	opts := c.opts
+	if resume {
+		// A post-Pause segment continues the state directory this
+		// campaign suspended into, whatever the original Resume flag.
+		opts.Resume = true
 	}
 
 	report := &Report{
@@ -285,6 +318,7 @@ func RunContext(ctx context.Context, opts Options) (*Report, error) {
 		report:   report,
 		bugIndex: bugIndexFor(opts.Compilers),
 		obs:      newObserver(opts.Metrics, opts.Trace),
+		mu:       &c.fold,
 	}
 
 	stages := []pipeline.Stage{&pipeline.Generate{Config: opts.GenConfig}}
@@ -302,8 +336,8 @@ func RunContext(ctx context.Context, opts Options) (*Report, error) {
 	h := harness.New(hopts)
 	var targets []harness.Target
 	if opts.Chaos != nil {
-		for _, c := range opts.Compilers {
-			targets = append(targets, harness.NewChaos(*opts.Chaos, harness.WrapCompiler(c)).WithTrace(opts.Trace))
+		for _, comp := range opts.Compilers {
+			targets = append(targets, harness.NewChaos(*opts.Chaos, harness.WrapCompiler(comp)).WithTrace(opts.Trace))
 		}
 	}
 	stages = append(stages,
@@ -315,11 +349,13 @@ func RunContext(ctx context.Context, opts Options) (*Report, error) {
 	state, err := openState(opts, report, agg, h)
 	if err != nil {
 		report.Err = err
-		return report, err
+		c.publish(report, nil, nil)
+		return err
 	}
 	// Fold restored state into the live instruments so a resumed run's
 	// metrics continue from where the killed run's left off.
 	agg.obs.prime(report)
+	c.publish(report, h, state)
 
 	p := &pipeline.Pipeline{
 		Source:     pipeline.NewGeneratorSource(opts.Seed, opts.Programs),
@@ -332,11 +368,18 @@ func RunContext(ctx context.Context, opts Options) (*Report, error) {
 	if state != nil {
 		p.Source = &pipeline.SkipSource{Inner: p.Source, Done: state.isDone}
 		p.AfterAggregate = func(u *pipeline.Unit) error {
+			c.fold.Lock()
+			defer c.fold.Unlock()
 			return state.afterUnit(report, agg, u, h)
 		}
 	}
+	if opts.Gate != nil {
+		p.Source = &gatedSource{inner: p.Source, ctx: ctx, gate: opts.Gate}
+	}
 
 	stats, err := p.Run(ctx)
+	c.fold.Lock()
+	defer c.fold.Unlock()
 	report.Stats = stats
 	report.Batches = (opts.Programs + opts.BatchSize - 1) / opts.BatchSize
 	if state != nil {
@@ -345,7 +388,7 @@ func RunContext(ctx context.Context, opts Options) (*Report, error) {
 		}
 	}
 	report.Err = err
-	return report, err
+	return err
 }
 
 // reportAggregator folds finished pipeline units into a Report. The
@@ -365,6 +408,9 @@ type reportAggregator struct {
 	// last is the record for the most recently folded unit, stashed for
 	// the journaling hook that runs next on the same goroutine.
 	last *unitRecord
+	// mu, when set, is the campaign's fold lock: Aggregate takes its
+	// write side so Status readers see the report only between units.
+	mu *sync.RWMutex
 }
 
 // Name implements pipeline.Aggregator.
@@ -372,6 +418,10 @@ func (a *reportAggregator) Name() string { return "aggregate" }
 
 // Aggregate implements pipeline.Aggregator.
 func (a *reportAggregator) Aggregate(u *pipeline.Unit) {
+	if a.mu != nil {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+	}
 	a.last = nil
 	if u.Recovered {
 		return // folded by a previous run; restored before the pipeline started

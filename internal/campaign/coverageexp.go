@@ -61,7 +61,37 @@ func RunMutationCoverage(c *compilers.Compiler, programs int, seed int64, cfg ge
 // and an explicit per-stage worker count (0 means GOMAXPROCS). The
 // reported quantities are distinct-site counts, so they are
 // deterministic regardless of worker interleaving.
+//
+// A shim over the lifecycle API: the experiment is a campaign plan.
 func RunMutationCoverageContext(ctx context.Context, c *compilers.Compiler, programs int, seed int64, cfg generator.Config, workers int) (*MutationCoverage, error) {
+	plan := &mutationCoveragePlan{compiler: c, cfg: cfg}
+	camp := newCampaign(Options{
+		Seed: seed, Programs: programs, Workers: workers,
+		GenConfig: cfg, Compilers: []*compilers.Compiler{c},
+	}, plan)
+	if err := camp.Start(ctx); err != nil {
+		return nil, err
+	}
+	if _, err := camp.Wait(); err != nil {
+		return nil, err
+	}
+	return plan.out, nil
+}
+
+// mutationCoveragePlan is the Figure 9 experiment behind the lifecycle.
+// Coverage collectors accumulate as stage side effects, so the plan is
+// not pausable — there is no journaled fold to suspend into.
+type mutationCoveragePlan struct {
+	compiler *compilers.Compiler
+	cfg      generator.Config
+	out      *MutationCoverage
+}
+
+func (p *mutationCoveragePlan) name() string { return "mutation-coverage" }
+
+func (p *mutationCoveragePlan) pausable(*Campaign) bool { return false }
+
+func (p *mutationCoveragePlan) run(ctx context.Context, c *Campaign, _ bool) error {
 	covGen := coverage.NewCollector()
 	covTEM := coverage.NewCollector()
 	covTOM := coverage.NewCollector()
@@ -71,23 +101,23 @@ func RunMutationCoverageContext(ctx context.Context, c *compilers.Compiler, prog
 		oracle.TOMMutant: covTOM,
 	}
 
-	p := &pipeline.Pipeline{
-		Source: pipeline.NewGeneratorSource(seed, programs),
+	pl := &pipeline.Pipeline{
+		Source: pipeline.NewGeneratorSource(c.opts.Seed, c.opts.Programs),
 		Stages: []pipeline.Stage{
-			&pipeline.Generate{Config: cfg},
+			&pipeline.Generate{Config: p.cfg},
 			&pipeline.Mutate{TEM: true, TOM: true},
 			&pipeline.Execute{
-				Compilers: []*compilers.Compiler{c},
+				Compilers: []*compilers.Compiler{p.compiler},
 				Coverage:  func(kind oracle.InputKind) coverage.Recorder { return byKind[kind] },
 			},
 			pipeline.Judge{},
 		},
 		Aggregator: pipeline.Discard{},
-		Workers:    workers,
+		Workers:    c.opts.Workers,
 	}
-	stats, err := p.Run(ctx)
+	stats, err := pl.Run(ctx)
 	if err != nil {
-		return nil, err
+		return err
 	}
 
 	universe := covGen.Clone()
@@ -95,8 +125,8 @@ func RunMutationCoverageContext(ctx context.Context, c *compilers.Compiler, prog
 	universe.Merge(covTOM)
 
 	out := &MutationCoverage{
-		Compiler:    c.Name(),
-		Programs:    programs,
+		Compiler:    p.compiler.Name(),
+		Programs:    c.opts.Programs,
 		TEMDelta:    covTEM.NewSites(covGen),
 		TOMDelta:    covTOM.NewSites(covGen),
 		TEMByRegion: map[string]coverage.Delta{},
@@ -105,9 +135,10 @@ func RunMutationCoverageContext(ctx context.Context, c *compilers.Compiler, prog
 	out.GenLine, out.GenFunc, out.GenBranch = covGen.Percent(universe)
 	for _, region := range covTEM.Regions() {
 		d := covTEM.NewSitesIn(covGen, region)
-		out.TEMByRegion[c.PackageFor(region)] = d
+		out.TEMByRegion[p.compiler.PackageFor(region)] = d
 	}
-	return out, nil
+	p.out = out
+	return nil
 }
 
 // SuiteCoverage is the Figure 10 experiment for one compiler: the
@@ -154,53 +185,85 @@ func RunSuiteCoverage(c *compilers.Compiler, random int, seed int64, cfg generat
 // RunSuiteCoverageContext is RunSuiteCoverage with cancellation and an
 // explicit per-stage worker count: one pipeline replays the compiler's
 // test suite, a second streams random programs on top.
+//
+// A shim over the lifecycle API: the experiment is a campaign plan.
 func RunSuiteCoverageContext(ctx context.Context, c *compilers.Compiler, random int, seed int64, cfg generator.Config, workers int) (*SuiteCoverage, error) {
+	plan := &suiteCoveragePlan{compiler: c, cfg: cfg}
+	camp := newCampaign(Options{
+		Seed: seed, Programs: random, Workers: workers,
+		GenConfig: cfg, Compilers: []*compilers.Compiler{c},
+	}, plan)
+	if err := camp.Start(ctx); err != nil {
+		return nil, err
+	}
+	if _, err := camp.Wait(); err != nil {
+		return nil, err
+	}
+	return plan.out, nil
+}
+
+// suiteCoveragePlan is the Figure 10 experiment behind the lifecycle:
+// one pipeline replays the compiler's test suite, a second streams
+// random programs on top. Not pausable — coverage accumulates as stage
+// side effects with no journaled fold.
+type suiteCoveragePlan struct {
+	compiler *compilers.Compiler
+	cfg      generator.Config
+	out      *SuiteCoverage
+}
+
+func (p *suiteCoveragePlan) name() string { return "suite-coverage" }
+
+func (p *suiteCoveragePlan) pausable(*Campaign) bool { return false }
+
+func (p *suiteCoveragePlan) run(ctx context.Context, c *Campaign, _ bool) error {
 	// Both pipelines share one Stats: each Run opens its own scope, so
 	// the suite replay and the random top-up report side by side instead
 	// of folding into the same per-stage buckets.
 	stats := pipeline.NewStats()
 	covSuite := coverage.NewCollector()
 	suite := &pipeline.Pipeline{
-		Source: pipeline.NewProgramSource(oracle.Suite, corpus.TestSuite(c.Name())),
+		Source: pipeline.NewProgramSource(oracle.Suite, corpus.TestSuite(p.compiler.Name())),
 		Stages: []pipeline.Stage{
-			&pipeline.Generate{Config: cfg},
+			&pipeline.Generate{Config: p.cfg},
 			&pipeline.Execute{
-				Compilers: []*compilers.Compiler{c},
+				Compilers: []*compilers.Compiler{p.compiler},
 				Coverage:  func(oracle.InputKind) coverage.Recorder { return covSuite },
 			},
 			pipeline.Judge{},
 		},
 		Aggregator: pipeline.Discard{},
-		Workers:    workers,
+		Workers:    c.opts.Workers,
 		Stats:      stats,
 		Label:      "suite",
 	}
 	if _, err := suite.Run(ctx); err != nil {
-		return nil, err
+		return err
 	}
 
 	covBoth := covSuite.Clone()
 	randomRun := &pipeline.Pipeline{
-		Source: pipeline.NewGeneratorSource(seed, random),
+		Source: pipeline.NewGeneratorSource(c.opts.Seed, c.opts.Programs),
 		Stages: []pipeline.Stage{
-			&pipeline.Generate{Config: cfg},
+			&pipeline.Generate{Config: p.cfg},
 			&pipeline.Execute{
-				Compilers: []*compilers.Compiler{c},
+				Compilers: []*compilers.Compiler{p.compiler},
 				Coverage:  func(oracle.InputKind) coverage.Recorder { return covBoth },
 			},
 			pipeline.Judge{},
 		},
 		Aggregator: pipeline.Discard{},
-		Workers:    workers,
+		Workers:    c.opts.Workers,
 		Stats:      stats,
 		Label:      "random",
 	}
 	if _, err := randomRun.Run(ctx); err != nil {
-		return nil, err
+		return err
 	}
 
-	out := &SuiteCoverage{Compiler: c.Name(), Random: random, Stats: stats}
+	out := &SuiteCoverage{Compiler: p.compiler.Name(), Random: c.opts.Programs, Stats: stats}
 	out.SuiteLine, out.SuiteFunc, out.SuiteBranch = covSuite.Percent(covBoth)
 	out.BothLine, out.BothFunc, out.BothBranch = covBoth.Percent(covBoth)
-	return out, nil
+	p.out = out
+	return nil
 }

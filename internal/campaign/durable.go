@@ -146,10 +146,39 @@ type CorpusEntry struct {
 
 // Corpus is the persistent bug-dedup corpus: every distinct bug any
 // campaign run against this state directory has found. It survives
-// Reset — separate campaigns accumulate into it.
+// Reset — separate campaigns accumulate into it. The multi-tenant
+// server keeps one Corpus across every hosted campaign the same way.
 type Corpus struct {
 	Campaigns int                     `json:"campaigns"`
 	Bugs      map[string]*CorpusEntry `json:"bugs"`
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{Bugs: map[string]*CorpusEntry{}}
+}
+
+// MergeReport folds one completed campaign's found bugs into the
+// corpus. The fold is a union — FirstSeed min-updates, hits and
+// campaign counts sum — so merge order across campaigns does not
+// matter.
+func (c *Corpus) MergeReport(report *Report) {
+	c.Campaigns++
+	if c.Bugs == nil {
+		c.Bugs = map[string]*CorpusEntry{}
+	}
+	for id, rec := range report.Found {
+		e := c.Bugs[id]
+		if e == nil {
+			e = &CorpusEntry{Compiler: rec.Bug.Compiler, FirstSeed: rec.FirstSeed}
+			c.Bugs[id] = e
+		} else if rec.FirstSeed < e.FirstSeed {
+			e.FirstSeed = rec.FirstSeed
+		}
+		e.Hits += rec.Hits
+		e.Campaigns++
+		e.FoundBy = unionKinds(e.FoundBy, rec.FoundBy)
+	}
 }
 
 // RecoveryInfo describes what a resumed run restored from disk.
@@ -485,19 +514,7 @@ func (st *durableState) mergeCorpus(corpus *Corpus, report *Report) error {
 	if meta.Merged {
 		return nil
 	}
-	corpus.Campaigns++
-	for id, rec := range report.Found {
-		e := corpus.Bugs[id]
-		if e == nil {
-			e = &CorpusEntry{Compiler: rec.Bug.Compiler, FirstSeed: rec.FirstSeed}
-			corpus.Bugs[id] = e
-		} else if rec.FirstSeed < e.FirstSeed {
-			e.FirstSeed = rec.FirstSeed
-		}
-		e.Hits += rec.Hits
-		e.Campaigns++
-		e.FoundBy = unionKinds(e.FoundBy, rec.FoundBy)
-	}
+	corpus.MergeReport(report)
 	payload, err := json.Marshal(corpus)
 	if err != nil {
 		return err

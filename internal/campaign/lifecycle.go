@@ -1,0 +1,436 @@
+// The campaign lifecycle: a Campaign is a long-lived object with a
+// real state machine — New → Start → (Pause ⇄ Resume)* → Done — rather
+// than a run-to-completion function call. Pause and resume ride the
+// durable journal+snapshot machinery: pausing cancels the running
+// pipeline segment and lets the durable layer take its final snapshot,
+// so a paused campaign is exactly a crash-suspended one, and resuming
+// replays state through the same restore path a crash recovery uses.
+// The determinism contract is therefore inherited, not re-proven: a
+// campaign paused and resumed any number of times folds to the
+// bit-for-bit report of an uninterrupted run.
+//
+// Status() is the race-safe live view: any goroutine may poll it while
+// the pipeline folds units. The fold takes a write lock per unit (two
+// short critical sections around work that includes whole-program
+// compiles, so the cost disappears in the noise); Status takes a read
+// lock and deep-copies what it returns.
+
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/compilers"
+	"repro/internal/harness"
+	"repro/internal/journal"
+	"repro/internal/pipeline"
+)
+
+// State is a campaign's lifecycle position.
+type State int32
+
+const (
+	// StateNew: constructed, not yet started.
+	StateNew State = iota
+	// StateRunning: a pipeline segment is executing.
+	StateRunning
+	// StatePausing: Pause was requested; the segment is draining to its
+	// final snapshot.
+	StatePausing
+	// StatePaused: durably suspended; Resume continues it, Cancel ends
+	// it. The state directory alone can also resume it in a new process.
+	StatePaused
+	// StateDone: completed; the report is final and Complete().
+	StateDone
+	// StateCancelled: ended early by Cancel or context cancellation; the
+	// report is a partial fold with Complete() == false.
+	StateCancelled
+	// StateFailed: ended by a non-cancellation error (corrupt state
+	// directory, stage failure).
+	StateFailed
+)
+
+// String renders the state for logs and the HTTP API.
+func (s State) String() string {
+	switch s {
+	case StateNew:
+		return "new"
+	case StateRunning:
+		return "running"
+	case StatePausing:
+		return "pausing"
+	case StatePaused:
+		return "paused"
+	case StateDone:
+		return "done"
+	case StateCancelled:
+		return "cancelled"
+	case StateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// Terminal reports whether the state is final: no segment will run
+// again and Wait has unblocked.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateCancelled || s == StateFailed
+}
+
+// MarshalJSON renders the state name, so API payloads say "paused"
+// rather than 3.
+func (s State) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// ErrNotPausable is returned by Pause for campaigns without a state
+// directory: suspension is durable by construction, so there is
+// nothing to pause into.
+var ErrNotPausable = errors.New("campaign: pause requires a durable campaign (Options.StateDir)")
+
+// plan is one campaign flavor behind the shared lifecycle: the
+// standard fuzzing campaign, or one of the coverage experiments. run
+// executes a single segment — from start (or resume) until completion
+// or ctx cancellation — and must publish its observable state through
+// the Campaign as it goes.
+type plan interface {
+	name() string
+	run(ctx context.Context, c *Campaign, resume bool) error
+	pausable(c *Campaign) bool
+}
+
+// Campaign is a lifecycle-managed campaign. Construct with New (or
+// NewMutationCoverage / NewSuiteCoverage), drive with Start, Pause,
+// Resume, Cancel, and Wait, and observe with Status from any
+// goroutine. The zero value is not usable.
+type Campaign struct {
+	opts Options
+	plan plan
+
+	// mu guards the state machine; fold guards the report contents
+	// while a segment is writing them. Lock order: mu is never held
+	// while acquiring fold's write side, and Status releases mu before
+	// taking fold's read side, so the two never nest writer-inside-
+	// writer across goroutines.
+	mu        sync.Mutex
+	state     State
+	baseCtx   context.Context
+	cancelSeg context.CancelFunc
+	segDone   chan struct{}
+	pauseReq  bool
+	cancelReq bool
+	report    *Report
+	h         *harness.Harness
+	st        *durableState
+	err       error
+	done      chan struct{}
+
+	fold sync.RWMutex
+}
+
+// New returns an unstarted campaign for the options. The options are
+// normalized once here (nil Compilers means all three, BatchSize is
+// clamped), so every segment and the durable fingerprint agree on what
+// the campaign is.
+func New(opts Options) *Campaign {
+	return newCampaign(opts, fuzzPlan{})
+}
+
+func newCampaign(opts Options, p plan) *Campaign {
+	if opts.Compilers == nil {
+		opts.Compilers = compilers.All()
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 1
+	}
+	return &Campaign{opts: opts, plan: p, done: make(chan struct{})}
+}
+
+// Options returns the campaign's normalized options.
+func (c *Campaign) Options() Options { return c.opts }
+
+// Start begins executing the campaign. ctx bounds the whole lifecycle:
+// cancelling it cancels the campaign (including across later resumes).
+// A nil ctx means context.Background. Start can be called once, from
+// StateNew.
+func (c *Campaign) Start(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != StateNew {
+		return fmt.Errorf("campaign: Start from state %s", c.state)
+	}
+	c.baseCtx = ctx
+	c.launchLocked(false)
+	return nil
+}
+
+// launchLocked spawns one pipeline segment; c.mu must be held.
+func (c *Campaign) launchLocked(resume bool) {
+	segCtx, cancel := context.WithCancel(c.baseCtx)
+	seg := make(chan struct{})
+	c.cancelSeg = cancel
+	c.segDone = seg
+	c.pauseReq = false
+	c.state = StateRunning
+	go func() {
+		err := c.plan.run(segCtx, c, resume)
+		cancel()
+		c.settle(err, seg)
+	}()
+}
+
+// settle records how a segment ended and advances the state machine.
+func (c *Campaign) settle(err error, seg chan struct{}) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	defer close(seg)
+	cancelled := errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+	switch {
+	case err == nil:
+		c.state = StateDone
+		close(c.done)
+	case cancelled && c.pauseReq && !c.cancelReq && c.baseCtx.Err() == nil:
+		// The segment drained because Pause asked it to (not because the
+		// lifecycle context died underneath it): the durable layer has
+		// taken its final snapshot, the campaign is suspended, and the
+		// lifecycle stays open for Resume.
+		c.state = StatePaused
+	case cancelled:
+		c.state = StateCancelled
+		c.err = err
+		close(c.done)
+	default:
+		c.state = StateFailed
+		c.err = err
+		close(c.done)
+	}
+}
+
+// Pause durably suspends a running campaign: the pipeline segment is
+// cancelled, in-flight units are abandoned (their results are simply
+// recomputed on resume), the journal is synced, and a final snapshot
+// is written. Pause blocks until the suspension is complete. Only
+// durable campaigns (Options.StateDir) can pause; a campaign that
+// finishes while Pause is in flight stays finished.
+func (c *Campaign) Pause() error {
+	c.mu.Lock()
+	if !c.plan.pausable(c) {
+		c.mu.Unlock()
+		return ErrNotPausable
+	}
+	if c.state != StateRunning {
+		state := c.state
+		c.mu.Unlock()
+		return fmt.Errorf("campaign: Pause from state %s", state)
+	}
+	c.state = StatePausing
+	c.pauseReq = true
+	cancel, seg := c.cancelSeg, c.segDone
+	c.mu.Unlock()
+	cancel()
+	<-seg
+	return nil
+}
+
+// Resume continues a paused campaign: a fresh segment restores the
+// snapshot, replays the journal tail through the same fold a live unit
+// uses, and picks up at the first unfolded unit — the crash-recovery
+// path, reused verbatim.
+func (c *Campaign) Resume() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state != StatePaused {
+		return fmt.Errorf("campaign: Resume from state %s", c.state)
+	}
+	c.launchLocked(true)
+	return nil
+}
+
+// Cancel ends the campaign early. The report is the partial fold of
+// whatever units finished (Complete() == false); a durable campaign
+// has also just snapshotted that state, so the directory can still be
+// resumed by a future campaign with Options.Resume. Cancel blocks
+// until the run has stopped; cancelling a finished campaign is a
+// no-op.
+func (c *Campaign) Cancel() error {
+	c.mu.Lock()
+	switch c.state {
+	case StateNew, StatePaused:
+		c.cancelReq = true
+		c.state = StateCancelled
+		c.err = context.Canceled
+		r := c.report
+		close(c.done)
+		c.mu.Unlock()
+		if r != nil {
+			c.fold.Lock()
+			if r.Err == nil {
+				r.Err = context.Canceled
+			}
+			c.fold.Unlock()
+		}
+		return nil
+	case StateRunning, StatePausing:
+		c.cancelReq = true
+		cancel, seg := c.cancelSeg, c.segDone
+		c.mu.Unlock()
+		cancel()
+		<-seg
+		return nil
+	default:
+		c.mu.Unlock()
+		return nil
+	}
+}
+
+// Wait blocks until the campaign reaches a terminal state — through
+// any number of pause/resume cycles — and returns the final report and
+// error, with the same contract RunContext had: a nil error means the
+// report is complete and deterministic for the options.
+func (c *Campaign) Wait() (*Report, error) {
+	<-c.done
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.report, c.err
+}
+
+// Done returns a channel closed when the campaign reaches a terminal
+// state. Pausing does not close it.
+func (c *Campaign) Done() <-chan struct{} { return c.done }
+
+// State returns the current lifecycle state.
+func (c *Campaign) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// Report returns the campaign's report once no segment is writing it —
+// paused or terminal — and nil while the campaign is running (use
+// Status for a race-safe live view). A paused campaign's report is the
+// partial fold at the pause point.
+func (c *Campaign) Report() *Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state == StateRunning || c.state == StatePausing {
+		return nil
+	}
+	return c.report
+}
+
+// publish installs a segment's report and harness for Status readers;
+// called by plans once restore has finished and before the pipeline
+// starts folding.
+func (c *Campaign) publish(r *Report, h *harness.Harness, st *durableState) {
+	c.mu.Lock()
+	c.report, c.h, c.st = r, h, st
+	c.mu.Unlock()
+}
+
+// Status is a point-in-time, race-safe view of a campaign: the
+// lifecycle state plus the deterministic progress figures (units,
+// executions, distinct bugs, the bug-rate series, the fault ledger)
+// and the operational ones (breaker positions, journal lag). Every
+// field is a copy — callers can hold a Status forever without pinning
+// the fold.
+type Status struct {
+	// State is the lifecycle position; Err is the terminal error, if
+	// any.
+	State State `json:"state"`
+	Err   error `json:"-"`
+	// Durable reports whether the campaign has a state directory (and
+	// can therefore pause).
+	Durable bool `json:"durable"`
+	// Programs is the planned unit count; Units is how many have folded
+	// (including units restored by a resume), Execs how many (input,
+	// compiler) executions they contained, Bugs how many distinct bugs
+	// the fold has seen.
+	Programs int `json:"programs"`
+	Units    int `json:"units"`
+	Execs    int `json:"execs"`
+	Bugs     int `json:"bugs"`
+	// BugRate is the derived bug-rate-over-time series so far.
+	BugRate []SeriesPoint `json:"bug_rate,omitempty"`
+	// Faults is a deep copy of the fault ledger.
+	Faults *harness.Ledger `json:"faults,omitempty"`
+	// Breakers maps compiler name to its circuit-breaker snapshot.
+	Breakers map[string]harness.BreakerSnapshot `json:"breakers,omitempty"`
+	// JournalLag is the number of folded units not yet covered by a
+	// snapshot; 0 for non-durable campaigns.
+	JournalLag int `json:"journal_lag"`
+	// Recovery describes what the most recent segment restored.
+	Recovery RecoveryInfo `json:"recovery"`
+}
+
+// Status returns the campaign's current status snapshot. Safe to call
+// from any goroutine at any lifecycle point, including concurrently
+// with the fold.
+func (c *Campaign) Status() Status {
+	c.mu.Lock()
+	s := Status{
+		State:    c.state,
+		Err:      c.err,
+		Durable:  c.opts.StateDir != "",
+		Programs: c.opts.Programs,
+	}
+	report, h, st := c.report, c.h, c.st
+	c.mu.Unlock()
+	if h != nil {
+		s.Breakers = h.ExportBreakers()
+	}
+	if report == nil {
+		return s
+	}
+	c.fold.RLock()
+	defer c.fold.RUnlock()
+	if s.Err == nil {
+		s.Err = report.Err
+	}
+	for _, b := range report.BugRate {
+		s.Units += b.Units
+		s.Execs += b.Execs
+	}
+	s.Bugs = len(report.Found)
+	s.BugRate = report.BugRateSeries()
+	s.Faults = report.Faults.Clone()
+	s.Recovery = report.Recovery
+	s.Recovery.Quarantined = append([]journal.Corruption(nil), report.Recovery.Quarantined...)
+	if st != nil {
+		s.JournalLag = st.sinceSnap
+	}
+	return s
+}
+
+// gatedSource applies a per-unit admission gate on the source
+// goroutine. A blocking gate stalls the feed channel, and the stall
+// propagates backward through every bounded stage channel — this is
+// the hook the server's per-tenant rate limits use to backpressure a
+// tenant's campaigns instead of buffering unbounded work. Recovered
+// units pass free: replaying already-folded results costs no budget.
+type gatedSource struct {
+	inner pipeline.Source
+	ctx   context.Context
+	gate  func(context.Context) error
+}
+
+// Name implements pipeline.Source.
+func (g *gatedSource) Name() string { return g.inner.Name() }
+
+// Next implements pipeline.Source.
+func (g *gatedSource) Next() (*pipeline.Unit, bool) {
+	u, ok := g.inner.Next()
+	if !ok || u.Recovered {
+		return u, ok
+	}
+	if err := g.gate(g.ctx); err != nil {
+		return nil, false
+	}
+	return u, ok
+}

@@ -1,0 +1,382 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+// runWithPauses drives a durable campaign through repeated
+// pause/resume cycles — each pause requested at a random wall-clock
+// instant — until it completes, asserting the paused invariants at
+// every suspension point.
+func runWithPauses(t *testing.T, opts Options, seed int64, cycles, maxPauseMS int) *Report {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	c := New(opts)
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cycles; i++ {
+		time.Sleep(time.Duration(1+rng.Intn(maxPauseMS)) * time.Millisecond)
+		err := c.Pause()
+		if err != nil {
+			// The campaign finished (or a later cycle caught it pausing);
+			// either way it is no longer pausable and Wait settles it.
+			break
+		}
+		if st := c.State(); st != StatePaused {
+			t.Fatalf("after Pause: state %s, want paused", st)
+		}
+		r := c.Report()
+		if r == nil {
+			t.Fatal("paused campaign has no report")
+		}
+		if r.Complete() {
+			t.Fatal("paused campaign claims a complete report")
+		}
+		if st := c.Status(); st.State != StatePaused {
+			t.Fatalf("paused Status.State = %s", st.State)
+		}
+		if err := c.Resume(); err != nil {
+			t.Fatalf("Resume: %v", err)
+		}
+	}
+	r, err := c.Wait()
+	if err != nil {
+		t.Fatalf("campaign did not complete: %v", err)
+	}
+	if st := c.State(); st != StateDone {
+		t.Fatalf("final state %s, want done", st)
+	}
+	return r
+}
+
+func TestLifecyclePauseResumeDeterminism(t *testing.T) {
+	golden := Run(smallOptions(30))
+	if golden.Err != nil {
+		t.Fatal(golden.Err)
+	}
+	goldenDoc, err := json.Marshal(golden.Doc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} {
+		o := smallOptions(30)
+		o.Workers = workers
+		o.StateDir = t.TempDir()
+		o.SnapshotEvery = 4
+		r := runWithPauses(t, o, int64(3000+workers), 6, 120)
+		assertSameOutcome(t, "pause-resume", golden, r)
+		doc, err := json.Marshal(r.Doc())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(doc) != string(goldenDoc) {
+			t.Errorf("workers=%d: report document differs from uninterrupted run:\n%s\nvs\n%s",
+				workers, doc, goldenDoc)
+		}
+	}
+}
+
+func TestLifecyclePauseResumeUnderChaos(t *testing.T) {
+	golden := Run(durableChaosOptions(12))
+	if golden.Err != nil {
+		t.Fatal(golden.Err)
+	}
+	for _, workers := range []int{1, 8} {
+		o := durableChaosOptions(12)
+		o.Workers = workers
+		o.StateDir = t.TempDir()
+		o.SnapshotEvery = 3
+		o.SyncEvery = 2
+		r := runWithPauses(t, o, int64(4000+workers), 5, 900)
+		assertSameOutcome(t, "chaos pause-resume", golden, r)
+	}
+}
+
+func TestLifecycleStatusDuringRun(t *testing.T) {
+	// Status must be safe and coherent while the fold is writing — this
+	// test is most meaningful under -race.
+	o := smallOptions(40)
+	o.Workers = 4
+	c := New(o)
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prevUnits := 0
+			for {
+				select {
+				case <-c.Done():
+					return
+				default:
+				}
+				s := c.Status()
+				if s.Units < prevUnits {
+					t.Errorf("Status.Units went backwards: %d after %d", s.Units, prevUnits)
+					return
+				}
+				prevUnits = s.Units
+				if s.Units > 0 && s.Execs == 0 {
+					t.Error("Status has folded units but no executions")
+					return
+				}
+				if len(s.BugRate) > 0 && s.Bugs != s.BugRate[len(s.BugRate)-1].CumulativeBugs {
+					t.Errorf("Status.Bugs = %d but series ends at %d",
+						s.Bugs, s.BugRate[len(s.BugRate)-1].CumulativeBugs)
+					return
+				}
+			}
+		}()
+	}
+	r, err := c.Wait()
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Status()
+	if s.State != StateDone || s.Units != 40 || s.Bugs != len(r.Found) {
+		t.Errorf("terminal Status = %+v, want done/40 units/%d bugs", s, len(r.Found))
+	}
+	golden := Run(smallOptions(40))
+	assertSameOutcome(t, "status-observed run", golden, r)
+}
+
+func TestLifecycleCancelReturnsPartialReport(t *testing.T) {
+	o := smallOptions(400)
+	o.Workers = 2
+	c := New(o)
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if err := c.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Wait()
+	if err == nil {
+		t.Skip("campaign finished before the cancel fired")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait error = %v, want context.Canceled", err)
+	}
+	if c.State() != StateCancelled {
+		t.Fatalf("state %s, want cancelled", c.State())
+	}
+	if r == nil {
+		t.Fatal("cancelled campaign returned no partial report")
+	}
+	if r.Complete() {
+		t.Fatal("cancelled campaign claims completeness")
+	}
+	if doc := r.Doc(); doc.Complete || doc.Error == "" {
+		t.Errorf("cancelled report document: %+v, want incomplete with error", doc)
+	}
+	// Cancel again is a no-op on a terminal campaign.
+	if err := c.Cancel(); err != nil {
+		t.Fatalf("Cancel on terminal campaign: %v", err)
+	}
+}
+
+func TestLifecycleStateErrors(t *testing.T) {
+	// Pause without a state directory: nothing durable to pause into.
+	c := New(smallOptions(5))
+	if err := c.Pause(); !errors.Is(err, ErrNotPausable) {
+		t.Errorf("Pause on non-durable campaign: %v, want ErrNotPausable", err)
+	}
+	// Resume before any pause.
+	if err := c.Resume(); err == nil {
+		t.Error("Resume from new succeeded")
+	}
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// Start is once-only.
+	if err := c.Start(context.Background()); err == nil {
+		t.Error("second Start succeeded")
+	}
+	if _, err := c.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// A finished campaign refuses Pause and Resume.
+	o := smallOptions(5)
+	o.StateDir = t.TempDir()
+	d := New(o)
+	if err := d.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Pause(); err == nil {
+		t.Error("Pause on done campaign succeeded")
+	}
+	if err := d.Resume(); err == nil {
+		t.Error("Resume on done campaign succeeded")
+	}
+}
+
+func TestLifecycleCancelBeforeStart(t *testing.T) {
+	c := New(smallOptions(5))
+	if err := c.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != StateCancelled {
+		t.Fatalf("state %s, want cancelled", c.State())
+	}
+	if _, err := c.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if err := c.Start(context.Background()); err == nil {
+		t.Error("Start after Cancel succeeded")
+	}
+}
+
+func TestLifecyclePausedCampaignResumableByNewProcess(t *testing.T) {
+	// A paused campaign is exactly a crash-suspended one: a fresh
+	// Campaign over the same state dir with Resume set must finish it.
+	golden := Run(smallOptions(25))
+	if golden.Err != nil {
+		t.Fatal(golden.Err)
+	}
+	dir := t.TempDir()
+	o := smallOptions(25)
+	o.StateDir = dir
+	o.SnapshotEvery = 4
+	c := New(o)
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if err := c.Pause(); err != nil {
+		// Finished before the pause; the "new process" then just
+		// re-resumes a finished campaign (idempotent).
+		if _, werr := c.Wait(); werr != nil {
+			t.Fatal(werr)
+		}
+	}
+	o2 := smallOptions(25)
+	o2.StateDir = dir
+	o2.Resume = true
+	r, err := RunContext(context.Background(), o2)
+	if err != nil {
+		t.Fatalf("cross-process resume: %v", err)
+	}
+	assertSameOutcome(t, "cross-process resume of paused campaign", golden, r)
+}
+
+func TestLifecycleGateBackpressure(t *testing.T) {
+	// A blocking gate must stall the campaign without breaking it, and
+	// gate scheduling must not change the report.
+	golden := Run(smallOptions(15))
+	if golden.Err != nil {
+		t.Fatal(golden.Err)
+	}
+	var admitted int32
+	release := make(chan struct{})
+	o := smallOptions(15)
+	o.Workers = 4
+	o.Gate = func(ctx context.Context) error {
+		admitted++
+		if int(admitted) == 5 {
+			// Hold the source mid-campaign until the test releases it.
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		return nil
+	}
+	c := New(o)
+	if err := c.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// While the gate is held the campaign must stay running, not fail.
+	time.Sleep(30 * time.Millisecond)
+	if st := c.State(); st != StateRunning {
+		t.Fatalf("state %s while gate held, want running", st)
+	}
+	close(release)
+	r, err := c.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameOutcome(t, "gated run", golden, r)
+}
+
+func TestReportDocDeterministic(t *testing.T) {
+	a := Run(smallOptions(20))
+	b := Run(smallOptions(20))
+	if a.Err != nil || b.Err != nil {
+		t.Fatal(a.Err, b.Err)
+	}
+	da, err := json.Marshal(a.Doc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := json.Marshal(b.Doc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(da) != string(db) {
+		t.Errorf("same options, different report documents:\n%s\nvs\n%s", da, db)
+	}
+	doc := a.Doc()
+	if !doc.Complete || doc.Programs != 20 || len(doc.Bugs) != len(a.Found) {
+		t.Errorf("document mis-projects the report: %+v", doc)
+	}
+	for i := 1; i < len(doc.Bugs); i++ {
+		p, q := doc.Bugs[i-1], doc.Bugs[i]
+		if p.Compiler > q.Compiler || (p.Compiler == q.Compiler && p.ID >= q.ID) {
+			t.Errorf("document bugs not sorted: %v before %v", p, q)
+		}
+	}
+}
+
+func TestCorpusMergeReport(t *testing.T) {
+	a := Run(smallOptions(15))
+	o := smallOptions(15)
+	o.Seed = 500
+	b := Run(o)
+	if a.Err != nil || b.Err != nil {
+		t.Fatal(a.Err, b.Err)
+	}
+	corpus := NewCorpus()
+	corpus.MergeReport(a)
+	corpus.MergeReport(b)
+	reversed := NewCorpus()
+	reversed.MergeReport(b)
+	reversed.MergeReport(a)
+	if !reflect.DeepEqual(corpus, reversed) {
+		t.Error("corpus merge is order-dependent")
+	}
+	if corpus.Campaigns != 2 {
+		t.Errorf("Campaigns = %d, want 2", corpus.Campaigns)
+	}
+	for id, rec := range a.Found {
+		e := corpus.Bugs[id]
+		if e == nil {
+			t.Errorf("merge lost bug %s", id)
+			continue
+		}
+		if other, ok := b.Found[id]; ok {
+			if e.Hits != rec.Hits+other.Hits {
+				t.Errorf("bug %s hits not additive", id)
+			}
+			if e.Campaigns != 2 {
+				t.Errorf("bug %s Campaigns = %d, want 2", id, e.Campaigns)
+			}
+		}
+	}
+}

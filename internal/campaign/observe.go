@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/oracle"
 )
@@ -92,44 +93,52 @@ func verdictCounterName(comp string, kind oracle.InputKind, verdict oracle.Verdi
 	return "campaign.verdicts." + comp + "." + kind.String() + "." + verdict.String()
 }
 
-// StartHeartbeat launches a goroutine printing a one-line progress
-// summary to w every interval, read from the registry: units done (and
-// units/s since the previous beat), executions, distinct bugs, breaker
-// states, and journal lag. totalUnits sizes the "done/total" fraction;
-// 0 omits it. The returned stop function halts the ticker; it is safe
-// to call more than once.
-func StartHeartbeat(w io.Writer, reg *metrics.Registry, interval time.Duration, totalUnits int) (stop func()) {
-	if reg == nil || interval <= 0 {
+// HeartbeatLine renders one progress line from a pair of status
+// snapshots: units done (and units/s against the previous snapshot
+// over elapsed), executions, distinct bugs, breaker states, and — for
+// durable campaigns — journal lag. The CLI heartbeat and the server's
+// SSE heartbeat stream both render through here, so the two surfaces
+// can never drift apart.
+func HeartbeatLine(prev, cur Status, elapsed time.Duration) string {
+	rate := 0.0
+	if elapsed > 0 {
+		rate = float64(cur.Units-prev.Units) / elapsed.Seconds()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "heartbeat: units %d", cur.Units)
+	if cur.Programs > 0 {
+		fmt.Fprintf(&b, "/%d", cur.Programs)
+	}
+	fmt.Fprintf(&b, " (%.1f/s) execs %d bugs %d", rate, cur.Execs, cur.Bugs)
+	b.WriteString(" breakers " + breakerSummary(cur.Breakers))
+	if cur.Durable {
+		fmt.Fprintf(&b, " journal lag %d", cur.JournalLag)
+	}
+	return b.String()
+}
+
+// StartHeartbeat launches a goroutine printing a HeartbeatLine to w
+// every interval, rendered from status() — typically a Campaign's
+// Status method. The returned stop function halts the ticker; it is
+// safe to call more than once.
+func StartHeartbeat(w io.Writer, status func() Status, interval time.Duration) (stop func()) {
+	if status == nil || interval <= 0 {
 		return func() {}
 	}
 	done := make(chan struct{})
 	ticker := time.NewTicker(interval)
 	go func() {
 		defer ticker.Stop()
-		lastUnits, lastBeat := int64(0), time.Now()
+		prev, lastBeat := Status{}, time.Now()
 		for {
 			select {
 			case <-done:
 				return
 			case <-ticker.C:
-				snap := reg.Snapshot()
+				cur := status()
 				now := time.Now()
-				units := snap.Counters["campaign.units"]
-				rate := float64(units-lastUnits) / now.Sub(lastBeat).Seconds()
-				lastUnits, lastBeat = units, now
-
-				var b strings.Builder
-				fmt.Fprintf(&b, "heartbeat: units %d", units)
-				if totalUnits > 0 {
-					fmt.Fprintf(&b, "/%d", totalUnits)
-				}
-				fmt.Fprintf(&b, " (%.1f/s) execs %d bugs %d",
-					rate, snap.Counters["campaign.execs"], snap.Gauges["campaign.bugs"])
-				b.WriteString(" breakers " + breakerSummary(snap))
-				if lag, ok := snap.Gauges["campaign.journal.lag"]; ok {
-					fmt.Fprintf(&b, " journal lag %d", lag)
-				}
-				fmt.Fprintln(w, b.String())
+				fmt.Fprintln(w, HeartbeatLine(prev, cur, now.Sub(lastBeat)))
+				prev, lastBeat = cur, now
 			}
 		}
 	}()
@@ -142,14 +151,13 @@ func StartHeartbeat(w io.Writer, reg *metrics.Registry, interval time.Duration, 
 	}
 }
 
-// breakerSummary renders the non-closed breakers from a snapshot, or
-// "closed" when every breaker is admitting traffic.
-func breakerSummary(snap metrics.Snapshot) string {
+// breakerSummary renders the non-closed breakers from a status
+// snapshot, or "closed" when every breaker is admitting traffic.
+func breakerSummary(breakers map[string]harness.BreakerSnapshot) string {
 	var open []string
-	for name, v := range snap.Gauges {
-		const prefix = "harness.breaker."
-		if strings.HasPrefix(name, prefix) && v != 0 {
-			open = append(open, strings.TrimPrefix(name, prefix)+"="+breakerStateName(v))
+	for name, snap := range breakers {
+		if snap.State != harness.BreakerClosed {
+			open = append(open, name+"="+snap.State.String())
 		}
 	}
 	if len(open) == 0 {
@@ -157,15 +165,4 @@ func breakerSummary(snap metrics.Snapshot) string {
 	}
 	sort.Strings(open)
 	return strings.Join(open, ",")
-}
-
-func breakerStateName(v int64) string {
-	switch v {
-	case 1:
-		return "open"
-	case 2:
-		return "half-open"
-	default:
-		return fmt.Sprintf("state(%d)", v)
-	}
 }

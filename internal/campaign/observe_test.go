@@ -9,10 +9,12 @@ import (
 	"net/http"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/harness"
 	"repro/internal/metrics"
 )
 
@@ -271,15 +273,24 @@ func (s *syncBuffer) String() string {
 }
 
 func TestHeartbeatPrintsProgress(t *testing.T) {
-	reg := metrics.NewRegistry()
-	reg.Counter("campaign.units").Add(7)
-	reg.Counter("campaign.execs").Add(84)
-	reg.Gauge("campaign.bugs").Set(3)
-	reg.Gauge("harness.breaker.groovyc").Set(1)
-	reg.Gauge("campaign.journal.lag").Set(5)
+	status := func() Status {
+		return Status{
+			State:    StateRunning,
+			Durable:  true,
+			Programs: 40,
+			Units:    7,
+			Execs:    84,
+			Bugs:     3,
+			Breakers: map[string]harness.BreakerSnapshot{
+				"groovyc": {State: harness.BreakerOpen},
+				"javac":   {State: harness.BreakerClosed},
+			},
+			JournalLag: 5,
+		}
+	}
 
 	var buf syncBuffer
-	stop := StartHeartbeat(&buf, reg, 5*time.Millisecond, 40)
+	stop := StartHeartbeat(&buf, status, 5*time.Millisecond)
 	deadline := time.Now().Add(2 * time.Second)
 	for buf.String() == "" && time.Now().Before(deadline) {
 		time.Sleep(5 * time.Millisecond)
@@ -297,9 +308,26 @@ func TestHeartbeatPrintsProgress(t *testing.T) {
 		}
 	}
 
-	// A nil registry or zero interval is a no-op.
-	StartHeartbeat(io.Discard, nil, time.Millisecond, 0)()
-	StartHeartbeat(io.Discard, reg, 0, 0)()
+	// A nil status source or zero interval is a no-op.
+	StartHeartbeat(io.Discard, nil, time.Millisecond)()
+	StartHeartbeat(io.Discard, status, 0)()
+}
+
+// TestHeartbeatLine pins the line format both the CLI heartbeat and
+// the server's SSE heartbeat render through.
+func TestHeartbeatLine(t *testing.T) {
+	prev := Status{Units: 3}
+	cur := Status{Programs: 40, Units: 7, Execs: 84, Bugs: 3}
+	line := HeartbeatLine(prev, cur, 2*time.Second)
+	want := "heartbeat: units 7/40 (2.0/s) execs 84 bugs 3 breakers closed"
+	if line != want {
+		t.Errorf("HeartbeatLine = %q, want %q", line, want)
+	}
+	cur.Durable = true
+	cur.JournalLag = 9
+	if line := HeartbeatLine(prev, cur, 2*time.Second); !strings.HasSuffix(line, "journal lag 9") {
+		t.Errorf("durable HeartbeatLine missing journal lag: %q", line)
+	}
 }
 
 // TestFingerprintIgnoresObservability pins that toggling metrics or

@@ -1,0 +1,286 @@
+// Package cli is the shared configuration surface of the campaign
+// front ends: one Config struct that cmd/campaign, cmd/hephaestus, and
+// cmd/server all build campaign.Options from, one place that registers
+// the ~15 flags the CLIs used to duplicate, and one JSON shape the
+// server accepts as a campaign submission — so a config that runs from
+// the command line runs identically when POSTed to the service.
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/compilers"
+	"repro/internal/core"
+	"repro/internal/generator"
+	"repro/internal/harness"
+	"repro/internal/metrics"
+)
+
+// Duration is a time.Duration that JSON-decodes from either a string
+// ("10s") or a number of nanoseconds, so HTTP submissions can write
+// timeouts the way flags do.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as its string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts "10s"-style strings or nanosecond numbers.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	switch x := v.(type) {
+	case string:
+		parsed, err := time.ParseDuration(x)
+		if err != nil {
+			return fmt.Errorf("cli: bad duration %q: %w", x, err)
+		}
+		*d = Duration(parsed)
+	case float64:
+		*d = Duration(time.Duration(x))
+	default:
+		return fmt.Errorf("cli: duration must be a string or number, got %T", v)
+	}
+	return nil
+}
+
+// Config is the shared campaign configuration: every campaign-defining
+// knob the CLIs expose, in a JSON-marshalable shape the server accepts
+// as a submission body. Process-local concerns (state directory,
+// debug address, heartbeat cadence) are deliberately excluded from the
+// JSON surface — the server owns those per tenant.
+type Config struct {
+	// Seed is the base seed; program i uses Seed+i.
+	Seed int64 `json:"seed"`
+	// Programs is the number of generated seed programs.
+	Programs int `json:"programs"`
+	// BatchSize groups programs per simulated compiler invocation.
+	BatchSize int `json:"batch_size,omitempty"`
+	// Workers is the per-stage pipeline worker count (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// Compilers names the compilers under test (groovyc, kotlinc,
+	// javac); empty means all three.
+	Compilers []string `json:"compilers,omitempty"`
+	// NoMutate disables the TEM/TOM/TEM∘TOM/REM mutation stages.
+	NoMutate bool `json:"no_mutate,omitempty"`
+	// CompileTimeout bounds one compile under the watchdog (0 disables).
+	CompileTimeout Duration `json:"compile_timeout,omitempty"`
+	// Retries bounds transient-fault compile retries.
+	Retries int `json:"retries,omitempty"`
+	// Chaos injects seeded faults at this rate (0 disables).
+	Chaos float64 `json:"chaos,omitempty"`
+	// SnapshotEvery is the unit count between report snapshots (0 =
+	// campaign default; negative disables snapshots).
+	SnapshotEvery int `json:"snapshot_every,omitempty"`
+	// SyncEvery is the journal record count between fsyncs (0 = every
+	// record).
+	SyncEvery int `json:"sync_every,omitempty"`
+
+	// Process-local settings, not part of the submission surface.
+	StateDir  string        `json:"-"`
+	Resume    bool          `json:"-"`
+	Stats     bool          `json:"-"`
+	DebugAddr string        `json:"-"`
+	Heartbeat time.Duration `json:"-"`
+}
+
+// NewConfig returns the defaults both CLIs and the server share:
+// 10-second compile watchdog, 2 retries, batches of 20, 200 programs.
+func NewConfig() *Config {
+	return &Config{
+		Programs:       200,
+		BatchSize:      20,
+		CompileTimeout: Duration(10 * time.Second),
+		Retries:        2,
+	}
+}
+
+// RegisterCampaignFlags registers the shared campaign flags on fs,
+// with the config's current values as defaults — callers adjust
+// defaults (e.g. a different program count) by setting fields before
+// registering.
+func (c *Config) RegisterCampaignFlags(fs *flag.FlagSet) {
+	fs.Int64Var(&c.Seed, "seed", c.Seed, "base seed")
+	fs.IntVar(&c.Programs, "n", c.Programs, "number of generated programs")
+	fs.IntVar(&c.Workers, "workers", c.Workers, "pipeline workers per stage (0 = GOMAXPROCS)")
+	fs.BoolVar(&c.Stats, "stats", c.Stats, "print per-stage pipeline statistics")
+	fs.DurationVar((*time.Duration)(&c.CompileTimeout), "compile-timeout", time.Duration(c.CompileTimeout), "per-compile watchdog budget (0 disables)")
+	fs.IntVar(&c.Retries, "retries", c.Retries, "max retries for transient compile faults")
+	fs.Float64Var(&c.Chaos, "chaos", c.Chaos, "inject seeded faults at this rate (0 disables; exercises the harness)")
+	fs.StringVar(&c.StateDir, "state", c.StateDir, "state directory for durable campaigns (journal, snapshots, bug corpus)")
+	fs.BoolVar(&c.Resume, "resume", c.Resume, "resume the campaign recorded in -state instead of starting fresh")
+	fs.IntVar(&c.SnapshotEvery, "snapshot-every", c.SnapshotEvery, "units between report snapshots (0 = default cadence of 64; -1 disables snapshots)")
+	fs.StringVar(&c.DebugAddr, "debug-addr", c.DebugAddr, "serve /metrics, /events, and /debug/pprof on this address (e.g. 127.0.0.1:6060; :0 picks a free port)")
+	fs.DurationVar(&c.Heartbeat, "heartbeat", c.Heartbeat, "print a one-line progress summary at this interval (0 disables)")
+}
+
+// ResolveCompilers maps the configured compiler names to the simulated
+// compilers; empty means all three.
+func (c *Config) ResolveCompilers() ([]*compilers.Compiler, error) {
+	if len(c.Compilers) == 0 {
+		return compilers.All(), nil
+	}
+	byName := map[string]*compilers.Compiler{}
+	for _, comp := range compilers.All() {
+		byName[comp.Name()] = comp
+	}
+	var out []*compilers.Compiler
+	for _, name := range c.Compilers {
+		comp := byName[name]
+		if comp == nil {
+			return nil, fmt.Errorf("cli: unknown compiler %q (have groovyc, kotlinc, javac)", name)
+		}
+		out = append(out, comp)
+	}
+	return out, nil
+}
+
+// HarnessOptions builds the resilient-harness configuration: the
+// shared breaker threshold of 10, and the double-compile probe
+// whenever chaos is on.
+func (c *Config) HarnessOptions() harness.Options {
+	return harness.Options{
+		Timeout:          time.Duration(c.CompileTimeout),
+		Retries:          c.Retries,
+		Seed:             c.Seed,
+		BreakerThreshold: 10,
+		DoubleCompile:    c.Chaos > 0,
+	}
+}
+
+// ChaosOptions builds the fault-injection configuration, nil when
+// chaos is off.
+func (c *Config) ChaosOptions() *harness.ChaosOptions {
+	if c.Chaos <= 0 {
+		return nil
+	}
+	return &harness.ChaosOptions{
+		Seed:          c.Seed,
+		PanicRate:     c.Chaos,
+		HangRate:      c.Chaos,
+		TransientRate: c.Chaos,
+		FlakyRate:     c.Chaos,
+	}
+}
+
+// CampaignOptions builds campaign.Options from the config. The
+// observability fields (Metrics, Trace, Gate) stay nil — callers wire
+// those per process or per tenant.
+func (c *Config) CampaignOptions() (campaign.Options, error) {
+	comps, err := c.ResolveCompilers()
+	if err != nil {
+		return campaign.Options{}, err
+	}
+	return campaign.Options{
+		Seed:          c.Seed,
+		Programs:      c.Programs,
+		BatchSize:     c.BatchSize,
+		Workers:       c.Workers,
+		Compilers:     comps,
+		GenConfig:     generator.DefaultConfig(),
+		Mutate:        !c.NoMutate,
+		Harness:       c.HarnessOptions(),
+		Chaos:         c.ChaosOptions(),
+		StateDir:      c.StateDir,
+		Resume:        c.Resume,
+		SnapshotEvery: c.SnapshotEvery,
+		SyncEvery:     c.SyncEvery,
+	}, nil
+}
+
+// CoreConfig builds the core façade configuration the hephaestus CLI
+// uses, sharing the same harness and chaos surface as CampaignOptions.
+func (c *Config) CoreConfig() (core.Config, error) {
+	comps, err := c.ResolveCompilers()
+	if err != nil {
+		return core.Config{}, err
+	}
+	return core.Config{
+		Seed:          c.Seed,
+		Compilers:     comps,
+		Workers:       c.Workers,
+		Harness:       c.HarnessOptions(),
+		Chaos:         c.ChaosOptions(),
+		StateDir:      c.StateDir,
+		Resume:        c.Resume,
+		SnapshotEvery: c.SnapshotEvery,
+		SyncEvery:     c.SyncEvery,
+	}, nil
+}
+
+// Validate rejects configs a server should not admit: nonsensical
+// sizes and rates. The CLIs rely on flag parsing for the same bounds.
+func (c *Config) Validate(maxPrograms, maxWorkers int) error {
+	if c.Programs <= 0 {
+		return fmt.Errorf("cli: programs must be positive, got %d", c.Programs)
+	}
+	if maxPrograms > 0 && c.Programs > maxPrograms {
+		return fmt.Errorf("cli: programs %d exceeds the limit of %d", c.Programs, maxPrograms)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("cli: workers must be non-negative, got %d", c.Workers)
+	}
+	if maxWorkers > 0 && c.Workers > maxWorkers {
+		return fmt.Errorf("cli: workers %d exceeds the limit of %d", c.Workers, maxWorkers)
+	}
+	if c.Chaos < 0 || c.Chaos > 1 {
+		return fmt.Errorf("cli: chaos rate must be in [0, 1], got %g", c.Chaos)
+	}
+	if time.Duration(c.CompileTimeout) < 0 {
+		return fmt.Errorf("cli: compile timeout must be non-negative")
+	}
+	if c.Retries < 0 {
+		return fmt.Errorf("cli: retries must be non-negative, got %d", c.Retries)
+	}
+	if _, err := c.ResolveCompilers(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Observability bundles a process's debug instruments: the registry
+// and trace shared by campaign, harness, and pipeline, plus the HTTP
+// debug server when one was requested.
+type Observability struct {
+	Registry *metrics.Registry
+	Trace    *metrics.Trace
+	Server   *metrics.Server
+}
+
+// StartObservability wires the registry, trace, and debug server the
+// config asks for, announcing the server's address on w (the line CI's
+// observability smoke parses). With no -debug-addr and no -heartbeat
+// it returns an empty Observability whose nil fields disable
+// instrumentation.
+func (c *Config) StartObservability(w io.Writer) (*Observability, error) {
+	obs := &Observability{}
+	if c.DebugAddr == "" && c.Heartbeat <= 0 {
+		return obs, nil
+	}
+	obs.Registry = metrics.NewRegistry()
+	obs.Trace = metrics.NewTrace(4096)
+	if c.DebugAddr != "" {
+		srv, err := metrics.Serve(c.DebugAddr, obs.Registry, obs.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("debug server: %w", err)
+		}
+		obs.Server = srv
+		fmt.Fprintf(w, "debug server listening on http://%s\n", srv.Addr())
+	}
+	return obs, nil
+}
+
+// Close shuts down the debug server, if one is running.
+func (o *Observability) Close() {
+	if o.Server != nil {
+		o.Server.Close()
+	}
+}

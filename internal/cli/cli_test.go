@@ -1,0 +1,161 @@
+package cli
+
+import (
+	"encoding/json"
+	"flag"
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestConfigJSONRoundTrip(t *testing.T) {
+	c := NewConfig()
+	c.Seed = 42
+	c.Compilers = []string{"groovyc", "javac"}
+	c.Chaos = 0.1
+	c.StateDir = "/tmp/should-not-serialize"
+	raw, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "should-not-serialize") {
+		t.Error("process-local StateDir leaked into the JSON surface")
+	}
+	var back Config
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	back.StateDir = c.StateDir // json:"-" by design
+	if back.Seed != 42 || back.Programs != c.Programs ||
+		time.Duration(back.CompileTimeout) != 10*time.Second ||
+		len(back.Compilers) != 2 || back.Chaos != 0.1 {
+		t.Errorf("round trip lost fields: %+v", back)
+	}
+}
+
+func TestDurationDecodesStringsAndNumbers(t *testing.T) {
+	var c Config
+	if err := json.Unmarshal([]byte(`{"compile_timeout":"1500ms"}`), &c); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(c.CompileTimeout) != 1500*time.Millisecond {
+		t.Errorf("string form: %v", time.Duration(c.CompileTimeout))
+	}
+	if err := json.Unmarshal([]byte(`{"compile_timeout":2000000000}`), &c); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(c.CompileTimeout) != 2*time.Second {
+		t.Errorf("number form: %v", time.Duration(c.CompileTimeout))
+	}
+	if err := json.Unmarshal([]byte(`{"compile_timeout":"soon"}`), &c); err == nil {
+		t.Error("bad duration accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"compile_timeout":true}`), &c); err == nil {
+		t.Error("bool duration accepted")
+	}
+}
+
+func TestRegisterCampaignFlagsBuildsOptions(t *testing.T) {
+	cfg := NewConfig()
+	cfg.Programs = 100 // caller-adjusted default, like cmd/hephaestus
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	cfg.RegisterCampaignFlags(fs)
+	err := fs.Parse([]string{
+		"-seed", "9", "-n", "33", "-workers", "4", "-chaos", "0.05",
+		"-compile-timeout", "3s", "-retries", "1", "-state", "/tmp/x", "-resume",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := cfg.CampaignOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Seed != 9 || opts.Programs != 33 || opts.Workers != 4 {
+		t.Errorf("basic fields: %+v", opts)
+	}
+	if !opts.Mutate || opts.StateDir != "/tmp/x" || !opts.Resume {
+		t.Errorf("durability fields: %+v", opts)
+	}
+	if opts.Harness.Timeout != 3*time.Second || opts.Harness.Retries != 1 ||
+		opts.Harness.Seed != 9 || opts.Harness.BreakerThreshold != 10 {
+		t.Errorf("harness projection: %+v", opts.Harness)
+	}
+	if !opts.Harness.DoubleCompile {
+		t.Error("chaos run did not enable the double-compile probe")
+	}
+	if opts.Chaos == nil || opts.Chaos.PanicRate != 0.05 || opts.Chaos.Seed != 9 {
+		t.Errorf("chaos projection: %+v", opts.Chaos)
+	}
+	// No chaos: no injector, no double compile.
+	plain := NewConfig()
+	popts, err := plain.CampaignOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if popts.Chaos != nil || popts.Harness.DoubleCompile {
+		t.Error("chaos artifacts present on a chaos-free config")
+	}
+}
+
+func TestResolveCompilers(t *testing.T) {
+	all, err := (&Config{}).ResolveCompilers()
+	if err != nil || len(all) != 3 {
+		t.Fatalf("empty list: %v, %d compilers", err, len(all))
+	}
+	one, err := (&Config{Compilers: []string{"kotlinc"}}).ResolveCompilers()
+	if err != nil || len(one) != 1 || one[0].Name() != "kotlinc" {
+		t.Fatalf("named lookup: %v, %v", err, one)
+	}
+	if _, err := (&Config{Compilers: []string{"gcc"}}).ResolveCompilers(); err == nil {
+		t.Error("unknown compiler accepted")
+	}
+}
+
+func TestValidateBounds(t *testing.T) {
+	ok := NewConfig()
+	if err := ok.Validate(1000, 16); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+	bad := []Config{
+		{Programs: 0},
+		{Programs: 2000},
+		{Programs: 5, Workers: -1},
+		{Programs: 5, Workers: 99},
+		{Programs: 5, Chaos: 1.5},
+		{Programs: 5, Retries: -2},
+		{Programs: 5, CompileTimeout: Duration(-time.Second)},
+		{Programs: 5, Compilers: []string{"tcc"}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(1000, 16); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestStartObservabilityDisabledByDefault(t *testing.T) {
+	obs, err := NewConfig().StartObservability(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obs.Close()
+	if obs.Registry != nil || obs.Trace != nil || obs.Server != nil {
+		t.Errorf("observability wired without being asked: %+v", obs)
+	}
+	c := NewConfig()
+	c.Heartbeat = time.Second
+	obs2, err := c.StartObservability(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer obs2.Close()
+	if obs2.Registry == nil || obs2.Trace == nil {
+		t.Error("heartbeat run got no registry/trace")
+	}
+	if obs2.Server != nil {
+		t.Error("debug server started without -debug-addr")
+	}
+}

@@ -151,19 +151,10 @@ type Finding struct {
 	FirstSeed int64
 }
 
-// Fuzz runs a campaign of n programs (plus mutants) against the
-// configured compilers and returns the deduplicated findings together
-// with the raw campaign report.
-func (h *Hephaestus) Fuzz(n int) ([]Finding, *campaign.Report) {
-	findings, report, _ := h.FuzzContext(context.Background(), n)
-	return findings, report
-}
-
-// FuzzContext is Fuzz with cancellation: a cancelled context stops the
-// campaign pipeline promptly and returns the partial report with the
-// context's error. Findings are sorted by compiler then bug ID.
-func (h *Hephaestus) FuzzContext(ctx context.Context, n int) ([]Finding, *campaign.Report, error) {
-	report, err := campaign.RunContext(ctx, campaign.Options{
+// CampaignOptions projects the configuration onto campaign.Options for
+// a fuzzing campaign of n programs.
+func (h *Hephaestus) CampaignOptions(n int) campaign.Options {
+	return campaign.Options{
 		Seed:          h.cfg.Seed,
 		Programs:      n,
 		BatchSize:     20,
@@ -179,7 +170,46 @@ func (h *Hephaestus) FuzzContext(ctx context.Context, n int) ([]Finding, *campai
 		SyncEvery:     h.cfg.SyncEvery,
 		Metrics:       h.cfg.Metrics,
 		Trace:         h.cfg.Trace,
-	})
+	}
+}
+
+// FuzzCampaign returns an unstarted lifecycle campaign of n programs
+// (plus mutants) against the configured compilers: the caller drives
+// Start / Pause / Resume / Cancel / Wait and reads live progress from
+// Status.
+func (h *Hephaestus) FuzzCampaign(n int) *campaign.Campaign {
+	return campaign.New(h.CampaignOptions(n))
+}
+
+// Fuzz runs a campaign of n programs (plus mutants) against the
+// configured compilers and returns the deduplicated findings together
+// with the raw campaign report.
+func (h *Hephaestus) Fuzz(n int) ([]Finding, *campaign.Report) {
+	findings, report, _ := h.FuzzContext(context.Background(), n)
+	return findings, report
+}
+
+// FuzzContext is Fuzz with cancellation: a cancelled context stops the
+// campaign pipeline promptly and returns the partial report with the
+// context's error. Findings are sorted by compiler then bug ID.
+//
+// A shim over the lifecycle API: FuzzCampaign + Start + Wait.
+func (h *Hephaestus) FuzzContext(ctx context.Context, n int) ([]Finding, *campaign.Report, error) {
+	c := h.FuzzCampaign(n)
+	if err := c.Start(ctx); err != nil {
+		return nil, nil, err
+	}
+	report, err := c.Wait()
+	return Findings(report), report, err
+}
+
+// Findings projects a campaign report's found bugs onto the flat
+// Finding list, sorted by compiler then bug ID. A nil report yields
+// nil.
+func Findings(report *campaign.Report) []Finding {
+	if report == nil {
+		return nil
+	}
 	var out []Finding
 	for _, rec := range report.Found {
 		out = append(out, Finding{
@@ -196,7 +226,7 @@ func (h *Hephaestus) FuzzContext(ctx context.Context, n int) ([]Finding, *campai
 		}
 		return out[i].BugID < out[j].BugID
 	})
-	return out, report, err
+	return out
 }
 
 // ReduceFor shrinks a program while the given compiler keeps triggering

@@ -106,6 +106,23 @@ func (l *Ledger) AddInjected(compiler string, counts InjectionCounts) {
 	l.Injected[compiler] = c
 }
 
+// Clone deep-copies the ledger, so a status snapshot can outlive the
+// fold that produced it. A nil ledger clones to nil.
+func (l *Ledger) Clone() *Ledger {
+	if l == nil {
+		return nil
+	}
+	c := NewLedger()
+	for name, r := range l.PerCompiler {
+		cp := *r
+		c.PerCompiler[name] = &cp
+	}
+	for name, inj := range l.Injected {
+		c.Injected[name] = inj
+	}
+	return c
+}
+
 // Total sums every compiler's record.
 func (l *Ledger) Total() FaultRecord {
 	var total FaultRecord

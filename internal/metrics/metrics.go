@@ -23,6 +23,7 @@ package metrics
 import (
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -198,7 +199,20 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 // create-or-get: two callers asking for the same name share the
 // instrument. A nil Registry hands out fresh unregistered instruments,
 // so wiring can be unconditional.
+//
+// A Registry may be a scoped view of a larger one (see Scope): views
+// share one instrument store, with each view prefixing the names it
+// hands out and snapshotting only its own subtree. This is how a
+// multi-tenant host gives every campaign the full instrument surface
+// inside one per-tenant registry without name collisions.
 type Registry struct {
+	prefix string
+	s      *registryState
+}
+
+// registryState is the instrument store shared by a registry and all
+// its scoped views.
+type registryState struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
@@ -207,11 +221,22 @@ type Registry struct {
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{
+	return &Registry{s: &registryState{
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+	}}
+}
+
+// Scope returns a view of the registry under prefix: instruments it
+// creates are named "<prefix>.<name>" in the parent, and its Snapshot
+// contains only that subtree (with the prefix stripped). Scopes nest,
+// share the parent's store, and a nil registry scopes to nil.
+func (r *Registry) Scope(prefix string) *Registry {
+	if r == nil || prefix == "" {
+		return r
 	}
+	return &Registry{prefix: r.prefix + prefix + ".", s: r.s}
 }
 
 // Counter returns the named counter, creating it if needed.
@@ -219,12 +244,13 @@ func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return &Counter{}
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	c := r.counters[name]
+	name = r.prefix + name
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	c := r.s.counters[name]
 	if c == nil {
 		c = &Counter{}
-		r.counters[name] = c
+		r.s.counters[name] = c
 	}
 	return c
 }
@@ -234,12 +260,13 @@ func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return &Gauge{}
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	g := r.gauges[name]
+	name = r.prefix + name
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	g := r.s.gauges[name]
 	if g == nil {
 		g = &Gauge{}
-		r.gauges[name] = g
+		r.s.gauges[name] = g
 	}
 	return g
 }
@@ -250,12 +277,13 @@ func (r *Registry) Histogram(name string) *Histogram {
 	if r == nil {
 		return NewHistogram(nil)
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	h := r.hists[name]
+	name = r.prefix + name
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	h := r.s.hists[name]
 	if h == nil {
 		h = NewHistogram(nil)
-		r.hists[name] = h
+		r.s.hists[name] = h
 	}
 	return h
 }
@@ -267,7 +295,9 @@ type Snapshot struct {
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-// Snapshot copies every instrument's current value.
+// Snapshot copies every instrument's current value. A scoped view
+// snapshots only its own subtree, with the scope prefix stripped from
+// the names.
 func (r *Registry) Snapshot() Snapshot {
 	s := Snapshot{
 		Counters:   map[string]int64{},
@@ -277,16 +307,22 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return s
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for name, c := range r.counters {
-		s.Counters[name] = c.Load()
+	r.s.mu.Lock()
+	defer r.s.mu.Unlock()
+	for name, c := range r.s.counters {
+		if rel, ok := strings.CutPrefix(name, r.prefix); ok {
+			s.Counters[rel] = c.Load()
+		}
 	}
-	for name, g := range r.gauges {
-		s.Gauges[name] = g.Load()
+	for name, g := range r.s.gauges {
+		if rel, ok := strings.CutPrefix(name, r.prefix); ok {
+			s.Gauges[rel] = g.Load()
+		}
 	}
-	for name, h := range r.hists {
-		s.Histograms[name] = h.Snapshot()
+	for name, h := range r.s.hists {
+		if rel, ok := strings.CutPrefix(name, r.prefix); ok {
+			s.Histograms[rel] = h.Snapshot()
+		}
 	}
 	return s
 }

@@ -185,3 +185,44 @@ func TestServerEndpoints(t *testing.T) {
 		t.Error("/debug/pprof/ empty")
 	}
 }
+
+func TestRegistryScope(t *testing.T) {
+	root := NewRegistry()
+	alice := root.Scope("alice")
+	camp := alice.Scope("c000001")
+	camp.Counter("units").Add(3)
+	alice.Counter("submits").Add(1)
+	root.Counter("top").Add(7)
+
+	// The parent sees the scoped instruments under their full names.
+	rs := root.Snapshot()
+	if rs.Counters["alice.c000001.units"] != 3 || rs.Counters["alice.submits"] != 1 || rs.Counters["top"] != 7 {
+		t.Errorf("root snapshot: %+v", rs.Counters)
+	}
+	// The scope sees only its subtree, prefix-stripped.
+	as := alice.Snapshot()
+	if as.Counters["c000001.units"] != 3 || as.Counters["submits"] != 1 {
+		t.Errorf("scope snapshot: %+v", as.Counters)
+	}
+	if _, ok := as.Counters["top"]; ok {
+		t.Error("scope snapshot leaked a sibling instrument")
+	}
+	cs := camp.Snapshot()
+	if len(cs.Counters) != 1 || cs.Counters["units"] != 3 {
+		t.Errorf("nested scope snapshot: %+v", cs.Counters)
+	}
+	// Same name through scope and parent resolves to one instrument.
+	root.Counter("alice.c000001.units").Add(1)
+	if got := camp.Counter("units").Load(); got != 4 {
+		t.Errorf("scoped and full-name counters diverged: %d", got)
+	}
+	// Degenerate scopes collapse.
+	if root.Scope("") != root {
+		t.Error("empty scope did not return the receiver")
+	}
+	var nilReg *Registry
+	if nilReg.Scope("x") != nil {
+		t.Error("nil registry scope is not nil")
+	}
+	nilReg.Scope("x").Counter("ok").Add(1) // must not panic
+}

@@ -24,13 +24,11 @@ type Server struct {
 	mux *http.ServeMux
 }
 
-// Serve starts the debug server on addr (":0" picks a free port) over
-// the given registry and trace, either of which may be nil.
-func Serve(addr string, reg *Registry, trace *Trace) (*Server, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
+// Handler returns the debug endpoints (/metrics, /events, /healthz)
+// over the given registry and trace, either of which may be nil, as a
+// plain http.Handler — mountable under any prefix, which is how the
+// fuzzing server exposes one debug surface per tenant.
+func Handler(reg *Registry, trace *Trace) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, reg.Snapshot())
@@ -48,6 +46,18 @@ func Serve(addr string, reg *Registry, trace *Trace) (*Server, error) {
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
+	return mux
+}
+
+// Serve starts the debug server on addr (":0" picks a free port) over
+// the given registry and trace, either of which may be nil.
+func Serve(addr string, reg *Registry, trace *Trace) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", Handler(reg, trace))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

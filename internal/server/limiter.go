@@ -1,0 +1,84 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// limiter is a token bucket: rate tokens refill per second up to
+// burst. Stdlib-only — the service cannot take golang.org/x/time — and
+// small enough to reason about: take() under one mutex, sleeping
+// callers re-take after the computed refill interval.
+type limiter struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// newLimiter returns a full bucket; rate <= 0 disables limiting (every
+// call is admitted).
+func newLimiter(rate float64, burst int) *limiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &limiter{rate: rate, burst: float64(burst), tokens: float64(burst), last: time.Now()}
+}
+
+// take consumes one token if available; otherwise it returns how long
+// until one accrues.
+func (l *limiter) take() (bool, time.Duration) {
+	if l == nil || l.rate <= 0 {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := time.Now()
+	l.tokens += now.Sub(l.last).Seconds() * l.rate
+	l.last = now
+	if l.tokens > l.burst {
+		l.tokens = l.burst
+	}
+	if l.tokens >= 1 {
+		l.tokens--
+		return true, 0
+	}
+	need := (1 - l.tokens) / l.rate
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// allow reports whether one event is admitted right now.
+func (l *limiter) allow() bool {
+	ok, _ := l.take()
+	return ok
+}
+
+// wait blocks until a token is available or ctx is cancelled. This is
+// the campaign Gate body: it runs on the pipeline's source goroutine,
+// so blocking here backpressures the bounded stage channels instead of
+// buffering unbounded work.
+func (l *limiter) wait(ctx context.Context) error {
+	for {
+		ok, retry := l.take()
+		if ok {
+			return nil
+		}
+		timer := time.NewTimer(retry)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return ctx.Err()
+		case <-timer.C:
+		}
+	}
+}
+
+// gate adapts the limiter to the campaign.Options.Gate signature.
+func (l *limiter) gate() func(context.Context) error {
+	if l == nil || l.rate <= 0 {
+		return nil
+	}
+	return l.wait
+}

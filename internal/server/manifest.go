@@ -1,0 +1,157 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/cli"
+	"repro/internal/metrics"
+)
+
+// manifest is the durable index of hosted campaigns: enough to re-host
+// every suspended one after a restart. Campaign payload state (journal,
+// snapshots, reduced repros) lives in each campaign's own state
+// directory; the manifest only records who owns what.
+type manifest struct {
+	NextID    int             `json:"next_id"`
+	Campaigns []manifestEntry `json:"campaigns"`
+}
+
+type manifestEntry struct {
+	ID      string     `json:"id"`
+	Tenant  string     `json:"tenant"`
+	Created time.Time  `json:"created"`
+	Config  cli.Config `json:"config"`
+	State   string     `json:"state"`
+}
+
+func (s *Server) manifestPath() string { return filepath.Join(s.opts.DataDir, "manifest.json") }
+func (s *Server) corpusPath() string   { return filepath.Join(s.opts.DataDir, "corpus.json") }
+
+// saveManifestLocked writes the manifest atomically (tmp + rename).
+// Caller holds s.mu. A DataDir-less server skips persistence.
+func (s *Server) saveManifestLocked() {
+	if s.opts.DataDir == "" {
+		return
+	}
+	m := manifest{NextID: s.nextID}
+	for _, id := range s.order {
+		h := s.campaigns[id]
+		m.Campaigns = append(m.Campaigns, manifestEntry{
+			ID:      h.id,
+			Tenant:  h.tenant,
+			Created: h.created,
+			Config:  h.cfg,
+			State:   h.camp.State().String(),
+		})
+	}
+	writeFileAtomic(s.manifestPath(), m) //nolint:errcheck // best-effort; next transition rewrites
+}
+
+// loadManifest reads the manifest and, when resume is set, re-hosts
+// every non-terminal campaign as a suspended one: built with
+// Resume=true so its first Start restores the journal, but not started
+// — POST .../resume (or operator action) continues it. Terminal
+// campaigns are not re-hosted; their state directories stay on disk.
+func (s *Server) loadManifest(resume bool) error {
+	raw, err := os.ReadFile(s.manifestPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var m manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return fmt.Errorf("corrupt server manifest %s: %w", s.manifestPath(), err)
+	}
+	s.nextID = m.NextID
+	if !resume {
+		return nil
+	}
+	for _, e := range m.Campaigns {
+		if terminalStateName(e.State) {
+			continue
+		}
+		t := s.tenantLocked(e.Tenant)
+		cfg := e.Config
+		cfg.StateDir = s.campaignStateDir(e.ID)
+		cfg.Resume = true
+		opts, err := cfg.CampaignOptions()
+		if err != nil {
+			return fmt.Errorf("re-hosting campaign %s: %w", e.ID, err)
+		}
+		trace := metrics.NewTrace(s.opts.TraceCapacity)
+		opts.Metrics = t.reg.Scope(e.ID)
+		opts.Trace = trace
+		opts.Gate = t.units.gate()
+		h := &hosted{
+			id:        e.ID,
+			tenant:    e.Tenant,
+			created:   e.Created,
+			cfg:       cfg,
+			opts:      opts,
+			camp:      campaign.New(opts),
+			trace:     trace,
+			suspended: true,
+			repros:    map[string]*reproDoc{},
+		}
+		s.campaigns[h.id] = h
+		s.order = append(s.order, h.id)
+		go s.watch(h)
+	}
+	return nil
+}
+
+// terminalStateName reports whether a manifest state string names a
+// terminal lifecycle state.
+func terminalStateName(name string) bool {
+	switch name {
+	case campaign.StateDone.String(), campaign.StateCancelled.String(), campaign.StateFailed.String():
+		return true
+	}
+	return false
+}
+
+// loadCorpus restores the cross-campaign bug corpus.
+func (s *Server) loadCorpus() error {
+	raw, err := os.ReadFile(s.corpusPath())
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw, s.corpus); err != nil {
+		return fmt.Errorf("corrupt server corpus %s: %w", s.corpusPath(), err)
+	}
+	return nil
+}
+
+// saveCorpusLocked persists the corpus atomically. Caller holds s.mu.
+func (s *Server) saveCorpusLocked() {
+	if s.opts.DataDir == "" {
+		return
+	}
+	writeFileAtomic(s.corpusPath(), s.corpus) //nolint:errcheck // re-merged on next completion
+}
+
+// writeFileAtomic writes v as indented JSON via tmp + rename, so a
+// crash mid-write never leaves a torn document.
+func writeFileAtomic(path string, v any) error {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}

@@ -1,0 +1,560 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/cli"
+)
+
+// newTestServer starts a server over the options and an HTTP front for
+// it.
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opts.Heartbeat == 0 {
+		opts.Heartbeat = 30 * time.Millisecond
+	}
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s)
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	return s, ts
+}
+
+// request performs one API call as the given tenant.
+func request(t *testing.T, ts *httptest.Server, method, path, tenant string, body any) (int, []byte) {
+	t.Helper()
+	var payload io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, ts.URL+path, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, raw
+}
+
+// submit posts a campaign config and returns its assigned ID.
+func submit(t *testing.T, ts *httptest.Server, tenant string, cfg map[string]any) string {
+	t.Helper()
+	code, raw := request(t, ts, "POST", "/api/campaigns", tenant, cfg)
+	if code != http.StatusCreated {
+		t.Fatalf("submit: status %d: %s", code, raw)
+	}
+	var view struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(raw, &view); err != nil {
+		t.Fatal(err)
+	}
+	return view.ID
+}
+
+// state fetches one campaign's lifecycle state string.
+func state(t *testing.T, ts *httptest.Server, tenant, id string) string {
+	t.Helper()
+	code, raw := request(t, ts, "GET", "/api/campaigns/"+id, tenant, nil)
+	if code != http.StatusOK {
+		t.Fatalf("inspect %s: status %d: %s", id, code, raw)
+	}
+	var view struct {
+		Status struct {
+			State string `json:"state"`
+		} `json:"status"`
+	}
+	if err := json.Unmarshal(raw, &view); err != nil {
+		t.Fatal(err)
+	}
+	return view.Status.State
+}
+
+// waitState polls until the campaign reaches the wanted state.
+func waitState(t *testing.T, ts *httptest.Server, tenant, id, want string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		if got := state(t, ts, tenant, id); got == want {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("campaign %s never reached state %s (now %s)", id, want, state(t, ts, tenant, id))
+}
+
+// goldenDoc runs the same submission in-process and encodes its report
+// document exactly as the report endpoint does.
+func goldenDoc(t *testing.T, mutate func(*cli.Config)) []byte {
+	t.Helper()
+	cfg := cli.NewConfig()
+	mutate(cfg)
+	opts, err := cfg.CampaignOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := campaign.RunContext(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r.Doc()); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestServerSubmitPauseResumeReportMatchesInProcess(t *testing.T) {
+	s, ts := newTestServer(t, Options{DataDir: t.TempDir()})
+	defer s.Close()
+	id := submit(t, ts, "", map[string]any{
+		"seed": 1, "programs": 120, "workers": 2, "compilers": []string{"groovyc"},
+	})
+
+	// Pause mid-run (racing completion: a finished campaign refuses with
+	// 409, which just degrades this into the no-pause path).
+	time.Sleep(100 * time.Millisecond)
+	code, raw := request(t, ts, "POST", "/api/campaigns/"+id+"/pause", "", nil)
+	if code == http.StatusOK {
+		if got := state(t, ts, "", id); got != "paused" {
+			t.Fatalf("after pause: state %s", got)
+		}
+		// A paused campaign's report is served, and is partial.
+		code, rep := request(t, ts, "GET", "/api/campaigns/"+id+"/report", "", nil)
+		if code != http.StatusOK {
+			t.Fatalf("report while paused: status %d", code)
+		}
+		var doc struct {
+			Complete bool `json:"complete"`
+		}
+		if err := json.Unmarshal(rep, &doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.Complete {
+			t.Error("paused campaign served a complete report")
+		}
+		if code, raw := request(t, ts, "POST", "/api/campaigns/"+id+"/resume", "", nil); code != http.StatusOK {
+			t.Fatalf("resume: status %d: %s", code, raw)
+		}
+	} else if code != http.StatusConflict {
+		t.Fatalf("pause: status %d: %s", code, raw)
+	}
+
+	waitState(t, ts, "", id, "done")
+	code, got := request(t, ts, "GET", "/api/campaigns/"+id+"/report", "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("report: status %d: %s", code, got)
+	}
+	want := goldenDoc(t, func(c *cli.Config) {
+		c.Seed, c.Programs, c.Workers, c.Compilers = 1, 120, 2, []string{"groovyc"}
+	})
+	if !bytes.Equal(got, want) {
+		t.Errorf("HTTP report differs from in-process run:\n%s\nvs\n%s", got, want)
+	}
+}
+
+func TestServerUnitRateGateKeepsDeterminism(t *testing.T) {
+	_, ts := newTestServer(t, Options{UnitRate: 500, UnitBurst: 4})
+	id := submit(t, ts, "", map[string]any{
+		"seed": 7, "programs": 30, "compilers": []string{"groovyc"},
+	})
+	waitState(t, ts, "", id, "done")
+	_, got := request(t, ts, "GET", "/api/campaigns/"+id+"/report", "", nil)
+	want := goldenDoc(t, func(c *cli.Config) {
+		c.Seed, c.Programs, c.Compilers = 7, 30, []string{"groovyc"}
+	})
+	if !bytes.Equal(got, want) {
+		t.Error("unit-rate-gated report differs from ungated in-process run")
+	}
+}
+
+func TestServerTenantIsolation(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	id := submit(t, ts, "alice", map[string]any{
+		"seed": 1, "programs": 10, "compilers": []string{"groovyc"},
+	})
+	// Bob cannot see, inspect, or control Alice's campaign.
+	if code, _ := request(t, ts, "GET", "/api/campaigns/"+id, "bob", nil); code != http.StatusNotFound {
+		t.Errorf("cross-tenant inspect: status %d, want 404", code)
+	}
+	for _, action := range []string{"pause", "resume", "cancel"} {
+		if code, _ := request(t, ts, "POST", "/api/campaigns/"+id+"/"+action, "bob", nil); code != http.StatusNotFound {
+			t.Errorf("cross-tenant %s: status %d, want 404", action, code)
+		}
+	}
+	code, raw := request(t, ts, "GET", "/api/campaigns", "bob", nil)
+	if code != http.StatusOK {
+		t.Fatalf("list: status %d", code)
+	}
+	var list struct {
+		Campaigns []json.RawMessage `json:"campaigns"`
+	}
+	if err := json.Unmarshal(raw, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Campaigns) != 0 {
+		t.Errorf("bob sees %d of alice's campaigns", len(list.Campaigns))
+	}
+	// A bad tenant name is rejected outright.
+	if code, _ := request(t, ts, "GET", "/api/campaigns", "../../etc", nil); code != http.StatusBadRequest {
+		t.Errorf("bad tenant name: status %d, want 400", code)
+	}
+	waitState(t, ts, "alice", id, "done")
+}
+
+func TestServerAdmissionQueue(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxRunning: 1})
+	first := submit(t, ts, "", map[string]any{
+		"seed": 1, "programs": 60, "compilers": []string{"groovyc"},
+	})
+	second := submit(t, ts, "", map[string]any{
+		"seed": 2, "programs": 10, "compilers": []string{"groovyc"},
+	})
+	// With one slot the second campaign starts queued.
+	code, raw := request(t, ts, "GET", "/api/campaigns/"+second, "", nil)
+	if code != http.StatusOK {
+		t.Fatal(code)
+	}
+	var view struct {
+		Queued bool `json:"queued"`
+		Status struct {
+			State string `json:"state"`
+		} `json:"status"`
+	}
+	if err := json.Unmarshal(raw, &view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Status.State == "new" && !view.Queued {
+		t.Error("second campaign is neither running nor queued")
+	}
+	// Both drain through the single slot to completion.
+	waitState(t, ts, "", first, "done")
+	waitState(t, ts, "", second, "done")
+}
+
+func TestServerSubmitRateLimit(t *testing.T) {
+	_, ts := newTestServer(t, Options{SubmitRate: 0.0001, SubmitBurst: 2})
+	small := map[string]any{"seed": 1, "programs": 5, "compilers": []string{"groovyc"}}
+	submit(t, ts, "", small)
+	submit(t, ts, "", small)
+	code, _ := request(t, ts, "POST", "/api/campaigns", "", small)
+	if code != http.StatusTooManyRequests {
+		t.Errorf("third submission: status %d, want 429", code)
+	}
+	// Another tenant has its own bucket.
+	submit(t, ts, "other", small)
+}
+
+func TestServerPerTenantCampaignCap(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxPerTenant: 1})
+	id := submit(t, ts, "", map[string]any{
+		"seed": 1, "programs": 400, "workers": 2, "compilers": []string{"groovyc"},
+	})
+	code, _ := request(t, ts, "POST", "/api/campaigns", "", map[string]any{
+		"seed": 2, "programs": 5, "compilers": []string{"groovyc"},
+	})
+	if code != http.StatusTooManyRequests {
+		t.Errorf("over-cap submission: status %d, want 429", code)
+	}
+	// Cancelling the live campaign frees the tenant's budget.
+	if code, raw := request(t, ts, "POST", "/api/campaigns/"+id+"/cancel", "", nil); code != http.StatusOK {
+		t.Fatalf("cancel: status %d: %s", code, raw)
+	}
+	waitState(t, ts, "", id, "cancelled")
+	code, raw := request(t, ts, "GET", "/api/campaigns/"+id+"/report", "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("report after cancel: status %d", code)
+	}
+	var doc struct {
+		Complete bool   `json:"complete"`
+		Error    string `json:"error"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Complete || doc.Error == "" {
+		t.Errorf("cancelled report: %+v, want incomplete with error", doc)
+	}
+	submit(t, ts, "", map[string]any{"seed": 2, "programs": 5, "compilers": []string{"groovyc"}})
+}
+
+func TestServerValidationRejectsBadConfigs(t *testing.T) {
+	_, ts := newTestServer(t, Options{MaxPrograms: 100})
+	for name, cfg := range map[string]map[string]any{
+		"zero programs":    {"programs": 0},
+		"too large":        {"programs": 5000},
+		"unknown compiler": {"programs": 5, "compilers": []string{"rustc"}},
+		"bad chaos":        {"programs": 5, "chaos": 2.0},
+	} {
+		if code, _ := request(t, ts, "POST", "/api/campaigns", "", cfg); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, code)
+		}
+	}
+}
+
+func TestServerCorpusAndRepro(t *testing.T) {
+	_, ts := newTestServer(t, Options{DataDir: t.TempDir()})
+	id := submit(t, ts, "", map[string]any{
+		"seed": 1, "programs": 40, "compilers": []string{"groovyc"},
+	})
+	waitState(t, ts, "", id, "done")
+
+	code, raw := request(t, ts, "GET", "/api/corpus", "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("corpus: status %d", code)
+	}
+	var corpus campaign.Corpus
+	if err := json.Unmarshal(raw, &corpus); err != nil {
+		t.Fatal(err)
+	}
+	if corpus.Campaigns != 1 || len(corpus.Bugs) == 0 {
+		t.Fatalf("corpus after one campaign: campaigns=%d bugs=%d", corpus.Campaigns, len(corpus.Bugs))
+	}
+
+	var bugID string
+	for bid := range corpus.Bugs {
+		bugID = bid
+		break
+	}
+	code, raw = request(t, ts, "GET", "/api/campaigns/"+id+"/repro?bug="+bugID, "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("repro %s: status %d: %s", bugID, code, raw)
+	}
+	var doc reproDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Bug != bugID || doc.Compiler != "groovyc" || doc.Language == "" || doc.Kind == "" {
+		t.Errorf("repro doc incomplete: %+v", doc)
+	}
+	if doc.ReducedNodes <= 0 || doc.ReducedNodes > doc.Nodes {
+		t.Errorf("reduction grew the program: %d -> %d nodes", doc.Nodes, doc.ReducedNodes)
+	}
+	if doc.IR == "" || doc.Source == "" {
+		t.Error("repro doc is missing the program text")
+	}
+	if code, _ := request(t, ts, "GET", "/api/campaigns/"+id+"/repro?bug=NOPE-1", "", nil); code != http.StatusNotFound {
+		t.Errorf("unknown bug repro: status %d, want 404", code)
+	}
+}
+
+func TestServerSSEStreamsHeartbeatsAndTrace(t *testing.T) {
+	_, ts := newTestServer(t, Options{Heartbeat: 20 * time.Millisecond})
+	id := submit(t, ts, "", map[string]any{
+		"seed": 1, "programs": 40, "workers": 2, "compilers": []string{"groovyc"},
+	})
+	req, err := http.NewRequest("GET", ts.URL+"/api/campaigns/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %s", ct)
+	}
+	events := map[string]int{}
+	sawLine := false
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if name, ok := strings.CutPrefix(line, "event: "); ok {
+			events[name]++
+			if name == "done" {
+				break
+			}
+		}
+		if strings.Contains(line, "heartbeat: units") {
+			sawLine = true
+		}
+	}
+	if events["done"] != 1 {
+		t.Fatalf("stream ended without a done event: %v", events)
+	}
+	if events["trace"] == 0 {
+		t.Error("no trace events streamed")
+	}
+	if events["heartbeat"] > 0 && !sawLine {
+		t.Error("heartbeat events carried no rendered heartbeat line")
+	}
+	waitState(t, ts, "", id, "done")
+}
+
+func TestServerDrainAndResumeAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Options{DataDir: dir})
+	id := submit(t, ts1, "t1", map[string]any{
+		"seed": 1, "programs": 300, "workers": 2, "compilers": []string{"groovyc"},
+	})
+	time.Sleep(150 * time.Millisecond)
+	// SIGTERM path: drain suspends the running campaign durably.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := s1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if code, _ := request(t, ts1, "POST", "/api/campaigns", "t1",
+		map[string]any{"programs": 5, "compilers": []string{"groovyc"}}); code != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining: status %d, want 503", code)
+	}
+	ts1.Close()
+
+	// A fresh server over the same data dir re-hosts the suspension.
+	s2, ts2 := newTestServer(t, Options{DataDir: dir, Resume: true})
+	defer s2.Close()
+	code, raw := request(t, ts2, "GET", "/api/campaigns/"+id, "t1", nil)
+	if code != http.StatusOK {
+		t.Fatalf("restored campaign not listed: status %d: %s", code, raw)
+	}
+	var view struct {
+		Suspended bool `json:"suspended"`
+	}
+	if err := json.Unmarshal(raw, &view); err != nil {
+		t.Fatal(err)
+	}
+	if !view.Suspended {
+		t.Errorf("restored campaign not marked suspended: %s", raw)
+	}
+	if code, raw := request(t, ts2, "POST", "/api/campaigns/"+id+"/resume", "t1", nil); code != http.StatusOK {
+		t.Fatalf("resume after restart: status %d: %s", code, raw)
+	}
+	waitState(t, ts2, "t1", id, "done")
+	_, got := request(t, ts2, "GET", "/api/campaigns/"+id+"/report", "t1", nil)
+	want := goldenDoc(t, func(c *cli.Config) {
+		c.Seed, c.Programs, c.Workers, c.Compilers = 1, 300, 2, []string{"groovyc"}
+	})
+	if !bytes.Equal(got, want) {
+		t.Error("report after drain+restart+resume differs from uninterrupted in-process run")
+	}
+}
+
+func TestServerTenantDebugEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	id := submit(t, ts, "alice", map[string]any{
+		"seed": 1, "programs": 10, "compilers": []string{"groovyc"},
+	})
+	waitState(t, ts, "alice", id, "done")
+	code, raw := request(t, ts, "GET", "/debug/tenants/alice/metrics", "", nil)
+	if code != http.StatusOK {
+		t.Fatalf("tenant metrics: status %d", code)
+	}
+	var snap map[string]any
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	// The campaign's counters live under its ID in the tenant registry.
+	found := false
+	for _, section := range snap {
+		if m, ok := section.(map[string]any); ok {
+			for name := range m {
+				if strings.HasPrefix(name, id+".") {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no %s.* instruments in tenant registry: %s", id, raw)
+	}
+	if code, _ := request(t, ts, "GET", "/debug/tenants/nobody/metrics", "", nil); code != http.StatusNotFound {
+		t.Errorf("unknown tenant debug: status %d, want 404", code)
+	}
+	if code, _ := request(t, ts, "GET", "/healthz", "", nil); code != http.StatusOK {
+		t.Error("healthz failed")
+	}
+}
+
+func TestServerTenantsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	small := map[string]any{"seed": 1, "programs": 5, "compilers": []string{"groovyc"}}
+	a := submit(t, ts, "alice", small)
+	b := submit(t, ts, "bob", small)
+	code, raw := request(t, ts, "GET", "/api/tenants", "", nil)
+	if code != http.StatusOK {
+		t.Fatal(code)
+	}
+	var doc struct {
+		Tenants []struct {
+			Name      string `json:"name"`
+			Campaigns int    `json:"campaigns"`
+		} `json:"tenants"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]int{}
+	for _, tv := range doc.Tenants {
+		byName[tv.Name] = tv.Campaigns
+	}
+	if byName["alice"] != 1 || byName["bob"] != 1 {
+		t.Errorf("tenant listing wrong: %s", raw)
+	}
+	waitState(t, ts, "alice", a, "done")
+	waitState(t, ts, "bob", b, "done")
+}
+
+func TestLimiter(t *testing.T) {
+	l := newLimiter(100, 2)
+	if !l.allow() || !l.allow() {
+		t.Fatal("burst tokens not available")
+	}
+	ok, retry := l.take()
+	if ok {
+		t.Fatal("third immediate take admitted")
+	}
+	if retry <= 0 || retry > 20*time.Millisecond {
+		t.Fatalf("retry hint %v, want ~10ms", retry)
+	}
+	if err := l.wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	slow := newLimiter(0.001, 1)
+	slow.allow()
+	if err := slow.wait(ctx); err == nil {
+		t.Fatal("wait ignored cancelled context")
+	}
+	// Disabled limiters admit everything and gate to nil.
+	var disabled *limiter
+	if !disabled.allow() {
+		t.Error("nil limiter blocked")
+	}
+	if newLimiter(0, 1).gate() != nil {
+		t.Error("disabled limiter produced a gate")
+	}
+	if newLimiter(100, 2).gate() == nil {
+		t.Error("enabled limiter produced no gate")
+	}
+}
