@@ -50,9 +50,12 @@ import (
 	"os/signal"
 	"syscall"
 
+	"strings"
+
 	"repro/internal/campaign"
 	"repro/internal/cli"
 	"repro/internal/compilers"
+	"repro/internal/fabric"
 	"repro/internal/generator"
 	"repro/internal/oracle"
 )
@@ -64,6 +67,7 @@ func main() {
 	covN := flag.Int("covn", 150, "programs for the coverage experiments")
 	reportJSON := flag.String("report-json", "", "write the deterministic report document (JSON) to this file")
 	cfg.RegisterCampaignFlags(flag.CommandLine)
+	cfg.RegisterFabricFlags(flag.CommandLine)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -78,7 +82,9 @@ func main() {
 
 	needCampaign := map[string]bool{"7a": true, "7b": true, "7c": true, "8": true, "all": true}[*fig]
 	var report *campaign.Report
-	if needCampaign {
+	if needCampaign && cfg.Shards > 0 {
+		report = runFabric(ctx, cfg, obs, *reportJSON)
+	} else if needCampaign {
 		opts, err := cfg.CampaignOptions()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -183,6 +189,102 @@ func main() {
 	if report != nil && *fig == "all" {
 		fmt.Println(report.VerdictSummary())
 	}
+}
+
+// runFabric runs the campaign sharded across fabric workers — spawned
+// cmd/worker processes, or running ones attached with -fabric-workers —
+// and returns the merged report, which is byte-identical to the
+// single-process run of the same flags. On degradation (shards
+// abandoned after worker exhaustion) it flushes the partial report and
+// exits nonzero, like an aborted single-process campaign.
+func runFabric(ctx context.Context, cfg *cli.Config, obs *cli.Observability, reportJSON string) *campaign.Report {
+	var clients []*fabric.Client
+	if cfg.FabricWorkers != "" {
+		for i, addr := range strings.Split(cfg.FabricWorkers, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			if !strings.Contains(addr, "://") {
+				addr = "http://" + addr
+			}
+			clients = append(clients, fabric.NewClient(fmt.Sprintf("w%d", i), addr, cfg.FabricTimeout))
+		}
+		if len(clients) == 0 {
+			fmt.Fprintln(os.Stderr, "fabric: -fabric-workers lists no usable addresses")
+			os.Exit(2)
+		}
+	} else {
+		if cfg.WorkerBin == "" {
+			fmt.Fprintln(os.Stderr, "fabric: -shards needs -worker-bin to spawn workers or -fabric-workers to attach them")
+			os.Exit(2)
+		}
+		procs := cfg.FabricProcs
+		if procs <= 0 {
+			procs = cfg.Shards
+			if procs > 8 {
+				procs = 8
+			}
+		}
+		var chaos *fabric.ChaosOptions
+		if cfg.FabricChaos > 0 {
+			chaos = &fabric.ChaosOptions{
+				Seed:        cfg.Seed,
+				KillRate:    cfg.FabricChaos,
+				StallRate:   cfg.FabricChaos,
+				SlowRate:    cfg.FabricChaos,
+				CorruptRate: cfg.FabricChaos,
+			}
+		}
+		workers, stopWorkers, err := fabric.SpawnWorkers(fabric.SpawnOptions{
+			Bin:         cfg.WorkerBin,
+			Count:       procs,
+			Dir:         cfg.FabricState,
+			Chaos:       chaos,
+			CallTimeout: cfg.FabricTimeout,
+			Announce:    os.Stdout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fabric: %v\n", err)
+			os.Exit(1)
+		}
+		defer stopWorkers()
+		clients = fabric.Clients(workers)
+	}
+
+	fmt.Printf("running sharded campaign: %d programs over %d shards on %d workers...\n\n",
+		cfg.Programs, cfg.Shards, len(clients))
+	res, err := fabric.Run(ctx, fabric.Options{
+		Config:      *cfg,
+		Shards:      cfg.Shards,
+		Workers:     clients,
+		CallTimeout: cfg.FabricTimeout,
+		StateDir:    cfg.FabricState,
+		Metrics:     obs.Registry,
+		Trace:       obs.Trace,
+	})
+	if res == nil {
+		fmt.Fprintf(os.Stderr, "fabric: %v\n", err)
+		os.Exit(1)
+	}
+	report := res.Report
+	writeReportDoc(report, reportJSON)
+	if res.Faults.Faults() {
+		fmt.Println(res.Faults)
+		fmt.Println()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sharded campaign degraded: %v\n", err)
+		fmt.Fprintf(os.Stderr, "partial report: %d distinct bugs over %d generated programs\n",
+			report.TotalFound(), report.ProgramsRun[oracle.Generated])
+		flushPartial(report, "all", false)
+		os.Exit(1)
+	}
+	fmt.Printf("found %d distinct bugs (TEM repairs: %d)\n\n", report.TotalFound(), report.TEMRepairs)
+	if report.Faults.Faults() {
+		fmt.Println(report.Faults)
+	}
+	return report
 }
 
 // writeReportDoc writes the deterministic report document, encoded

@@ -263,6 +263,7 @@ func openState(opts Options, report *Report, agg *reportAggregator, h *harness.H
 	if err != nil {
 		return nil, err
 	}
+	store.SetObserver(CorruptionObserver(opts.Metrics, opts.Trace))
 	st := &durableState{
 		store:         store,
 		fp:            fingerprint(opts),

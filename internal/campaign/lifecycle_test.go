@@ -380,3 +380,58 @@ func TestCorpusMergeReport(t *testing.T) {
 		}
 	}
 }
+
+// TestLifecyclePauseRacesCompletion drives Pause squarely into the
+// completion window: the pause is requested only after every unit has
+// folded, so the segment is finishing — or already finished —
+// underneath it. Whatever interleaving lands, the campaign must settle
+// coherently: paused (then resumable to done) or done, never wedged in
+// pausing, with Wait unblocking and the completed report intact.
+// Meaningful under -race.
+func TestLifecyclePauseRacesCompletion(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		o := smallOptions(10)
+		o.Workers = 4
+		o.StateDir = t.TempDir()
+		o.SnapshotEvery = 4
+		c := New(o)
+		if err := c.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(2 * time.Minute)
+		for c.Status().Units < o.Programs {
+			if time.Now().After(deadline) {
+				t.Fatal("campaign never folded all its units")
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+		pauseErr := c.Pause()
+		switch st := c.State(); st {
+		case StatePaused:
+			// Pause won the race; the suspension must be resumable.
+			if pauseErr != nil {
+				t.Fatalf("iteration %d: paused, yet Pause returned %v", i, pauseErr)
+			}
+			if err := c.Resume(); err != nil {
+				t.Fatalf("iteration %d: Resume after racing pause: %v", i, err)
+			}
+		case StateDone:
+			// Completion won; a finished campaign stays finished whether
+			// Pause returned nil (requested mid-drain) or a state error
+			// (requested after settle).
+		default:
+			t.Fatalf("iteration %d: state %s after Pause returned (Pause err: %v) — incoherent settle",
+				i, st, pauseErr)
+		}
+		r, err := c.Wait()
+		if err != nil {
+			t.Fatalf("iteration %d: Wait after racing pause: %v", i, err)
+		}
+		if !r.Complete() {
+			t.Errorf("iteration %d: completed campaign's report is not complete", i)
+		}
+		if st := c.State(); st != StateDone {
+			t.Errorf("iteration %d: final state %s, want done", i, st)
+		}
+	}
+}

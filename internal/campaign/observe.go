@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/journal"
 	"repro/internal/metrics"
 	"repro/internal/oracle"
 )
@@ -86,6 +87,28 @@ func (o *observer) prime(report *Report) {
 				o.reg.Counter(verdictCounterName(comp, kind, verdict)).Add(int64(n))
 			}
 		}
+	}
+}
+
+// CorruptionObserver builds the journal-corruption hook for
+// journal.Store.SetObserver (and for the fabric coordinator's
+// shipped-journal replays): each quarantined record increments the
+// journal_corrupt_records counter and emits a "journal" trace event, so
+// corruption is visible live instead of only in RecoveryInfo. Returns
+// nil when the campaign is unobserved.
+func CorruptionObserver(reg *metrics.Registry, trace *metrics.Trace) func(journal.Corruption) {
+	if reg == nil && trace == nil {
+		return nil
+	}
+	corrupt := reg.Counter("journal_corrupt_records")
+	return func(c journal.Corruption) {
+		corrupt.Inc()
+		trace.Emit(metrics.Event{
+			Kind:   "journal",
+			Seq:    -1,
+			Stage:  "replay",
+			Detail: c.String(),
+		})
 	}
 }
 

@@ -90,6 +90,17 @@ type Config struct {
 	Stats     bool          `json:"-"`
 	DebugAddr string        `json:"-"`
 	Heartbeat time.Duration `json:"-"`
+
+	// Fabric settings (distributed sharded campaigns), also
+	// process-local: the coordinator owns the topology, the submission
+	// JSON the workers receive describes only the campaign itself.
+	Shards        int           `json:"-"`
+	FabricState   string        `json:"-"`
+	WorkerBin     string        `json:"-"`
+	FabricProcs   int           `json:"-"`
+	FabricWorkers string        `json:"-"`
+	FabricChaos   float64       `json:"-"`
+	FabricTimeout time.Duration `json:"-"`
 }
 
 // NewConfig returns the defaults both CLIs and the server share:
@@ -120,6 +131,19 @@ func (c *Config) RegisterCampaignFlags(fs *flag.FlagSet) {
 	fs.IntVar(&c.SnapshotEvery, "snapshot-every", c.SnapshotEvery, "units between report snapshots (0 = default cadence of 64; -1 disables snapshots)")
 	fs.StringVar(&c.DebugAddr, "debug-addr", c.DebugAddr, "serve /metrics, /events, and /debug/pprof on this address (e.g. 127.0.0.1:6060; :0 picks a free port)")
 	fs.DurationVar(&c.Heartbeat, "heartbeat", c.Heartbeat, "print a one-line progress summary at this interval (0 disables)")
+}
+
+// RegisterFabricFlags registers the distributed-campaign flags: shard
+// count, coordinator state, and the worker topology (spawned processes
+// or attached addresses).
+func (c *Config) RegisterFabricFlags(fs *flag.FlagSet) {
+	fs.IntVar(&c.Shards, "shards", c.Shards, "shard the campaign across fabric workers (0 = single process)")
+	fs.StringVar(&c.FabricState, "fabric-state", c.FabricState, "coordinator scratch directory (worker state, fabric fault ledger)")
+	fs.StringVar(&c.WorkerBin, "worker-bin", c.WorkerBin, "cmd/worker binary to spawn local workers from")
+	fs.IntVar(&c.FabricProcs, "fabric-procs", c.FabricProcs, "worker processes to spawn (0 = one per shard, capped at 8)")
+	fs.StringVar(&c.FabricWorkers, "fabric-workers", c.FabricWorkers, "attach these running workers (comma-separated http addresses) instead of spawning")
+	fs.Float64Var(&c.FabricChaos, "fabric-chaos", c.FabricChaos, "worker-level fault rate for spawned workers: kill, stall, slow, corrupt shipment (0 disables)")
+	fs.DurationVar(&c.FabricTimeout, "fabric-timeout", c.FabricTimeout, "per-call coordinator→worker budget (0 = 3s)")
 }
 
 // ResolveCompilers maps the configured compiler names to the simulated

@@ -1,0 +1,120 @@
+// Client: the coordinator's view of one worker. Every call is
+// time-bounded — a worker that answers nothing within the budget is a
+// failed call, never a hung coordinator — and the transport is plain
+// HTTP, so a "worker" can be a spawned local process, a remote node,
+// or an in-process handler under test.
+
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to one worker.
+type Client struct {
+	name string
+	base string
+	hc   *http.Client
+}
+
+// NewClient returns a client for the worker at base (e.g.
+// "http://127.0.0.1:9000"). timeout bounds every individual call; 0
+// means 5 seconds.
+func NewClient(name, base string, timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return &Client{
+		name: name,
+		base: strings.TrimRight(base, "/"),
+		hc:   &http.Client{Timeout: timeout},
+	}
+}
+
+// NewClientWith returns a client over a caller-supplied http.Client —
+// the in-process test hook (httptest servers, fault-injecting
+// transports). The http.Client's own Timeout applies.
+func NewClientWith(name, base string, hc *http.Client) *Client {
+	return &Client{name: name, base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// Name returns the worker's label for ledgers and logs.
+func (c *Client) Name() string { return c.name }
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("fabric: %s %s: %w", c.name, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("fabric: %s %s: %s: %s", c.name, path, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	return nil
+}
+
+// Lease grants a shard lease to the worker.
+func (c *Client) Lease(ctx context.Context, lease Lease) error {
+	return c.do(ctx, http.MethodPost, "/leases", lease, nil)
+}
+
+// Status polls one lease — the heartbeat.
+func (c *Client) Status(ctx context.Context, id string) (LeaseStatus, error) {
+	var st LeaseStatus
+	err := c.do(ctx, http.MethodGet, "/leases/"+id, nil, &st)
+	return st, err
+}
+
+// Journal fetches the shard journal of a terminal lease.
+func (c *Client) Journal(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/leases/"+id+"/journal", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("fabric: %s journal: %w", c.name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("fabric: %s journal: %s: %s", c.name, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Cancel asks the worker to stop a lease; best-effort by design.
+func (c *Client) Cancel(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodPost, "/leases/"+id+"/cancel", nil, nil)
+}
+
+// Healthz answers whether the worker is reachable.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}

@@ -1,0 +1,469 @@
+// The fabric's central promise, proved end to end: a campaign sharded
+// across workers — with workers killed mid-shard, heartbeats stalled,
+// shipments corrupted, and stragglers hedged — merges to a report
+// byte-identical to an uninterrupted single-process run. The chaos
+// here is seeded and searched for, not sampled, so every fault class
+// provably fires on every run of the test.
+
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/cli"
+	"repro/internal/journal"
+	"repro/internal/metrics"
+)
+
+// soakConfig is a campaign small enough for CI but rich enough to
+// exercise the full pipeline: mutations on, harness chaos injecting
+// panics, hangs, transients, and flaky probes.
+func soakConfig(programs int) cli.Config {
+	return cli.Config{
+		Seed:           20220401,
+		Programs:       programs,
+		BatchSize:      7,
+		Workers:        2,
+		CompileTimeout: cli.Duration(250 * time.Millisecond),
+		Retries:        2,
+		Chaos:          0.1,
+		SnapshotEvery:  -1,
+	}
+}
+
+// refDoc runs the campaign uninterrupted in-process and returns its
+// deterministic report document — the bytes the sharded run must match.
+func refDoc(t *testing.T, cfg cli.Config) []byte {
+	t.Helper()
+	opts, err := cfg.CampaignOptions()
+	if err != nil {
+		t.Fatalf("CampaignOptions: %v", err)
+	}
+	report := campaign.Run(opts)
+	if report.Err != nil {
+		t.Fatalf("reference run failed: %v", report.Err)
+	}
+	return marshalDoc(t, report)
+}
+
+func marshalDoc(t *testing.T, report *campaign.Report) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(report.Doc(), "", "  ")
+	if err != nil {
+		t.Fatalf("marshal doc: %v", err)
+	}
+	return b
+}
+
+// startWorkers brings up n in-process workers over httptest and
+// returns their clients. timeout is the per-call client budget — it is
+// what turns a dead worker's silence into a failed call.
+func startWorkers(t *testing.T, n int, chaos *ChaosOptions, timeout time.Duration) []*Client {
+	t.Helper()
+	var clients []*Client
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("w%d", i)
+		w := NewWorker(WorkerOptions{Dir: t.TempDir(), Name: name, Chaos: chaos})
+		srv := httptest.NewServer(w)
+		t.Cleanup(srv.Close)
+		t.Cleanup(w.Close) // LIFO: drain the lease before closing the server
+		clients = append(clients, NewClientWith(name, srv.URL, &http.Client{Timeout: timeout}))
+	}
+	return clients
+}
+
+// executedAttempts simulates which attempts of one shard actually run
+// under the coordinator's sequential-retry policy (no speculation): a
+// kill, stall, or corrupt draw fails the attempt, the first clean draw
+// covers the shard. Returns the executed fault draws and whether a
+// clean attempt exists within the budget.
+func executedAttempts(o ChaosOptions, shard, maxAttempts, units int) ([]faults, bool) {
+	var out []faults
+	for a := 0; a < maxAttempts; a++ {
+		f := o.decide(shard, a, units)
+		out = append(out, f)
+		if !f.kill && !f.stall && !f.corrupt {
+			return out, true
+		}
+	}
+	return out, false
+}
+
+// findSoakSeed searches the deterministic chaos space for a seed that
+// makes the soak a proof rather than a dice roll: exactly one kill
+// fires across all executed attempts (so exactly one in-process worker
+// goes permanently dead), at least one attempt stalls its heartbeats,
+// at least one ships a corrupt journal, and every shard still reaches
+// a clean attempt within the budget.
+func findSoakSeed(t *testing.T, tmpl ChaosOptions, shards, maxAttempts, units int) int64 {
+	t.Helper()
+	for seed := int64(1); seed < 1_000_000; seed++ {
+		o := tmpl
+		o.Seed = seed
+		kills, stalls, corrupts := 0, 0, 0
+		ok := true
+		for s := 0; s < shards; s++ {
+			run, clean := executedAttempts(o, s, maxAttempts, units)
+			if !clean {
+				ok = false
+				break
+			}
+			for _, f := range run {
+				if f.kill {
+					kills++
+				}
+				if f.stall && !f.kill {
+					stalls++
+				}
+				if f.corrupt && !f.kill && !f.stall {
+					corrupts++
+				}
+			}
+		}
+		if ok && kills == 1 && stalls >= 1 && corrupts >= 1 {
+			return seed
+		}
+	}
+	t.Fatal("no suitable chaos seed in search space")
+	return 0
+}
+
+// TestFabricCleanRunMatchesSingleProcess is the base case: no
+// worker-level chaos, shards ≠ workers, full harness chaos inside the
+// units — the merged report must byte-match the single-process run.
+func TestFabricCleanRunMatchesSingleProcess(t *testing.T) {
+	t.Parallel()
+	cfg := soakConfig(40)
+	want := refDoc(t, cfg)
+
+	clients := startWorkers(t, 3, nil, 2*time.Second)
+	res, err := Run(context.Background(), Options{
+		Config:         cfg,
+		Shards:         5,
+		Workers:        clients,
+		HeartbeatEvery: 25 * time.Millisecond,
+		CallTimeout:    2 * time.Second,
+		RetryBackoff:   5 * time.Millisecond,
+		SpeculateMin:   time.Minute, // no hedging in the clean run
+	})
+	if err != nil {
+		t.Fatalf("fabric run: %v", err)
+	}
+	if got := marshalDoc(t, res.Report); !bytes.Equal(got, want) {
+		t.Errorf("sharded report diverged from single-process run\n--- sharded ---\n%s\n--- single ---\n%s", got, want)
+	}
+	if res.Faults.Faults() {
+		t.Errorf("clean run reported fabric faults:\n%s", res.Faults)
+	}
+	if res.Faults.ShardsDone != 5 {
+		t.Errorf("ShardsDone = %d, want 5", res.Faults.ShardsDone)
+	}
+}
+
+// TestFabricChaosSoak is the tentpole proof: workers killed mid-shard,
+// heartbeats stalled, and a shipped journal corrupted — and the merged
+// report still byte-matches the uninterrupted single-process run,
+// with every fault visible in the ledger and metrics.
+func TestFabricChaosSoak(t *testing.T) {
+	t.Parallel()
+	const (
+		programs    = 60
+		shards      = 6
+		maxAttempts = 5
+	)
+	cfg := soakConfig(programs)
+	want := refDoc(t, cfg)
+
+	tmpl := ChaosOptions{
+		KillRate:    0.25,
+		StallRate:   0.25,
+		SlowRate:    0.2,
+		SlowDelay:   2 * time.Millisecond,
+		CorruptRate: 0.25,
+	}
+	tmpl.Seed = findSoakSeed(t, tmpl, shards, maxAttempts, programs/shards)
+	t.Logf("chaos seed %d", tmpl.Seed)
+
+	// Four workers: the seed guarantees exactly one goes permanently
+	// dead, leaving three to absorb reassignments. The heartbeat budget
+	// (misses × call timeout) is deliberately generous — four shard
+	// campaigns starting at once under -race can starve the process for
+	// hundreds of milliseconds, and a twitchy death verdict would turn
+	// every worker into a presumed corpse before its first unit folds.
+	clients := startWorkers(t, 4, &tmpl, time.Second)
+	reg := metrics.NewRegistry()
+	trace := metrics.NewTrace(1024)
+	res, err := Run(context.Background(), Options{
+		Config:           cfg,
+		Shards:           shards,
+		Workers:          clients,
+		HeartbeatEvery:   50 * time.Millisecond,
+		HeartbeatMisses:  4,
+		CallTimeout:      1200 * time.Millisecond,
+		MaxAttempts:      maxAttempts,
+		RetryBackoff:     25 * time.Millisecond,
+		SpeculateMin:     time.Minute, // speculation has its own test
+		BreakerThreshold: 4,           // one dead worker must not cascade
+		Metrics:          reg,
+		Trace:            trace,
+	})
+	if err != nil {
+		for _, ev := range trace.Tail(1024) {
+			if ev.Kind == "fabric" {
+				t.Logf("trace: %s", ev.Detail)
+			}
+		}
+		t.Fatalf("fabric run under chaos: %v\nledger:\n%s", err, res.Faults)
+	}
+
+	if got := marshalDoc(t, res.Report); !bytes.Equal(got, want) {
+		t.Errorf("chaos-soaked sharded report diverged from single-process run\n--- sharded ---\n%s\n--- single ---\n%s", got, want)
+	}
+
+	led := res.Faults
+	if led.ShardsDone != shards {
+		t.Errorf("ShardsDone = %d, want %d\n%s", led.ShardsDone, shards, led)
+	}
+	if led.WorkerDeaths == 0 {
+		t.Errorf("no worker deaths recorded despite kill+stall chaos\n%s", led)
+	}
+	if led.Reassignments == 0 {
+		t.Errorf("no reassignments recorded despite failed attempts\n%s", led)
+	}
+	if led.CorruptShippedRecords == 0 {
+		t.Errorf("no corrupt shipped records recorded despite corrupt chaos\n%s", led)
+	}
+	if len(led.DegradedShards) > 0 {
+		t.Errorf("shards degraded in a seed chosen to avoid it: %v", led.DegradedShards)
+	}
+
+	snap := reg.Snapshot()
+	if snap.Counters["fabric.worker_deaths"] != int64(led.WorkerDeaths) {
+		t.Errorf("metrics deaths %d != ledger deaths %d", snap.Counters["fabric.worker_deaths"], led.WorkerDeaths)
+	}
+	if snap.Counters["fabric.reassignments"] != int64(led.Reassignments) {
+		t.Errorf("metrics reassignments %d != ledger %d", snap.Counters["fabric.reassignments"], led.Reassignments)
+	}
+	if snap.Counters["journal_corrupt_records"] == 0 {
+		t.Error("journal_corrupt_records counter never incremented for corrupt shipments")
+	}
+	if snap.Gauges["fabric.units_merged"] != int64(programs) {
+		t.Errorf("fabric.units_merged = %d, want %d", snap.Gauges["fabric.units_merged"], programs)
+	}
+	var sawFabricEvent bool
+	for _, ev := range trace.Tail(1024) {
+		if ev.Kind == "fabric" {
+			sawFabricEvent = true
+			break
+		}
+	}
+	if !sawFabricEvent {
+		t.Error("no fabric trace events emitted")
+	}
+}
+
+// TestFabricSpeculationRescuesStraggler pins the straggler policy: a
+// shard whose first attempt draws slow chaos gets a speculative twin
+// once its elapsed time passes the median completed-attempt duration,
+// the twin wins, and the report still byte-matches the single-process
+// run.
+func TestFabricSpeculationRescuesStraggler(t *testing.T) {
+	t.Parallel()
+	const (
+		programs = 16
+		shards   = 2
+	)
+	cfg := soakConfig(programs)
+	want := refDoc(t, cfg)
+
+	// Seed search: shard 1's first attempt is slow (and only slow),
+	// everything else clean, so the hedge provably fires and wins. The
+	// delay is per admitted unit, so the straggler drags 8×2s behind a
+	// clean run — far past any plausible clean-shard duration, which is
+	// also the speculation threshold (median × SpeculateAfter=1). The
+	// hedge therefore launches one clean-shard-duration in and finishes
+	// while the straggler still has most of its sleep ahead.
+	tmpl := ChaosOptions{SlowRate: 0.5, SlowDelay: 2 * time.Second}
+	var seed int64
+	for s := int64(1); s < 1_000_000; s++ {
+		o := tmpl
+		o.Seed = s
+		f00 := o.decide(0, 0, programs/shards)
+		f10 := o.decide(1, 0, programs/shards)
+		f11 := o.decide(1, 1, programs/shards)
+		if f00.slow == 0 && f10.slow > 0 && f11.slow == 0 {
+			seed = s
+			break
+		}
+	}
+	if seed == 0 {
+		t.Fatal("no speculation seed found")
+	}
+	tmpl.Seed = seed
+
+	clients := startWorkers(t, 2, &tmpl, 2*time.Second)
+	res, err := Run(context.Background(), Options{
+		Config:         cfg,
+		Shards:         shards,
+		Workers:        clients,
+		HeartbeatEvery: 20 * time.Millisecond,
+		CallTimeout:    2 * time.Second,
+		RetryBackoff:   5 * time.Millisecond,
+		SpeculateAfter: 1,
+		SpeculateMin:   time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("fabric run: %v\n%s", err, res.Faults)
+	}
+	if got := marshalDoc(t, res.Report); !bytes.Equal(got, want) {
+		t.Errorf("speculative report diverged from single-process run\n--- sharded ---\n%s\n--- single ---\n%s", got, want)
+	}
+	if res.Faults.SpeculativeLaunches == 0 {
+		t.Errorf("straggler never hedged:\n%s", res.Faults)
+	}
+	if res.Faults.SpeculativeWins == 0 {
+		t.Errorf("hedge launched but never won:\n%s", res.Faults)
+	}
+}
+
+// TestFabricDegradesWhenWorkersExhausted pins graceful degradation:
+// with the only worker dying on its first lease and refusing
+// everything after, the run must terminate with a partial report and a
+// fault ledger naming the abandoned shards — never hang.
+func TestFabricDegradesWhenWorkersExhausted(t *testing.T) {
+	t.Parallel()
+	cfg := soakConfig(8)
+	chaos := &ChaosOptions{Seed: 1, KillRate: 1} // every lease kills its worker
+	clients := startWorkers(t, 1, chaos, 150*time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := Run(ctx, Options{
+		Config:           cfg,
+		Shards:           2,
+		Workers:          clients,
+		HeartbeatEvery:   20 * time.Millisecond,
+		HeartbeatMisses:  2,
+		CallTimeout:      200 * time.Millisecond,
+		MaxAttempts:      2,
+		RetryBackoff:     5 * time.Millisecond,
+		SpeculateMin:     time.Minute,
+		BreakerThreshold: 2,
+	})
+	if ctx.Err() != nil {
+		t.Fatal("degraded run hit the watchdog deadline — the fabric hung instead of degrading")
+	}
+	if err == nil {
+		t.Fatal("exhausted-worker run reported success")
+	}
+	if res == nil || res.Report == nil {
+		t.Fatal("degraded run returned no partial report")
+	}
+	if res.Report.Complete() {
+		t.Error("degraded report claims completeness")
+	}
+	if res.Report.Doc().Error == "" {
+		t.Error("degraded report doc carries no error")
+	}
+	if len(res.Faults.DegradedShards) == 0 {
+		t.Errorf("no degraded shards in ledger:\n%s", res.Faults)
+	}
+	if res.Faults.WorkerDeaths == 0 {
+		t.Errorf("worker death not recorded:\n%s", res.Faults)
+	}
+}
+
+// TestWorkerProtocol pins the worker HTTP surface: busy 409s, unknown
+// lease 404s, journal 409 while running, and journal shipping after.
+func TestWorkerProtocol(t *testing.T) {
+	t.Parallel()
+	w := NewWorker(WorkerOptions{Dir: t.TempDir(), Name: "proto"})
+	srv := httptest.NewServer(w)
+	t.Cleanup(srv.Close)
+	t.Cleanup(w.Close)
+	client := NewClientWith("proto", srv.URL, &http.Client{Timeout: 5 * time.Second})
+	ctx := context.Background()
+
+	if err := client.Healthz(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	if _, err := client.Status(ctx, "nope"); err == nil {
+		t.Error("status of unknown lease succeeded")
+	}
+
+	cfg := soakConfig(6)
+	lease := Lease{ID: "s000-a0", Shard: 0, Lo: 0, Hi: 6, Config: cfg}
+	if err := client.Lease(ctx, lease); err != nil {
+		t.Fatalf("lease: %v", err)
+	}
+	// A second grant while the first runs must be refused, not queued.
+	err := client.Lease(ctx, Lease{ID: "s001-a0", Shard: 1, Lo: 0, Hi: 6, Config: cfg})
+	if err == nil {
+		t.Error("second concurrent lease was accepted")
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st, err := client.Status(ctx, lease.ID)
+		if err != nil {
+			t.Fatalf("status: %v", err)
+		}
+		if st.State == "done" {
+			break
+		}
+		if st.State != "running" {
+			t.Fatalf("lease ended in state %q (err %q)", st.State, st.Err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("lease never finished")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	image, err := client.Journal(ctx, lease.ID)
+	if err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	if len(image) == 0 {
+		t.Fatal("terminal lease shipped an empty journal")
+	}
+
+	// The shipped journal folds to full shard coverage.
+	opts, err := cfg.CampaignOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := campaign.NewMerger(opts)
+	if _, err := foldImage(m, image, 0); err != nil {
+		t.Fatalf("folding shipped journal: %v", err)
+	}
+	if missing := m.Missing(0, 6); len(missing) != 0 {
+		t.Errorf("shipped journal missing units %v", missing)
+	}
+}
+
+// foldImage folds a shipped journal image into m, for tests.
+func foldImage(m *campaign.Merger, image []byte, offset int) (int, error) {
+	folded := 0
+	corruptions, err := journal.ReplayBytes(image, func(_ int64, payload []byte) error {
+		ok, ferr := m.FoldRecord(payload, offset)
+		if ferr != nil {
+			return ferr
+		}
+		if ok {
+			folded++
+		}
+		return nil
+	})
+	if err == nil && len(corruptions) > 0 {
+		err = fmt.Errorf("%d corrupt records in clean shipment", len(corruptions))
+	}
+	return folded, err
+}

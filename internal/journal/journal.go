@@ -23,6 +23,7 @@ package journal
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -54,7 +55,16 @@ const (
 // individual campaigns.
 type Store struct {
 	dir string
+	// observe, when set, is called once per Corruption Replay records —
+	// quarantined checksum mismatches and torn tails alike — so callers
+	// can count corrupt records and trace them without re-scanning.
+	observe func(Corruption)
 }
+
+// SetObserver registers fn to be called for every Corruption found by
+// Replay. Observation only: quarantine behaviour is unchanged. A nil fn
+// clears the observer.
+func (s *Store) SetObserver(fn func(Corruption)) { s.observe = fn }
 
 // Open opens (creating if needed) the state directory.
 func Open(dir string) (*Store, error) {
@@ -199,15 +209,33 @@ func (s *Store) Replay(fn func(offset int64, payload []byte) error) ([]Corruptio
 	if err != nil {
 		return nil, fmt.Errorf("journal: replay: %w", err)
 	}
-	size := info.Size()
+	return replayStream(bufio.NewReader(f), info.Size(), s.observe, fn)
+}
 
-	r := bufio.NewReader(f)
+// ReplayBytes replays a journal image held in memory — a shard journal
+// shipped over the network — with exactly Replay's framing, quarantine,
+// and torn-tail semantics. The coordinator merges worker journals
+// through this without touching disk.
+func ReplayBytes(b []byte, fn func(offset int64, payload []byte) error) ([]Corruption, error) {
+	return replayStream(bytes.NewReader(b), int64(len(b)), nil, fn)
+}
+
+// replayStream is the frame scanner shared by Replay and ReplayBytes:
+// size bounds the stream, observe (optional) sees every Corruption as
+// it is recorded.
+func replayStream(r io.Reader, size int64, observe func(Corruption), fn func(offset int64, payload []byte) error) ([]Corruption, error) {
 	var off int64
 	var quarantined []Corruption
+	bad := func(c Corruption) {
+		quarantined = append(quarantined, c)
+		if observe != nil {
+			observe(c)
+		}
+	}
 	for off < size {
 		var hdr [frameHeader]byte
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			quarantined = append(quarantined, Corruption{off, "torn frame header"})
+			bad(Corruption{off, "torn frame header"})
 			break
 		}
 		length := int64(binary.LittleEndian.Uint32(hdr[0:4]))
@@ -215,20 +243,20 @@ func (s *Store) Replay(fn func(offset int64, payload []byte) error) ([]Corruptio
 		if length > MaxRecord {
 			// The length bytes themselves are garbage: framing is lost
 			// and nothing after this point can be trusted.
-			quarantined = append(quarantined, Corruption{off, fmt.Sprintf("implausible record length %d; framing lost", length)})
+			bad(Corruption{off, fmt.Sprintf("implausible record length %d; framing lost", length)})
 			break
 		}
 		if off+frameHeader+length > size {
-			quarantined = append(quarantined, Corruption{off, fmt.Sprintf("torn record: %d bytes framed, %d on disk", length, size-off-frameHeader)})
+			bad(Corruption{off, fmt.Sprintf("torn record: %d bytes framed, %d on disk", length, size-off-frameHeader)})
 			break
 		}
 		payload := make([]byte, length)
 		if _, err := io.ReadFull(r, payload); err != nil {
-			quarantined = append(quarantined, Corruption{off, "torn record payload"})
+			bad(Corruption{off, "torn record payload"})
 			break
 		}
 		if crc32.ChecksumIEEE(payload) != sum {
-			quarantined = append(quarantined, Corruption{off, "checksum mismatch"})
+			bad(Corruption{off, "checksum mismatch"})
 			off += frameHeader + length
 			continue
 		}
@@ -238,6 +266,20 @@ func (s *Store) Replay(fn func(offset int64, payload []byte) error) ([]Corruptio
 		off += frameHeader + length
 	}
 	return quarantined, nil
+}
+
+// JournalBytes reads the raw framed journal image — the bytes
+// ReplayBytes accepts — so a worker can ship its shard journal to the
+// coordinator. A missing journal returns (nil, nil).
+func (s *Store) JournalBytes() ([]byte, error) {
+	b, err := os.ReadFile(s.journalPath())
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("journal: read journal: %w", err)
+	}
+	return b, nil
 }
 
 // snapFile is one snapshot on disk.

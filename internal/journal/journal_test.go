@@ -351,3 +351,119 @@ func TestJournalRandomTruncationFuzz(t *testing.T) {
 		}
 	}
 }
+
+func TestReplayObserverSeesEveryCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 8; i++ {
+		want = append(want, []byte(fmt.Sprintf("unit-%d-payload-with-some-body", i)))
+	}
+	appendAll(t, s, want, 1)
+
+	path := filepath.Join(dir, journalName)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := frameHeader + len(want[0])
+	full[2*frame+frameHeader] ^= 0xff // corrupt record 2's payload
+	full[5*frame+frameHeader] ^= 0xff // and record 5's
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var seen []Corruption
+	s.SetObserver(func(c Corruption) { seen = append(seen, c) })
+	_, corr := replayAll(t, s)
+	if len(corr) != 2 {
+		t.Fatalf("want 2 quarantined records, got %v", corr)
+	}
+	if len(seen) != len(corr) {
+		t.Fatalf("observer saw %d corruptions, replay returned %d", len(seen), len(corr))
+	}
+	for i := range corr {
+		if seen[i] != corr[i] {
+			t.Errorf("observer corruption %d = %v, replay returned %v", i, seen[i], corr[i])
+		}
+	}
+
+	// Clearing the observer stops the callbacks.
+	seen = nil
+	s.SetObserver(nil)
+	replayAll(t, s)
+	if len(seen) != 0 {
+		t.Fatalf("cleared observer still saw %d corruptions", len(seen))
+	}
+}
+
+func TestReplayBytesMatchesReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 12; i++ {
+		want = append(want, []byte(fmt.Sprintf("record-%d-%s", i, strings.Repeat("y", i))))
+	}
+	appendAll(t, s, want, 3)
+
+	image, err := s.JournalBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if image == nil {
+		t.Fatal("JournalBytes returned nil for an existing journal")
+	}
+
+	var got [][]byte
+	corr, err := ReplayBytes(image, func(_ int64, payload []byte) error {
+		got = append(got, append([]byte(nil), payload...))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corr) != 0 {
+		t.Fatalf("clean image reported corruption: %v", corr)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("record %d mismatch: %q vs %q", i, got[i], want[i])
+		}
+	}
+
+	// A flipped byte quarantines exactly like the on-disk path, and a
+	// truncated image is a torn tail, not an error.
+	off := 0
+	for i := 0; i < 4; i++ {
+		off += frameHeader + len(want[i])
+	}
+	flipped := append([]byte(nil), image...)
+	flipped[off+frameHeader] ^= 0xff
+	corr, err = ReplayBytes(flipped, func(int64, []byte) error { return nil })
+	if err != nil || len(corr) != 1 || corr[0].Offset != int64(off) {
+		t.Fatalf("flipped image: corr=%v err=%v (want one quarantine at %d)", corr, err, off)
+	}
+	corr, err = ReplayBytes(image[:len(image)-3], func(int64, []byte) error { return nil })
+	if err != nil || len(corr) != 1 || !strings.Contains(corr[0].Reason, "torn") {
+		t.Fatalf("truncated image: corr=%v err=%v (want one torn-tail corruption)", corr, err)
+	}
+
+	// A missing journal ships as nil bytes and replays to nothing.
+	s2, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	image2, err := s2.JournalBytes()
+	if err != nil || image2 != nil {
+		t.Fatalf("missing journal: image=%v err=%v", image2, err)
+	}
+}

@@ -63,6 +63,14 @@ func (g *Gauge) Set(v int64) {
 	g.v.Store(v)
 }
 
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
 // SetMax raises the gauge to v if v is larger than the current value.
 func (g *Gauge) SetMax(v int64) {
 	if g == nil {

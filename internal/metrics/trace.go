@@ -18,7 +18,8 @@ type Event struct {
 	// Unit is the owning unit's seed, 0 when not unit-scoped.
 	Unit int64 `json:"unit,omitempty"`
 	// Kind classifies the event: "verdict", "retry", "fault", "flaky",
-	// "breaker", "chaos".
+	// "breaker", "chaos", "journal" (corrupt-record quarantine), or
+	// "fabric" (shard lease/reassignment/speculation activity).
 	Kind string `json:"kind"`
 	// Stage is the pipeline stage or input kind involved, if any.
 	Stage string `json:"stage,omitempty"`

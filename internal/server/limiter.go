@@ -10,12 +10,21 @@ import (
 // burst. Stdlib-only — the service cannot take golang.org/x/time — and
 // small enough to reason about: take() under one mutex, sleeping
 // callers re-take after the computed refill interval.
+//
+// Refill is computed on a monotonic clock: now() measures elapsed time
+// since an arbitrary process-local origin, so a wall-clock step (NTP
+// slew, manual clock set, suspend/resume) can neither grant a burst of
+// phantom tokens nor starve callers while the bucket "waits" for a
+// clock that jumped backward.
 type limiter struct {
 	mu     sync.Mutex
 	rate   float64
 	burst  float64
 	tokens float64
-	last   time.Time
+	// now returns elapsed monotonic time; injectable so tests step a
+	// fake clock instead of sleeping.
+	now  func() time.Duration
+	last time.Duration
 }
 
 // newLimiter returns a full bucket; rate <= 0 disables limiting (every
@@ -24,7 +33,13 @@ func newLimiter(rate float64, burst int) *limiter {
 	if burst < 1 {
 		burst = 1
 	}
-	return &limiter{rate: rate, burst: float64(burst), tokens: float64(burst), last: time.Now()}
+	// time.Since carries the monotonic reading of its argument, so this
+	// closure is immune to wall-clock steps for the process's lifetime.
+	start := time.Now()
+	l := &limiter{rate: rate, burst: float64(burst), tokens: float64(burst),
+		now: func() time.Duration { return time.Since(start) }}
+	l.last = l.now()
+	return l
 }
 
 // take consumes one token if available; otherwise it returns how long
@@ -35,8 +50,10 @@ func (l *limiter) take() (bool, time.Duration) {
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	now := time.Now()
-	l.tokens += now.Sub(l.last).Seconds() * l.rate
+	now := l.now()
+	if elapsed := now - l.last; elapsed > 0 {
+		l.tokens += elapsed.Seconds() * l.rate
+	}
 	l.last = now
 	if l.tokens > l.burst {
 		l.tokens = l.burst

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"runtime/pprof"
 	"strings"
 	"testing"
 	"time"
@@ -557,4 +558,137 @@ func TestLimiter(t *testing.T) {
 	if newLimiter(100, 2).gate() == nil {
 		t.Error("enabled limiter produced no gate")
 	}
+}
+
+// TestLimiterMonotonicRefill steps an injected fake clock through the
+// bucket's life: no wall-clock sleeps, and refill arithmetic pinned
+// exactly — including that a clock that does not advance grants
+// nothing, which is the monotonic guarantee a stepped wall clock used
+// to break.
+func TestLimiterMonotonicRefill(t *testing.T) {
+	clock := time.Duration(0)
+	l := newLimiter(10, 3) // 10 tokens/s, burst 3
+	l.now = func() time.Duration { return clock }
+	l.last = clock
+
+	for i := 0; i < 3; i++ {
+		if !l.allow() {
+			t.Fatalf("burst token %d refused", i)
+		}
+	}
+	ok, retry := l.take()
+	if ok {
+		t.Fatal("empty bucket admitted")
+	}
+	if retry != 100*time.Millisecond {
+		t.Fatalf("retry hint %v, want exactly 100ms at 10/s", retry)
+	}
+
+	// Time standing still grants nothing, no matter how often we ask —
+	// a wall-clock implementation could be stepped into admitting here.
+	for i := 0; i < 5; i++ {
+		if l.allow() {
+			t.Fatal("admitted with a frozen clock")
+		}
+	}
+
+	// Exactly one refill interval accrues exactly one token.
+	clock += 100 * time.Millisecond
+	if !l.allow() {
+		t.Fatal("token not refilled after exactly one interval")
+	}
+	if l.allow() {
+		t.Fatal("one interval refilled more than one token")
+	}
+
+	// A long idle stretch caps at the burst, never beyond.
+	clock += time.Hour
+	for i := 0; i < 3; i++ {
+		if !l.allow() {
+			t.Fatalf("burst token %d missing after long idle", i)
+		}
+	}
+	if l.allow() {
+		t.Fatal("idle stretch overfilled the burst cap")
+	}
+
+	// Fractional accrual accumulates across takes: two half-interval
+	// steps sum to one token.
+	clock += 50 * time.Millisecond
+	if l.allow() {
+		t.Fatal("half a token admitted")
+	}
+	clock += 50 * time.Millisecond
+	if !l.allow() {
+		t.Fatal("two half intervals did not sum to a token")
+	}
+}
+
+// sseHandlerCount counts live handleEvents goroutines via the
+// goroutine profile.
+func sseHandlerCount(t *testing.T) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := pprof.Lookup("goroutine").WriteTo(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	return strings.Count(buf.String(), "(*Server).handleEvents")
+}
+
+// TestServerSSEClientDisconnect drops an SSE consumer mid-stream and
+// requires two things: the streaming goroutine exits (no leak per
+// abandoned browser tab, over a months-long campaign), and the
+// campaign itself is completely unaffected — the stream is
+// observational, so a vanishing consumer must never cancel or stall
+// the work it was watching.
+func TestServerSSEClientDisconnect(t *testing.T) {
+	_, ts := newTestServer(t, Options{Heartbeat: 20 * time.Millisecond})
+	id := submit(t, ts, "", map[string]any{
+		"seed": 7, "programs": 150, "workers": 2, "compilers": []string{"groovyc"},
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/api/campaigns/"+id+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// Read at least one event so the stream is provably live, then
+	// vanish without warning.
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	sawEvent := false
+	for scanner.Scan() {
+		if strings.HasPrefix(scanner.Text(), "event: ") {
+			sawEvent = true
+			break
+		}
+	}
+	if !sawEvent {
+		t.Fatal("stream produced no events before disconnect")
+	}
+	if n := sseHandlerCount(t); n == 0 {
+		t.Fatal("no live SSE handler while the stream is open")
+	}
+	cancel()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for sseHandlerCount(t) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("SSE handler goroutine leaked after client disconnect")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The campaign never noticed: it is still running or finished, and
+	// a fresh consumer can attach and see it through to done.
+	if got := state(t, ts, "", id); got != "running" && got != "done" {
+		t.Fatalf("campaign state %q after SSE disconnect, want running or done", got)
+	}
+	waitState(t, ts, "", id, "done")
 }
