@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/coverage"
+	"repro/internal/governor"
 	"repro/internal/ir"
 	"repro/internal/types"
 )
@@ -15,11 +16,25 @@ type Options struct {
 	// RecordTypes fills Result.ExprTypes with the static type of every
 	// expression — the getType(e) oracle the type-graph analysis uses.
 	RecordTypes bool
+	// Budget, when non-nil, meters the check: every expression and every
+	// recursive relation in internal/types charges it, and a guarded
+	// budget aborts the walk by panicking with a *governor.Bailout that
+	// Check recovers and records on Result.Bailout. Charge points also
+	// poll the budget's bound context, so a cancelled compile exits
+	// cooperatively instead of running to completion.
+	Budget *governor.Budget
 }
 
 // Check type-checks a whole program against the builtin universe b and
 // returns the diagnostics. It is deterministic and side-effect free.
-func Check(p *ir.Program, b *types.Builtins, opts Options) *Result {
+//
+// When Options.Budget trips (fuel, depth, or cancellation), the in-flight
+// walk is abandoned via a *governor.Bailout panic that is recovered here —
+// never escaping to callers, so the harness sandbox's recover (which
+// classifies panics as compiler crashes) cannot see it — and recorded on
+// Result.Bailout. A bailed result's diagnostics are partial; callers must
+// check Bailout before trusting OK().
+func Check(p *ir.Program, b *types.Builtins, opts Options) (res *Result) {
 	probes := opts.Probes
 	if probes == nil {
 		probes = coverage.Nop{}
@@ -27,17 +42,29 @@ func Check(p *ir.Program, b *types.Builtins, opts Options) *Result {
 	_, nop := probes.(coverage.Nop)
 	c := &checker{
 		env:        NewEnv(p, b),
+		gov:        opts.Budget,
 		probes:     probes,
 		probesLive: !nop,
 		result:     &Result{InferredReturns: map[string]string{}},
 		rets:       map[*ir.FuncDecl]types.Type{},
 		inFly:      map[*ir.FuncDecl]bool{},
 	}
+	c.env.Gov = opts.Budget
 	if opts.RecordTypes {
 		c.result.ExprTypes = map[ir.Expr]types.Type{}
 	}
+	res = c.result
+	defer func() {
+		if r := recover(); r != nil {
+			bail, ok := governor.AsBailout(r)
+			if !ok {
+				panic(r)
+			}
+			res.Bailout = bail
+		}
+	}()
 	c.checkProgram(p)
-	return c.result
+	return res
 }
 
 // scope is a lexical frame of local variables and parameters.
@@ -76,6 +103,7 @@ func (s *scope) isMutable(name string) bool {
 
 type checker struct {
 	env    *Env
+	gov    *governor.Budget
 	probes coverage.Recorder
 	// probesLive is false for the no-op recorder; probe sites whose names
 	// need runtime string building check it first so the unobserved
@@ -274,7 +302,7 @@ func (c *checker) conforms(got, want types.Type, what string) bool {
 		return true
 	}
 	c.probes.Func("types.isSubtype")
-	ok := types.IsSubtype(got, want)
+	ok := types.IsSubtypeB(c.gov, got, want)
 	c.probes.Branch(probeName(isSubtypeProbes, "types.isSubtype.", kindOf(want)), ok)
 	if !ok {
 		c.errorf(TypeMismatch, "%s: inferred type is %s but %s was expected", what, got, want)
@@ -412,12 +440,13 @@ func (c *checker) checkTypeWellFormed(t types.Type, what string) {
 		if proj, isProj := arg.(*types.Projection); isProj {
 			arg = proj.Bound
 		}
-		bound := sigma.Apply(p.UpperBound())
+		bound := sigma.ApplyB(c.gov, p.UpperBound())
 		if types.HasFreeParameters(bound) {
 			continue // bound still generic (checked at instantiation)
 		}
-		c.probes.Branch("types.boundSatisfied", types.IsSubtype(arg, bound))
-		if !types.IsSubtype(arg, bound) {
+		ok := types.IsSubtypeB(c.gov, arg, bound)
+		c.probes.Branch("types.boundSatisfied", ok)
+		if !ok {
 			c.errorf(BoundViolation,
 				"%s: type parameter bound for %s in %s is not satisfied: %s is not a subtype of %s",
 				what, p.ParamName, app.Ctor.TypeName, arg, bound)
@@ -550,6 +579,7 @@ func (c *checker) typeOf(sc *scope, e ir.Expr, expected types.Type) types.Type {
 }
 
 func (c *checker) typeOfInner(sc *scope, e ir.Expr, expected types.Type) types.Type {
+	c.gov.Charge(1)
 	c.probes.Func(typeOfProbe(e))
 	switch t := e.(type) {
 	case *ir.Const:
@@ -616,7 +646,7 @@ func (c *checker) typeOfInner(sc *scope, e ir.Expr, expected types.Type) types.T
 	case *ir.If:
 		c.probes.Func("stc.checkIf")
 		cond := c.typeOf(sc, t.Cond, c.env.Builtins.Boolean)
-		if !types.IsSubtype(cond, c.env.Builtins.Boolean) {
+		if !types.IsSubtypeB(c.gov, cond, c.env.Builtins.Boolean) {
 			c.errorf(ConditionNotBoolean, "condition has type %s", cond)
 		}
 		thenT := c.typeOf(sc, t.Then, expected)
@@ -624,7 +654,7 @@ func (c *checker) typeOfInner(sc *scope, e ir.Expr, expected types.Type) types.T
 		if c.probesLive {
 			c.probes.Line("code.lub." + kindOf(thenT) + "-" + kindOf(elseT))
 		}
-		return types.Lub(thenT, elseT)
+		return types.LubB(c.gov, thenT, elseT)
 
 	case *ir.MethodRef:
 		return c.typeOfMethodRef(sc, t)
@@ -655,13 +685,13 @@ func (c *checker) typeOfBinary(sc *scope, t *ir.BinaryOp) types.Type {
 	case "==", "!=":
 		// Reference equality applies to any operands.
 	case "&&", "||":
-		if !types.IsSubtype(l, b.Boolean) || !types.IsSubtype(r, b.Boolean) {
+		if !types.IsSubtypeB(c.gov, l, b.Boolean) || !types.IsSubtypeB(c.gov, r, b.Boolean) {
 			c.errorf(ConditionNotBoolean, "operator %s needs Boolean operands, got %s and %s", t.Op, l, r)
 		}
 	case ">", ">=", "<", "<=":
 		// Operands must be numeric; a type parameter qualifies through
 		// its upper bound (T : Double is comparable).
-		numeric := types.IsSubtype(l, b.Number) && types.IsSubtype(r, b.Number)
+		numeric := types.IsSubtypeB(c.gov, l, b.Number) && types.IsSubtypeB(c.gov, r, b.Number)
 		c.probes.Branch("stc.comparableOperands", numeric)
 		if !numeric {
 			c.errorf(TypeMismatch, "operator %s needs numeric operands, got %s and %s", t.Op, l, r)
@@ -728,7 +758,7 @@ func (c *checker) typeOfMethodRef(sc *scope, t *ir.MethodRef) types.Type {
 	}
 	ret := sig.Ret
 	if ret == nil {
-		ret = sig.Sigma.Apply(c.returnTypeOf(sig.Decl, sig.Owner))
+		ret = sig.Sigma.ApplyB(c.gov, c.returnTypeOf(sig.Decl, sig.Owner))
 	}
 	return &types.Func{Params: sig.Params, Ret: ret}
 }
@@ -746,7 +776,7 @@ func (c *checker) typeOfLambda(sc *scope, t *ir.Lambda, expected types.Type) typ
 		switch {
 		case p.Type != nil:
 			paramTypes[i] = p.Type
-			if target != nil && !types.IsSubtype(target.Params[i], p.Type) {
+			if target != nil && !types.IsSubtypeB(c.gov, target.Params[i], p.Type) {
 				c.errorf(TypeMismatch, "lambda parameter %s has type %s but target wants %s",
 					p.Name, p.Type, target.Params[i])
 			}

@@ -3,6 +3,7 @@ package checker
 import (
 	"fmt"
 
+	"repro/internal/governor"
 	"repro/internal/ir"
 	"repro/internal/types"
 )
@@ -87,10 +88,15 @@ type Result struct {
 	// ExprTypes maps each expression to its static type when
 	// Options.RecordTypes was set (nil otherwise).
 	ExprTypes map[ir.Expr]types.Type
+	// Bailout is set when the resource governor aborted the check (fuel
+	// or depth exhausted, or the bound context cancelled). Diags and the
+	// inference maps are partial in that case.
+	Bailout *governor.Bailout
 }
 
-// OK reports whether the program type-checked without errors.
-func (r *Result) OK() bool { return len(r.Diags) == 0 }
+// OK reports whether the program type-checked without errors. A bailed
+// check did not finish, so it is never OK.
+func (r *Result) OK() bool { return r.Bailout == nil && len(r.Diags) == 0 }
 
 // HasKind reports whether any diagnostic of kind k was emitted.
 func (r *Result) HasKind(k DiagKind) bool {

@@ -15,6 +15,7 @@ package checker
 import (
 	"fmt"
 
+	"repro/internal/governor"
 	"repro/internal/ir"
 	"repro/internal/types"
 )
@@ -50,8 +51,14 @@ type FieldSig struct {
 type Env struct {
 	Builtins *types.Builtins
 	Program  *ir.Program
-	classes  map[string]*ir.ClassDecl
-	funcs    map[string]*ir.FuncDecl
+	// Gov, when non-nil, meters member-lookup substitution: the
+	// superclass climbs below re-apply the receiver substitution per
+	// level, which is where deeply parameterized hierarchies get
+	// expensive. The checker installs its budget here; other consumers
+	// (typegraph, generator) leave it nil.
+	Gov     *governor.Budget
+	classes map[string]*ir.ClassDecl
+	funcs   map[string]*ir.FuncDecl
 }
 
 // NewEnv builds the declaration index for p.
@@ -137,7 +144,7 @@ func (e *Env) FieldsOf(recv types.Type) []FieldSig {
 			seen[f.Name] = true
 			out = append(out, FieldSig{
 				Name:    f.Name,
-				Type:    sigma.Apply(f.Type),
+				Type:    sigma.ApplyB(e.Gov, f.Type),
 				Mutable: f.Mutable,
 				Owner:   cls,
 			})
@@ -145,7 +152,7 @@ func (e *Env) FieldsOf(recv types.Type) []FieldSig {
 		if cls.Super == nil {
 			return out
 		}
-		cur = sigma.Apply(cls.Super.Type)
+		cur = sigma.ApplyB(e.Gov, cls.Super.Type)
 	}
 	return out
 }
@@ -178,12 +185,12 @@ func (e *Env) MethodsOf(recv types.Type) []MethodSig {
 				continue
 			}
 			seen[m.Name] = true
-			out = append(out, substituteSig(m, cls, sigma))
+			out = append(out, e.substituteSig(m, cls, sigma))
 		}
 		if cls.Super == nil {
 			return out
 		}
-		cur = sigma.Apply(cls.Super.Type)
+		cur = sigma.ApplyB(e.Gov, cls.Super.Type)
 	}
 	return out
 }
@@ -213,13 +220,13 @@ func (e *Env) MethodCandidates(recv types.Type, name string) []MethodSig {
 		}
 		for _, m := range cls.Methods {
 			if m.Name == name {
-				out = append(out, substituteSig(m, cls, sigma))
+				out = append(out, e.substituteSig(m, cls, sigma))
 			}
 		}
 		if cls.Super == nil {
 			return out
 		}
-		cur = sigma.Apply(cls.Super.Type)
+		cur = sigma.ApplyB(e.Gov, cls.Super.Type)
 	}
 	return out
 }
@@ -230,13 +237,13 @@ func (e *Env) TopLevelSig(name string) (MethodSig, bool) {
 	if f == nil {
 		return MethodSig{}, false
 	}
-	return substituteSig(f, nil, types.NewSubstitution()), true
+	return e.substituteSig(f, nil, types.NewSubstitution()), true
 }
 
 // substituteSig projects a FuncDecl into a MethodSig under sigma. A nil
 // declared return type is reported as nil; callers that need the inferred
 // type consult the checker's results.
-func substituteSig(m *ir.FuncDecl, owner *ir.ClassDecl, sigma *types.Substitution) MethodSig {
+func (e *Env) substituteSig(m *ir.FuncDecl, owner *ir.ClassDecl, sigma *types.Substitution) MethodSig {
 	sig := MethodSig{
 		Name:       m.Name,
 		TypeParams: m.TypeParams,
@@ -246,10 +253,10 @@ func substituteSig(m *ir.FuncDecl, owner *ir.ClassDecl, sigma *types.Substitutio
 	}
 	for _, p := range m.Params {
 		sig.ParamNames = append(sig.ParamNames, p.Name)
-		sig.Params = append(sig.Params, sigma.Apply(p.Type))
+		sig.Params = append(sig.Params, sigma.ApplyB(e.Gov, p.Type))
 	}
 	if m.Ret != nil {
-		sig.Ret = sigma.Apply(m.Ret)
+		sig.Ret = sigma.ApplyB(e.Gov, m.Ret)
 	}
 	return sig
 }
@@ -274,7 +281,7 @@ func SelfType(cls *ir.ClassDecl) types.Type {
 func (e *Env) ConstructorParams(cls *ir.ClassDecl, sigma *types.Substitution) []types.Type {
 	out := make([]types.Type, len(cls.Fields))
 	for i, f := range cls.Fields {
-		out[i] = sigma.Apply(f.Type)
+		out[i] = sigma.ApplyB(e.Gov, f.Type)
 	}
 	return out
 }

@@ -59,7 +59,7 @@ func (c *checker) typeOfCall(sc *scope, call *ir.Call, expected types.Type) type
 	}
 
 	if sig.Ret == nil {
-		sig.Ret = sig.Sigma.Apply(c.returnTypeOf(sig.Decl, sig.Owner))
+		sig.Ret = sig.Sigma.ApplyB(c.gov, c.returnTypeOf(sig.Decl, sig.Owner))
 	}
 	if len(call.Args) != len(sig.Params) {
 		c.errorf(ArityMismatch, "%s expects %d arguments, got %d",
@@ -150,7 +150,7 @@ func (c *checker) checkGenericCall(sc *scope, call *ir.Call, sig MethodSig, expe
 					i, call.Name, pt, argTypes[i])
 				continue
 			}
-			mergeLowerBounds(sigma, s, sig.TypeParams)
+			c.mergeLowerBounds(sigma, s, sig.TypeParams)
 		}
 		// Then from the expected type ([var param method call]): when the
 		// method's type parameter appears in the return type, the target
@@ -160,7 +160,7 @@ func (c *checker) checkGenericCall(sc *scope, call *ir.Call, sig MethodSig, expe
 		if expected != nil && mentionsAny(sig.Ret, sig.TypeParams) {
 			c.probes.Line(probeName(gcFromTargetProbes, "infer.genericCall.fromTarget.", kindOf(expected)))
 			if s := c.unifyProbe("infer.genericCall.targetUnify", sig.Ret, expected); s != nil {
-				chooseBindings(sigma, s, sig.TypeParams, sig.Ret, expected)
+				c.chooseBindings(sigma, s, sig.TypeParams, sig.Ret, expected)
 			}
 		}
 		// Unbound parameters fall back to their (substituted) bound; a
@@ -170,8 +170,8 @@ func (c *checker) checkGenericCall(sc *scope, call *ir.Call, sig MethodSig, expe
 				continue
 			}
 			c.probes.Branch(probeName(gcUnboundProbes, "infer.genericCall.unbound.", kindOf(tp.UpperBound())), true)
-			if tp.Bound != nil && !types.HasFreeParameters(sigma.Apply(tp.Bound)) {
-				sigma.Bind(tp, sigma.Apply(tp.Bound))
+			if tp.Bound != nil && !types.HasFreeParameters(sigma.ApplyB(c.gov, tp.Bound)) {
+				sigma.Bind(tp, sigma.ApplyB(c.gov, tp.Bound))
 				continue
 			}
 			c.errorf(InferenceFailure, "cannot infer type argument %s of %s", tp.ParamName, call.Name)
@@ -190,9 +190,9 @@ func (c *checker) checkGenericCall(sc *scope, call *ir.Call, sig MethodSig, expe
 		if proj, ok := inst.(*types.Projection); ok {
 			instCheck = proj.Bound
 		}
-		bound := sigma.Apply(tp.UpperBound())
+		bound := sigma.ApplyB(c.gov, tp.UpperBound())
 		c.probes.Func("types.boundCheck")
-		ok := types.IsSubtype(instCheck, bound)
+		ok := types.IsSubtypeB(c.gov, instCheck, bound)
 		if c.probesLive {
 			c.probes.Branch("types.boundCheck."+kindOf(instCheck)+"-"+kindOf(bound), ok)
 		}
@@ -206,11 +206,11 @@ func (c *checker) checkGenericCall(sc *scope, call *ir.Call, sig MethodSig, expe
 	// Final conformance of all arguments against substituted parameters
 	// (lambdas checked here with their concrete target).
 	for i, a := range call.Args {
-		want := sigma.Apply(sig.Params[i])
+		want := sigma.ApplyB(c.gov, sig.Params[i])
 		got := c.typeOf(sc, a, want)
 		c.conforms(got, want, fmt.Sprintf("argument %d of %s", i, call.Name))
 	}
-	return sigma.Apply(sig.Ret)
+	return sigma.ApplyB(c.gov, sig.Ret)
 }
 
 // argNeedsTarget reports whether typing the argument expression depends on
@@ -362,7 +362,7 @@ func (c *checker) inferDiamond(sc *scope, n *ir.New, decl *ir.ClassDecl, ctor *t
 				i, decl.Name, fieldTypes[i], argTypes[i])
 			continue
 		}
-		mergeLowerBounds(sigma, s, ctor.Params)
+		c.mergeLowerBounds(sigma, s, ctor.Params)
 	}
 	// Target type: new C<>() assigned to C<String> instantiates T=String.
 	// Argument bindings that already satisfy the target are kept
@@ -375,7 +375,7 @@ func (c *checker) inferDiamond(sc *scope, n *ir.New, decl *ir.ClassDecl, ctor *t
 		self := ctor.Apply(selfArgs...)
 		c.probes.Line(probeName(diaFromTargetProbes, "infer.diamond.fromTarget.", kindOf(expected)))
 		if s := c.unifyProbe("infer.diamond.targetUnify", self, expected); s != nil {
-			chooseBindings(sigma, s, ctor.Params, self, expected)
+			c.chooseBindings(sigma, s, ctor.Params, self, expected)
 		}
 	}
 	for _, tp := range ctor.Params {
@@ -383,8 +383,8 @@ func (c *checker) inferDiamond(sc *scope, n *ir.New, decl *ir.ClassDecl, ctor *t
 			continue
 		}
 		c.probes.Branch(probeName(diaUnboundProbes, "infer.diamond.unbound.", kindOf(tp.UpperBound())), true)
-		if tp.Bound != nil && !types.HasFreeParameters(sigma.Apply(tp.Bound)) {
-			sigma.Bind(tp, sigma.Apply(tp.Bound))
+		if tp.Bound != nil && !types.HasFreeParameters(sigma.ApplyB(c.gov, tp.Bound)) {
+			sigma.Bind(tp, sigma.ApplyB(c.gov, tp.Bound))
 			continue
 		}
 		c.errorf(InferenceFailure, "cannot infer type argument %s of %s", tp.ParamName, decl.Name)
@@ -398,7 +398,7 @@ func (c *checker) inferDiamond(sc *scope, n *ir.New, decl *ir.ClassDecl, ctor *t
 	c.checkTypeWellFormed(app, "inferred instantiation of "+decl.Name)
 	// Conformance of arguments under the inferred instantiation.
 	for i, a := range n.Args {
-		want := sigma.Apply(fieldTypes[i])
+		want := sigma.ApplyB(c.gov, fieldTypes[i])
 		got := argTypes[i]
 		if got == nil {
 			got = c.typeOf(sc, a, want)
@@ -436,14 +436,14 @@ func restrictTo(s *types.Substitution, params []*types.Parameter) *types.Substit
 // mergeLowerBounds folds argument-derived bindings into sigma. Arguments
 // impose lower bounds: two different bindings for the same parameter are
 // combined with the least upper bound, as the real constraint solvers do.
-func mergeLowerBounds(sigma, s *types.Substitution, params []*types.Parameter) {
+func (c *checker) mergeLowerBounds(sigma, s *types.Substitution, params []*types.Parameter) {
 	for _, p := range params {
 		t, ok := s.Lookup(p)
 		if !ok {
 			continue
 		}
 		if prev, bound := sigma.Lookup(p); bound && !prev.Equal(t) {
-			sigma.Bind(p, types.Lub(prev, t))
+			sigma.Bind(p, types.LubB(c.gov, prev, t))
 			continue
 		}
 		sigma.Bind(p, t)
@@ -455,7 +455,7 @@ func mergeLowerBounds(sigma, s *types.Substitution, params []*types.Parameter) {
 // when the instantiated shape still conforms to the expected type (the
 // target position was a projection or a supertype), otherwise the target
 // binding — an equality constraint — wins.
-func chooseBindings(sigma, target *types.Substitution, params []*types.Parameter, shape, expected types.Type) {
+func (c *checker) chooseBindings(sigma, target *types.Substitution, params []*types.Parameter, shape, expected types.Type) {
 	// Fill parameters the arguments left unbound.
 	for _, p := range params {
 		if _, ok := sigma.Lookup(p); !ok {
@@ -476,8 +476,8 @@ func chooseBindings(sigma, target *types.Substitution, params []*types.Parameter
 		// Rigid scope parameters may legitimately remain in the
 		// instantiation (a diamond inside the class mentioning its own
 		// parameters), so conformance alone arbitrates.
-		inst := sigma.Apply(shape)
-		if types.IsSubtype(inst, expected) {
+		inst := sigma.ApplyB(c.gov, shape)
+		if types.IsSubtypeB(c.gov, inst, expected) {
 			continue // the argument's exact evidence already satisfies the target
 		}
 		sigma.Bind(p, tgt)
@@ -489,7 +489,7 @@ func chooseBindings(sigma, target *types.Substitution, params []*types.Parameter
 // real inference engine's constraint solver, exercised only when type
 // information is omitted (the Figure 9 TEM rows).
 func (c *checker) unifyProbe(site string, t1, t2 types.Type) *types.Substitution {
-	s := types.UnifyUnchecked(t1, t2)
+	s := types.UnifyUncheckedB(c.gov, t1, t2)
 	if c.probesLive {
 		c.probes.Branch(site+"."+kindOf(t1)+"-"+kindOf(t2), s != nil)
 	}
@@ -536,7 +536,7 @@ func (c *checker) resolveOverload(sc *scope, cands []MethodSig, call *ir.Call) (
 			if argTypes[i] == nil || pt == nil || mentionsAny(pt, m.TypeParams) {
 				continue
 			}
-			if !types.IsSubtype(argTypes[i], pt) {
+			if !types.IsSubtypeB(c.gov, argTypes[i], pt) {
 				ok = false
 				break
 			}
@@ -565,7 +565,7 @@ func (c *checker) resolveOverload(sc *scope, cands []MethodSig, call *ir.Call) (
 				if m.Params[i] == nil || n.Params[i] == nil {
 					continue
 				}
-				if !types.IsSubtype(m.Params[i], n.Params[i]) {
+				if !types.IsSubtypeB(c.gov, m.Params[i], n.Params[i]) {
 					best = false
 					break
 				}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/generator"
 	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/types"
 )
 
 // Duration is a time.Duration that JSON-decodes from either a string
@@ -73,6 +74,18 @@ type Config struct {
 	NoMutate bool `json:"no_mutate,omitempty"`
 	// CompileTimeout bounds one compile under the watchdog (0 disables).
 	CompileTimeout Duration `json:"compile_timeout,omitempty"`
+	// Fuel is the per-compile deterministic step budget of the resource
+	// governor (0 disables). Verdict-affecting: it is part of the JSON
+	// submission surface, ships to fabric workers, and folds into the
+	// campaign fingerprint, so a resumed or sharded campaign cannot mix
+	// budgets.
+	Fuel int64 `json:"fuel,omitempty"`
+	// MaxTypeDepth caps the governor's recursion depth for type-relation
+	// and substitution walks (0 with fuel set = governor default).
+	MaxTypeDepth int `json:"max_depth,omitempty"`
+	// StressEvery makes every StressEvery-th unit (keyed by seed) a
+	// pathological stress program exercising the governor (0 disables).
+	StressEvery int `json:"stress_every,omitempty"`
 	// Retries bounds transient-fault compile retries.
 	Retries int `json:"retries,omitempty"`
 	// Chaos injects seeded faults at this rate (0 disables).
@@ -124,6 +137,9 @@ func (c *Config) RegisterCampaignFlags(fs *flag.FlagSet) {
 	fs.IntVar(&c.Workers, "workers", c.Workers, "pipeline workers per stage (0 = GOMAXPROCS)")
 	fs.BoolVar(&c.Stats, "stats", c.Stats, "print per-stage pipeline statistics")
 	fs.DurationVar((*time.Duration)(&c.CompileTimeout), "compile-timeout", time.Duration(c.CompileTimeout), "per-compile watchdog budget (0 disables)")
+	fs.Int64Var(&c.Fuel, "fuel", c.Fuel, "deterministic per-compile step budget; exhaustion is a reportable result (0 disables)")
+	fs.IntVar(&c.MaxTypeDepth, "max-depth", c.MaxTypeDepth, "recursion-depth cap for type relations (0 with -fuel = governor default)")
+	fs.IntVar(&c.StressEvery, "stress-every", c.StressEvery, "make every Nth unit a pathological governor-stress program (0 disables)")
 	fs.IntVar(&c.Retries, "retries", c.Retries, "max retries for transient compile faults")
 	fs.Float64Var(&c.Chaos, "chaos", c.Chaos, "inject seeded faults at this rate (0 disables; exercises the harness)")
 	fs.StringVar(&c.StateDir, "state", c.StateDir, "state directory for durable campaigns (journal, snapshots, bug corpus)")
@@ -175,6 +191,8 @@ func (c *Config) HarnessOptions() harness.Options {
 		Timeout:          time.Duration(c.CompileTimeout),
 		Retries:          c.Retries,
 		Seed:             c.Seed,
+		Fuel:             c.Fuel,
+		MaxDepth:         c.MaxTypeDepth,
 		BreakerThreshold: 10,
 		DoubleCompile:    c.Chaos > 0,
 	}
@@ -203,13 +221,15 @@ func (c *Config) CampaignOptions() (campaign.Options, error) {
 	if err != nil {
 		return campaign.Options{}, err
 	}
+	gen := generator.DefaultConfig()
+	gen.Stress.Every = c.StressEvery
 	return campaign.Options{
 		Seed:          c.Seed,
 		Programs:      c.Programs,
 		BatchSize:     c.BatchSize,
 		Workers:       c.Workers,
 		Compilers:     comps,
-		GenConfig:     generator.DefaultConfig(),
+		GenConfig:     gen,
 		Mutate:        !c.NoMutate,
 		Harness:       c.HarnessOptions(),
 		Chaos:         c.ChaosOptions(),
@@ -264,6 +284,15 @@ func (c *Config) Validate(maxPrograms, maxWorkers int) error {
 	if c.Retries < 0 {
 		return fmt.Errorf("cli: retries must be non-negative, got %d", c.Retries)
 	}
+	if c.Fuel < 0 {
+		return fmt.Errorf("cli: fuel must be non-negative, got %d", c.Fuel)
+	}
+	if c.MaxTypeDepth < 0 {
+		return fmt.Errorf("cli: max type depth must be non-negative, got %d", c.MaxTypeDepth)
+	}
+	if c.StressEvery < 0 {
+		return fmt.Errorf("cli: stress cadence must be non-negative, got %d", c.StressEvery)
+	}
 	if _, err := c.ResolveCompilers(); err != nil {
 		return err
 	}
@@ -291,6 +320,14 @@ func (c *Config) StartObservability(w io.Writer) (*Observability, error) {
 	}
 	obs.Registry = metrics.NewRegistry()
 	obs.Trace = metrics.NewTrace(4096)
+	// Make the SuperChain cyclic-climb cap observable: the types package
+	// cannot import metrics, so it exposes a hook the process wires here.
+	truncations := obs.Registry.Counter("types.superchain_truncations")
+	trace := obs.Trace
+	types.SetSuperChainTruncationHook(func() {
+		truncations.Inc()
+		trace.Emit(metrics.Event{Kind: "truncation", Detail: "SuperChain cyclic-climb cap hit"})
+	})
 	if c.DebugAddr != "" {
 		srv, err := metrics.Serve(c.DebugAddr, obs.Registry, obs.Trace)
 		if err != nil {

@@ -13,12 +13,14 @@
 package compilers
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/bugs"
 	"repro/internal/checker"
 	"repro/internal/coverage"
+	"repro/internal/governor"
 	"repro/internal/ir"
 	"repro/internal/types"
 )
@@ -37,6 +39,12 @@ const (
 	// Synthesized by internal/harness, never by the simulated compilers
 	// themselves; a hang is a reportable bug distinct from a crash.
 	TimedOut
+	// ResourceExhausted: the resource governor's deterministic fuel or
+	// recursion-depth budget ran out mid-check. Unlike TimedOut, this is a
+	// pure function of the program and the configured budget — the same
+	// program exhausts at the same step on every machine — so it can be
+	// journaled, deduplicated, and replayed byte-identically.
+	ResourceExhausted
 )
 
 func (s Status) String() string {
@@ -45,10 +53,14 @@ func (s Status) String() string {
 		return "ok"
 	case Rejected:
 		return "rejected"
+	case Crashed:
+		return "crashed"
 	case TimedOut:
 		return "timed out"
+	case ResourceExhausted:
+		return "resource exhausted"
 	default:
-		return "crashed"
+		return fmt.Sprintf("unknown(%d)", int(s))
 	}
 }
 
@@ -186,15 +198,57 @@ func (c *Compiler) Compile(p *ir.Program, cov coverage.Recorder) *Result {
 	return c.CompileAtVersion(p, c.MasterVersion(), cov)
 }
 
+// CompileContext compiles the program at the development master under the
+// resource budget carried by ctx (see internal/governor). A nil/absent
+// budget is unmetered, matching Compile.
+func (c *Compiler) CompileContext(ctx context.Context, p *ir.Program, cov coverage.Recorder) (*Result, error) {
+	return c.CompileAtVersionContext(ctx, p, c.MasterVersion(), cov)
+}
+
 // CompileAtVersion compiles the program as the given compiler version
 // would: only bugs affecting that version can fire. Coverage probes (may
 // be nil) observe the underlying checker — the simulated compiler's
 // codebase.
 func (c *Compiler) CompileAtVersion(p *ir.Program, version int, cov coverage.Recorder) *Result {
+	res, err := c.CompileAtVersionContext(context.Background(), p, version, cov)
+	if err != nil {
+		// Only a bound, cancelled context produces an error; a background
+		// context never cancels.
+		panic(err)
+	}
+	return res
+}
+
+// CompileAtVersionContext is CompileAtVersion under the resource budget
+// carried by ctx. When the governor halts the check:
+//
+//   - a cancelled context surfaces as (nil, ctx.Err()) so the harness
+//     classifies it like any other abandoned invocation (timeout/abort);
+//   - fuel or depth exhaustion yields a deterministic ResourceExhausted
+//     Result. The bug overlay is skipped: the reference verdict is
+//     unknown, so no accept/reject-flipping bug can meaningfully fire.
+func (c *Compiler) CompileAtVersionContext(ctx context.Context, p *ir.Program, version int, cov coverage.Recorder) (*Result, error) {
 	if cov == nil {
 		cov = coverage.Nop{}
 	}
-	res := checker.Check(p, c.builtins, checker.Options{Probes: cov})
+	gov := governor.FromContext(ctx)
+	res := checker.Check(p, c.builtins, checker.Options{Probes: cov, Budget: gov})
+	if bail := res.Bailout; bail != nil {
+		if bail.Reason == governor.Cancelled {
+			err := bail.Err
+			if err == nil {
+				err = ctx.Err()
+			}
+			if err == nil {
+				err = context.Canceled
+			}
+			return nil, err
+		}
+		return &Result{
+			Status:      ResourceExhausted,
+			Diagnostics: []string{fmt.Sprintf("resource governor: %s", bail)},
+		}, nil
+	}
 	evidence := bugs.Evidence{
 		WellTyped:    res.OK(),
 		OmittedTypes: bugs.OmitsTypes(p),
@@ -212,7 +266,7 @@ func (c *Compiler) CompileAtVersion(p *ir.Program, version int, cov coverage.Rec
 		if b.Symptom == bugs.Crash {
 			out.Status = Crashed
 			out.Diagnostics = append(out.Diagnostics, b.Diagnostic())
-			return out
+			return out, nil
 		}
 	}
 	if res.OK() {
@@ -221,25 +275,25 @@ func (c *Compiler) CompileAtVersion(p *ir.Program, version int, cov coverage.Rec
 			if b.Symptom == bugs.UCTE {
 				out.Status = Rejected
 				out.Diagnostics = append(out.Diagnostics, b.Diagnostic())
-				return out
+				return out, nil
 			}
 		}
 		out.Status = OK
-		return out
+		return out, nil
 	}
 	// Correct outcome is rejection; a URB bug silently accepts.
 	for _, b := range out.Triggered {
 		if b.Symptom == bugs.URB {
 			out.Status = OK
 			out.Diagnostics = append(out.Diagnostics, b.Diagnostic())
-			return out
+			return out, nil
 		}
 	}
 	out.Status = Rejected
 	for _, d := range res.Diags {
 		out.Diagnostics = append(out.Diagnostics, d.String())
 	}
-	return out
+	return out, nil
 }
 
 // CompileBatch compiles a batch of programs in one (simulated) compiler

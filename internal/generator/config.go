@@ -56,6 +56,12 @@ type Config struct {
 	// ProbBound is the probability that a type parameter gets an upper
 	// bound (when BoundedPolymorphism is on).
 	ProbBound float64
+
+	// Stress configures the pathological-program stress generator
+	// (stress.go); the zero value disables it. Stress cadence and shapes
+	// are keyed on unit seeds, so the field is verdict-affecting and part
+	// of the campaign fingerprint.
+	Stress StressConfig
 }
 
 // DefaultConfig returns the settings used in the paper's testing campaign

@@ -1,0 +1,91 @@
+package generator
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/checker"
+	"repro/internal/compilers"
+	"repro/internal/governor"
+)
+
+func stressGen(seed int64) *Generator {
+	cfg := DefaultConfig().WithSeed(seed)
+	cfg.Stress = StressConfig{Every: 1}
+	return New(cfg)
+}
+
+// TestStressShapesUnmetered pins each shape's unmetered behaviour: the
+// lub storm and deep nesting complete (well-typed) without a budget;
+// only the unify storm is infeasible and is not run here.
+func TestStressShapesUnmetered(t *testing.T) {
+	for _, seed := range []int64{0, 2} { // lub storm, deep nest
+		g := stressGen(seed)
+		p := g.GenerateStress()
+		res := checker.Check(p, g.Builtins(), checker.Options{})
+		if !res.OK() {
+			t.Errorf("seed %d: stress program ill-typed unmetered: bail=%v diags=%v",
+				seed, res.Bailout, res.Diags)
+		}
+	}
+}
+
+// TestStressShapesExhaustFuel runs every shape through the compiler
+// front door with a small budget and requires a deterministic
+// ResourceExhausted result — the governor's reason to exist.
+func TestStressShapesExhaustFuel(t *testing.T) {
+	for _, seed := range []int64{0, 1, 2} {
+		g := stressGen(seed)
+		p := g.GenerateStress()
+		gov := governor.New(5000, 0)
+		ctx := governor.WithBudget(context.Background(), gov)
+		res, err := compilers.Javac().CompileContext(ctx, p, nil)
+		if err != nil {
+			t.Fatalf("seed %d: err = %v", seed, err)
+		}
+		if res.Status != compilers.ResourceExhausted {
+			t.Errorf("seed %d: status = %s, want resource exhausted (diags %v)",
+				seed, res.Status, res.Diagnostics)
+		}
+	}
+}
+
+// TestStressExhaustionIsDeterministic regenerates and rechecks each
+// shape and requires the identical bailout step count — the property the
+// campaign's byte-equal sharded reports rest on.
+func TestStressExhaustionIsDeterministic(t *testing.T) {
+	for _, seed := range []int64{0, 1, 2} {
+		spend := func() (int64, string) {
+			g := stressGen(seed)
+			p := g.GenerateStress()
+			gov := governor.New(5000, 0)
+			res := checker.Check(p, g.Builtins(), checker.Options{Budget: gov})
+			if res.Bailout == nil {
+				t.Fatalf("seed %d: no bailout at fuel 5000", seed)
+			}
+			return res.Bailout.Spent, res.Bailout.Error()
+		}
+		s1, m1 := spend()
+		s2, m2 := spend()
+		if s1 != s2 || m1 != m2 {
+			t.Errorf("seed %d: nondeterministic exhaustion: (%d, %q) vs (%d, %q)",
+				seed, s1, m1, s2, m2)
+		}
+	}
+}
+
+// TestStressSeedCadence pins the seed-keyed cadence: the stress decision
+// depends only on the unit seed and Every, never on position.
+func TestStressSeedCadence(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.StressSeed(7) {
+		t.Error("stress disabled by default, yet StressSeed(7) = true")
+	}
+	cfg.Stress.Every = 4
+	want := map[int64]bool{0: false, 1: false, 2: false, 3: true, 7: true, 8: false, 11: true}
+	for seed, w := range want {
+		if got := cfg.StressSeed(seed); got != w {
+			t.Errorf("StressSeed(%d) = %v, want %v", seed, got, w)
+		}
+	}
+}

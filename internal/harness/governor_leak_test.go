@@ -1,0 +1,132 @@
+package harness
+
+import (
+	"context"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/compilers"
+	"repro/internal/coverage"
+	"repro/internal/governor"
+	"repro/internal/ir"
+)
+
+// spinTarget burns CPU forever, checking the governor the way the real
+// compilers do: it charges fuel in a tight loop and converts a
+// cancellation bailout into (nil, ctx.Err()). Before the governor, a
+// target like this — a pathological program in a CPU-bound checker —
+// ignored the watchdog's context and its sandbox goroutine leaked until
+// the whole compile finished (if ever).
+type spinTarget struct{}
+
+func (spinTarget) Name() string { return "spinner" }
+
+func (spinTarget) Compile(ctx context.Context, p *ir.Program, cov coverage.Recorder) (res *compilers.Result, err error) {
+	gov := governor.FromContext(ctx)
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := governor.AsBailout(r); !ok {
+				panic(r)
+			}
+			res, err = nil, ctx.Err()
+		}
+	}()
+	for {
+		gov.Charge(1)
+	}
+}
+
+// TestWatchdogGoroutineNoLeak forces a pile of watchdog timeouts against
+// a CPU-bound, governor-polling target and asserts the goroutine count
+// returns to baseline: every abandoned sandbox goroutine exits
+// cooperatively at a fuel checkpoint instead of leaking.
+func TestWatchdogGoroutineNoLeak(t *testing.T) {
+	const n = 20
+	h := New(Options{Timeout: 5 * time.Millisecond})
+	baseline := runtime.NumGoroutine()
+	for i := 0; i < n; i++ {
+		inv := h.Compile(context.Background(), spinTarget{}, &ir.Program{}, nil, Key{Unit: int64(i)})
+		if inv.Outcome != TimedOut {
+			t.Fatalf("compile %d: outcome = %s, want timed-out", i, inv.Outcome)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= baseline+1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: baseline %d, now %d after %d forced timeouts",
+				baseline, runtime.NumGoroutine(), n)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestGovernorCooperativeTimeoutIsPrompt pins the latency half of the
+// leak fix: the spinner unblocks within a poll interval of the watchdog
+// firing, so the synthesized-timeout path is a fallback, not the norm.
+func TestGovernorCooperativeTimeoutIsPrompt(t *testing.T) {
+	h := New(Options{Timeout: 5 * time.Millisecond})
+	t0 := time.Now()
+	inv := h.Compile(context.Background(), spinTarget{}, &ir.Program{}, nil, Key{})
+	if inv.Outcome != TimedOut {
+		t.Fatalf("outcome = %s, want timed-out", inv.Outcome)
+	}
+	if d := time.Since(t0); d > 2*time.Second {
+		t.Fatalf("cooperative timeout took %v", d)
+	}
+}
+
+// TestFuelExhaustionIsCompleted pins the outcome taxonomy: a fuel
+// bailout is a Completed invocation carrying a deterministic
+// ResourceExhausted result — not a crash, not a timeout — and the spent
+// counter is exposed on the invocation.
+func TestFuelExhaustionIsCompleted(t *testing.T) {
+	exhaust := func(ctx context.Context, p *ir.Program, cov coverage.Recorder) (*compilers.Result, error) {
+		gov := governor.FromContext(ctx)
+		res, err := func() (res *compilers.Result, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					bail, ok := governor.AsBailout(r)
+					if !ok {
+						panic(r)
+					}
+					res = &compilers.Result{
+						Status:      compilers.ResourceExhausted,
+						Diagnostics: []string{bail.Error()},
+					}
+				}
+			}()
+			for {
+				gov.Charge(1)
+			}
+		}()
+		return res, err
+	}
+	h := New(Options{Fuel: 1000})
+	inv := h.Compile(context.Background(), targetFunc{name: "exhauster", f: exhaust},
+		&ir.Program{}, nil, Key{})
+	if inv.Outcome != Completed {
+		t.Fatalf("outcome = %s, want completed", inv.Outcome)
+	}
+	if inv.Result == nil || inv.Result.Status != compilers.ResourceExhausted {
+		t.Fatalf("result = %+v, want ResourceExhausted", inv.Result)
+	}
+	if inv.FuelSpent != 1001 {
+		t.Fatalf("FuelSpent = %d, want 1001 (limit+1, the tripping charge)", inv.FuelSpent)
+	}
+}
+
+// targetFunc adapts a function to Target for tests.
+type targetFunc struct {
+	name string
+	f    func(context.Context, *ir.Program, coverage.Recorder) (*compilers.Result, error)
+}
+
+func (t targetFunc) Name() string { return t.name }
+func (t targetFunc) Compile(ctx context.Context, p *ir.Program, cov coverage.Recorder) (*compilers.Result, error) {
+	return t.f(ctx, p, cov)
+}

@@ -32,6 +32,7 @@ import (
 
 	"repro/internal/compilers"
 	"repro/internal/coverage"
+	"repro/internal/governor"
 	"repro/internal/ir"
 	"repro/internal/metrics"
 )
@@ -54,7 +55,11 @@ func (t compilerTarget) Compile(ctx context.Context, p *ir.Program, cov coverage
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return t.c.Compile(p, cov), nil
+	// CompileContext picks up the resource budget the harness attached to
+	// ctx; its governor polls ctx at fuel checkpoints, so a watchdog
+	// cancellation turns into a cooperative exit instead of an abandoned
+	// CPU-bound goroutine.
+	return t.c.CompileContext(ctx, p, cov)
 }
 
 // WrapCompiler adapts a simulated compiler to the Target interface.
@@ -193,6 +198,14 @@ type Invocation struct {
 	Err string
 	// Stack is the captured stack trace when Outcome is Crashed.
 	Stack string
+	// FuelSpent is the governor's step count for the final attempt.
+	// Observability only: it is exported to metrics but never serialized
+	// into journals or reports, because unguarded budgets count memo-cache
+	// hits and the number is therefore machine-history-dependent (only a
+	// guarded budget's count is deterministic). Zero when the invocation
+	// never reached the compiler (quarantined/aborted) or when the
+	// watchdog synthesized the result.
+	FuelSpent int64
 
 	// transient marks an Errored ending as retryable.
 	transient bool
@@ -224,6 +237,18 @@ type Options struct {
 	// BreakerCooldown is the number of quarantined compiles an open
 	// breaker skips before probing half-open. 0 means 2×threshold.
 	BreakerCooldown int
+	// Fuel is the per-compile deterministic step budget enforced by the
+	// resource governor (internal/governor); 0 disables the fuel limit.
+	// Unlike Timeout, exhaustion is a pure function of the program: the
+	// same program bails at the same step on every machine, yielding a
+	// journaled ResourceExhausted result instead of a wall-clock hang.
+	// Fuel is verdict-affecting and therefore part of the campaign
+	// fingerprint.
+	Fuel int64
+	// MaxDepth caps the governor's recursion depth for type-relation and
+	// substitution walks. 0 with Fuel > 0 applies governor.DefaultMaxDepth;
+	// 0 with Fuel == 0 disables the guard.
+	MaxDepth int
 	// Metrics, when set, exports per-compiler wall-time histograms
 	// (harness.compile_wall_ns.<compiler>) and breaker-state gauges
 	// (harness.breaker.<compiler>). Observation only — the compile path
@@ -241,6 +266,7 @@ type Harness struct {
 	mu       sync.Mutex
 	breakers map[string]*Breaker
 	wall     map[string]*metrics.Histogram
+	fuel     map[string]*metrics.Histogram
 }
 
 // New returns a harness with the given options.
@@ -251,7 +277,12 @@ func New(opts Options) *Harness {
 	if opts.BreakerCooldown <= 0 {
 		opts.BreakerCooldown = 2 * opts.BreakerThreshold
 	}
-	return &Harness{opts: opts, breakers: map[string]*Breaker{}, wall: map[string]*metrics.Histogram{}}
+	return &Harness{
+		opts:     opts,
+		breakers: map[string]*Breaker{},
+		wall:     map[string]*metrics.Histogram{},
+		fuel:     map[string]*metrics.Histogram{},
+	}
 }
 
 // Breaker returns the circuit breaker guarding the named compiler,
@@ -289,6 +320,19 @@ func (h *Harness) wallHistogram(name string) *metrics.Histogram {
 	if hist == nil {
 		hist = h.opts.Metrics.Histogram("harness.compile_wall_ns." + name)
 		h.wall[name] = hist
+	}
+	return hist
+}
+
+// fuelHistogram returns the per-compiler governor step-count histogram,
+// creating it on first use.
+func (h *Harness) fuelHistogram(name string) *metrics.Histogram {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	hist := h.fuel[name]
+	if hist == nil {
+		hist = h.opts.Metrics.Histogram("harness.fuel_spent." + name)
+		h.fuel[name] = hist
 	}
 	return hist
 }
@@ -410,7 +454,8 @@ type oneResult struct {
 	panic string
 }
 
-// invokeOnce performs a single sandboxed compile under the watchdog.
+// invokeOnce performs a single sandboxed compile under the watchdog and
+// the resource governor.
 func (h *Harness) invokeOnce(ctx context.Context, t Target, p *ir.Program, cov coverage.Recorder, key Key) Invocation {
 	cctx := WithKey(ctx, key)
 	var cancel context.CancelFunc
@@ -419,23 +464,32 @@ func (h *Harness) invokeOnce(ctx context.Context, t Target, p *ir.Program, cov c
 		defer cancel()
 	}
 
+	// A fresh budget per attempt, even with Fuel == 0: an unguarded
+	// budget never bails on steps but still polls cctx at checkpoints, so
+	// a watchdog firing (or campaign shutdown) turns a CPU-bound check
+	// into a cooperative exit instead of a leaked goroutine.
+	gov := governor.New(h.opts.Fuel, h.opts.MaxDepth)
+	gov.Bind(cctx)
+	cctx = governor.WithBudget(cctx, gov)
+
 	if h.opts.Timeout <= 0 {
 		// No watchdog: sandbox inline, sparing the goroutine handoff on
 		// the default hot path.
 		out := sandboxedCompile(cctx, t, p, cov)
-		return h.classify(ctx, out)
+		return h.finish(ctx, t, out, gov, key)
 	}
 
 	ch := make(chan oneResult, 1)
 	go func() { ch <- sandboxedCompile(cctx, t, p, cov) }()
 	select {
 	case out := <-ch:
-		return h.classify(ctx, out)
+		return h.finish(ctx, t, out, gov, key)
 	case <-cctx.Done():
 		// The compile goroutine is abandoned; a context-aware target
-		// (including the chaos wrapper's hangs) unblocks promptly, a
-		// CPU-bound one finishes into the buffered channel and is
-		// collected.
+		// (including the chaos wrapper's hangs) unblocks promptly, and a
+		// CPU-bound check hits a governor poll point, finishes into the
+		// buffered channel, and is collected. gov must not be read here —
+		// the goroutine may still be charging it.
 		if ctx.Err() != nil {
 			return Invocation{Outcome: Aborted, Err: ctx.Err().Error()}
 		}
@@ -448,6 +502,28 @@ func (h *Harness) invokeOnce(ctx context.Context, t Target, p *ir.Program, cov c
 			Err: fmt.Sprintf("watchdog: compile exceeded %v", h.opts.Timeout),
 		}
 	}
+}
+
+// finish classifies a compile that actually returned (inline or through
+// the watchdog channel — the happens-before needed to read the budget)
+// and attaches governor observability.
+func (h *Harness) finish(parent context.Context, t Target, out oneResult, gov *governor.Budget, key Key) Invocation {
+	inv := h.classify(parent, out)
+	inv.FuelSpent = gov.Spent()
+	if inv.Result != nil && inv.Result.Status == compilers.ResourceExhausted {
+		h.opts.Metrics.Counter("harness.fuel_exhausted." + t.Name()).Inc()
+		detail := "budget exhausted"
+		if len(inv.Result.Diagnostics) > 0 {
+			detail = inv.Result.Diagnostics[0]
+		}
+		h.opts.Trace.Emit(metrics.Event{
+			Kind: "fuel", Unit: key.Unit, Compiler: t.Name(), Detail: detail,
+		})
+	}
+	if h.opts.Metrics != nil {
+		h.fuelHistogram(t.Name()).Observe(inv.FuelSpent)
+	}
+	return inv
 }
 
 // sandboxedCompile invokes the target under recover, converting a panic

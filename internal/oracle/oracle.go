@@ -82,6 +82,12 @@ const (
 	// performance bug, distinct from a crash: the compiler neither
 	// accepted, rejected, nor aborted.
 	CompilerHang
+	// ResourceExhausted: the deterministic resource governor halted the
+	// compiler before it finished (fuel or recursion-depth budget). Like a
+	// hang this is a performance finding, but unlike the wall-clock
+	// watchdog it reproduces at the same step count on any machine, so
+	// exhausted programs are first-class, deduplicable report entries.
+	ResourceExhausted
 )
 
 func (v Verdict) String() string {
@@ -96,6 +102,8 @@ func (v Verdict) String() string {
 		return "hang"
 	case CompilerCrash:
 		return "crash"
+	case ResourceExhausted:
+		return "exhausted"
 	default:
 		// Never mislabel a future verdict: surface it as unknown rather
 		// than silently folding it into "crash" counts.
@@ -111,6 +119,9 @@ func Judge(kind InputKind, res *compilers.Result) Verdict {
 	}
 	if res.Status == compilers.TimedOut {
 		return CompilerHang
+	}
+	if res.Status == compilers.ResourceExhausted {
+		return ResourceExhausted
 	}
 	if kind.ExpectCompile() {
 		if res.Status == compilers.Rejected {

@@ -15,50 +15,59 @@ var allKinds = []oracle.InputKind{
 
 var allStatuses = []compilers.Status{
 	compilers.OK, compilers.Rejected, compilers.Crashed, compilers.TimedOut,
+	compilers.ResourceExhausted,
 }
 
 // TestJudgeMatrix pins the oracle over the full InputKind × Status
 // space: crashes and hangs are bugs whatever the derivation (notably
 // a TimedOut rejection path for an ill-typed mutant is still a hang,
-// never a pass), well-typed kinds must compile, ill-typed kinds must be
-// rejected.
+// never a pass), a governor bailout is a deterministic ResourceExhausted
+// finding whatever the derivation (an exhausted TOM mutant is not a
+// pass: the compiler never reached a verdict to compare), well-typed
+// kinds must compile, ill-typed kinds must be rejected.
 func TestJudgeMatrix(t *testing.T) {
 	want := map[oracle.InputKind]map[compilers.Status]oracle.Verdict{
 		oracle.Generated: {
-			compilers.OK:       oracle.Pass,
-			compilers.Rejected: oracle.UnexpectedCompileTimeError,
-			compilers.Crashed:  oracle.CompilerCrash,
-			compilers.TimedOut: oracle.CompilerHang,
+			compilers.OK:                oracle.Pass,
+			compilers.Rejected:          oracle.UnexpectedCompileTimeError,
+			compilers.Crashed:           oracle.CompilerCrash,
+			compilers.TimedOut:          oracle.CompilerHang,
+			compilers.ResourceExhausted: oracle.ResourceExhausted,
 		},
 		oracle.TEMMutant: {
-			compilers.OK:       oracle.Pass,
-			compilers.Rejected: oracle.UnexpectedCompileTimeError,
-			compilers.Crashed:  oracle.CompilerCrash,
-			compilers.TimedOut: oracle.CompilerHang,
+			compilers.OK:                oracle.Pass,
+			compilers.Rejected:          oracle.UnexpectedCompileTimeError,
+			compilers.Crashed:           oracle.CompilerCrash,
+			compilers.TimedOut:          oracle.CompilerHang,
+			compilers.ResourceExhausted: oracle.ResourceExhausted,
 		},
 		oracle.TOMMutant: {
-			compilers.OK:       oracle.UnexpectedAcceptance,
-			compilers.Rejected: oracle.Pass,
-			compilers.Crashed:  oracle.CompilerCrash,
-			compilers.TimedOut: oracle.CompilerHang,
+			compilers.OK:                oracle.UnexpectedAcceptance,
+			compilers.Rejected:          oracle.Pass,
+			compilers.Crashed:           oracle.CompilerCrash,
+			compilers.TimedOut:          oracle.CompilerHang,
+			compilers.ResourceExhausted: oracle.ResourceExhausted,
 		},
 		oracle.TEMTOMMutant: {
-			compilers.OK:       oracle.UnexpectedAcceptance,
-			compilers.Rejected: oracle.Pass,
-			compilers.Crashed:  oracle.CompilerCrash,
-			compilers.TimedOut: oracle.CompilerHang,
+			compilers.OK:                oracle.UnexpectedAcceptance,
+			compilers.Rejected:          oracle.Pass,
+			compilers.Crashed:           oracle.CompilerCrash,
+			compilers.TimedOut:          oracle.CompilerHang,
+			compilers.ResourceExhausted: oracle.ResourceExhausted,
 		},
 		oracle.Suite: {
-			compilers.OK:       oracle.Pass,
-			compilers.Rejected: oracle.UnexpectedCompileTimeError,
-			compilers.Crashed:  oracle.CompilerCrash,
-			compilers.TimedOut: oracle.CompilerHang,
+			compilers.OK:                oracle.Pass,
+			compilers.Rejected:          oracle.UnexpectedCompileTimeError,
+			compilers.Crashed:           oracle.CompilerCrash,
+			compilers.TimedOut:          oracle.CompilerHang,
+			compilers.ResourceExhausted: oracle.ResourceExhausted,
 		},
 		oracle.REMMutant: {
-			compilers.OK:       oracle.Pass,
-			compilers.Rejected: oracle.UnexpectedCompileTimeError,
-			compilers.Crashed:  oracle.CompilerCrash,
-			compilers.TimedOut: oracle.CompilerHang,
+			compilers.OK:                oracle.Pass,
+			compilers.Rejected:          oracle.UnexpectedCompileTimeError,
+			compilers.Crashed:           oracle.CompilerCrash,
+			compilers.TimedOut:          oracle.CompilerHang,
+			compilers.ResourceExhausted: oracle.ResourceExhausted,
 		},
 	}
 	for _, kind := range allKinds {
@@ -103,6 +112,7 @@ func TestInputKindStrings(t *testing.T) {
 		oracle.UnexpectedAcceptance:       "URB",
 		oracle.CompilerCrash:              "crash",
 		oracle.CompilerHang:               "hang",
+		oracle.ResourceExhausted:          "exhausted",
 	}
 	for v, want := range verdicts {
 		if v.String() != want {
@@ -120,9 +130,23 @@ func TestUnknownValuesNeverMislabel(t *testing.T) {
 			t.Errorf("InputKind(%d).String() = %q, want %q", n, got, want)
 		}
 	}
-	for _, n := range []int{5, 42, -3} {
+	for _, n := range []int{6, 42, -3} {
 		if got, want := oracle.Verdict(n).String(), fmt.Sprintf("unknown(%d)", n); got != want {
 			t.Errorf("Verdict(%d).String() = %q, want %q", n, got, want)
 		}
+	}
+	// The compilers.Status fallthrough got the same treatment when
+	// ResourceExhausted was added: a future status reads unknown(N), and
+	// the new members render distinctly.
+	for _, n := range []int{5, 17, -1} {
+		if got, want := compilers.Status(n).String(), fmt.Sprintf("unknown(%d)", n); got != want {
+			t.Errorf("Status(%d).String() = %q, want %q", n, got, want)
+		}
+	}
+	if got := compilers.ResourceExhausted.String(); got != "resource exhausted" {
+		t.Errorf("ResourceExhausted.String() = %q", got)
+	}
+	if got := compilers.Crashed.String(); got != "crashed" {
+		t.Errorf("Crashed.String() = %q", got)
 	}
 }

@@ -70,6 +70,12 @@ type Unit struct {
 	Gaps []Gap
 	// Repairs counts TEM verification-pass rollbacks in this unit.
 	Repairs int
+	// Stress marks a unit whose base program came from the pathological
+	// stress generator. Stress programs exist to exercise the resource
+	// governor; the Mutate stage skips them, because mutation's type
+	// graph analysis runs unbudgeted and a pathological program would
+	// stall it.
+	Stress bool
 	// Injected tallies the chaos faults injected into this unit's
 	// compiles, drained per unit by the Execute stage so the aggregator
 	// (and the campaign journal) owns injected ground truth in Seq
@@ -179,7 +185,12 @@ func (g *Generate) Run(ctx context.Context, u *Unit) error {
 	}
 	if u.Program == nil {
 		gen := generator.New(g.Config.WithSeed(u.Seed))
-		u.Program = gen.Generate()
+		if g.Config.StressSeed(u.Seed) {
+			u.Program = gen.GenerateStress()
+			u.Stress = true
+		} else {
+			u.Program = gen.Generate()
+		}
 		u.Builtins = gen.Builtins()
 	}
 	u.Inputs = append(u.Inputs, Input{Kind: u.Kind, Prog: u.Program})
@@ -208,7 +219,7 @@ func (m *Mutate) Run(ctx context.Context, u *Unit) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if u.Recovered {
+	if u.Recovered || u.Stress {
 		return nil
 	}
 	b := u.Builtins

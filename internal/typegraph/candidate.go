@@ -148,5 +148,5 @@ func RelevantTo(g *Graph, c *Candidate, node string, t types.Type) bool {
 		// relevant (unsafe to overwrite blindly).
 		return true
 	}
-	return types.IsSubtype(inf, t)
+	return types.IsSubtypeB(g.Gov, inf, t)
 }

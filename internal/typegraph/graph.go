@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/governor"
 	"repro/internal/types"
 )
 
@@ -79,6 +80,13 @@ type Graph struct {
 	// while building the graph (double-circled and shadowed nodes of
 	// Figure 6).
 	Candidates []*Candidate
+
+	// Gov, when set, meters the graph's inference walks: VisitedTypes
+	// charges per visited node and InferBlocked runs its least upper
+	// bounds through types.LubB, so a guarded budget bounds pathological
+	// inference the same way it bounds the checker's relations. Nil means
+	// unmetered (the mutation pipeline's default).
+	Gov *governor.Budget
 
 	// Memoized query state, dropped on any mutation. Preserves is called
 	// once per candidate combination (worst case thousands of times per
@@ -193,6 +201,7 @@ func (g *Graph) VisitedTypes(start string, erased Erasure, blocked map[string]bo
 	seen := map[string]bool{}
 	var dfs func(id string)
 	dfs = func(id string) {
+		g.Gov.Charge(1)
 		if seen[id] || (blocked != nil && blocked[id] && id != start) {
 			return
 		}
@@ -250,7 +259,7 @@ func (g *Graph) InferBlocked(start string, erased Erasure, blocked map[string]bo
 	if len(ts) == 0 {
 		return types.Bottom{}
 	}
-	return types.Lub(ts...)
+	return types.LubB(g.Gov, ts...)
 }
 
 // Dot renders the graph in Graphviz format; decl nodes are red boxes, type

@@ -3,6 +3,8 @@ package types
 import (
 	"sort"
 	"strings"
+
+	"repro/internal/governor"
 )
 
 // Substitution is a finite map [α ↦ t] from type parameters to types
@@ -85,10 +87,26 @@ func (s *Substitution) Merge(other *Substitution) bool {
 // bound type parameter (Definition 3.1). Unbound parameters are left
 // intact. Application recurses through applications, projections, function
 // types, intersections, and parameter bounds.
-func (s *Substitution) Apply(t Type) Type {
+func (s *Substitution) Apply(t Type) Type { return s.ApplyB(nil, t) }
+
+// ApplyB is Apply metered by a governor budget (nil = unmetered), charging
+// one step per visited type node. Substitution is where pathological
+// programs manufacture exponential work — a climb through
+// `class E<T> : D<Pair<T,T>>` doubles the type's size per level — so
+// metering per node (rather than per call) is what makes fuel exhaustion
+// track the real cost.
+func (s *Substitution) ApplyB(b *governor.Budget, t Type) Type {
 	if t == nil || s == nil || len(s.bindings) == 0 {
 		return t
 	}
+	b.Charge(1)
+	b.Enter()
+	out := s.applyWalk(b, t)
+	b.Exit()
+	return out
+}
+
+func (s *Substitution) applyWalk(b *governor.Budget, t Type) Type {
 	switch tt := t.(type) {
 	case *Parameter:
 		if bound, ok := s.bindings[tt.ID()]; ok {
@@ -99,7 +117,7 @@ func (s *Substitution) Apply(t Type) Type {
 		args := make([]Type, len(tt.Args))
 		changed := false
 		for i, a := range tt.Args {
-			args[i] = s.Apply(a)
+			args[i] = s.ApplyB(b, a)
 			if args[i] != tt.Args[i] {
 				changed = true
 			}
@@ -109,7 +127,7 @@ func (s *Substitution) Apply(t Type) Type {
 		}
 		return &App{Ctor: tt.Ctor, Args: args}
 	case *Projection:
-		nb := s.Apply(tt.Bound)
+		nb := s.ApplyB(b, tt.Bound)
 		if nb == tt.Bound {
 			return tt
 		}
@@ -117,13 +135,13 @@ func (s *Substitution) Apply(t Type) Type {
 	case *Func:
 		params := make([]Type, len(tt.Params))
 		for i, p := range tt.Params {
-			params[i] = s.Apply(p)
+			params[i] = s.ApplyB(b, p)
 		}
-		return &Func{Params: params, Ret: s.Apply(tt.Ret)}
+		return &Func{Params: params, Ret: s.ApplyB(b, tt.Ret)}
 	case *Intersection:
 		ms := make([]Type, len(tt.Members))
 		for i, m := range tt.Members {
-			ms[i] = s.Apply(m)
+			ms[i] = s.ApplyB(b, m)
 		}
 		return &Intersection{Members: ms}
 	case *Constructor:
@@ -140,7 +158,7 @@ func (s *Substitution) Apply(t Type) Type {
 		return &Constructor{
 			TypeName: tt.TypeName,
 			Params:   tt.Params,
-			Super:    inner.Apply(tt.Super),
+			Super:    inner.ApplyB(b, tt.Super),
 			Final:    tt.Final,
 		}
 	default:

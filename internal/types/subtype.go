@@ -1,11 +1,20 @@
 package types
 
+import "repro/internal/governor"
+
 // Supertype implements the S(t) operation of the paper: the declared
 // supertype of a type. S(T : t) = t; for a type application it is the
 // constructor's supertype with the application's arguments substituted for
 // the constructor's parameters (so S(B<Int>) = A<Int> for
 // class B<T> : A<T>). Supertype of ⊤ is ⊤ itself.
-func Supertype(t Type) Type {
+func Supertype(t Type) Type { return SupertypeB(nil, t) }
+
+// SupertypeB is Supertype metered by a governor budget (nil = unmetered).
+// Guarded budgets bypass the supertype memo cache: the cache is shared
+// across programs, so a hit would skip steps a cold cache charges and make
+// the exhaustion point depend on what was compiled before.
+func SupertypeB(b *governor.Budget, t Type) Type {
+	b.Charge(1)
 	switch tt := t.(type) {
 	case Top:
 		return Top{}
@@ -33,8 +42,8 @@ func Supertype(t Type) Type {
 			// range.
 			return Top{}
 		}
-		if cachingDisabled.Load() {
-			return appSupertype(tt)
+		if b.Guarded() || cachingDisabled.Load() {
+			return appSupertype(b, tt)
 		}
 		bp := keyBufPool.Get().(*[]byte)
 		key := AppendFingerprint((*bp)[:0], tt)
@@ -43,7 +52,7 @@ func Supertype(t Type) Type {
 			keyBufPool.Put(bp)
 			return sup
 		}
-		sup := appSupertype(tt)
+		sup := appSupertype(b, tt)
 		storeSupertype(key, sup)
 		*bp = key
 		keyBufPool.Put(bp)
@@ -61,12 +70,12 @@ func Supertype(t Type) Type {
 // appSupertype computes S((Λα.t)t̄): the constructor's supertype with the
 // application's arguments substituted for the parameters. The caller has
 // already checked Super != nil and the arity.
-func appSupertype(tt *App) Type {
+func appSupertype(b *governor.Budget, tt *App) Type {
 	sigma := NewSubstitution()
 	for i, p := range tt.Ctor.Params {
 		sigma.Bind(p, tt.Args[i])
 	}
-	return sigma.Apply(tt.Ctor.Super)
+	return sigma.ApplyB(b, tt.Ctor.Super)
 }
 
 // IsSubtype implements the nominal subtyping relation t1 <: t2 of the IR.
@@ -77,10 +86,18 @@ func appSupertype(tt *App) Type {
 // and use-site projections; applications of different constructors walk the
 // substituted supertype chain of the subtype side; function types are
 // contravariant in parameters and covariant in the result.
-func IsSubtype(t1, t2 Type) bool {
+func IsSubtype(t1, t2 Type) bool { return IsSubtypeB(nil, t1, t2) }
+
+// IsSubtypeB is IsSubtype metered by a governor budget (nil = unmetered).
+// It charges one step per relation entry plus one per chain-climb link, so
+// a guarded walk over a pathological hierarchy exhausts its fuel after the
+// same number of steps on every machine. Guarded budgets skip the
+// cross-program pair cache for the same determinism reason as SupertypeB.
+func IsSubtypeB(b *governor.Budget, t1, t2 Type) bool {
 	if t1 == nil || t2 == nil {
 		return false
 	}
+	b.Charge(1)
 	if t1.Equal(t2) {
 		return true
 	}
@@ -104,15 +121,15 @@ func IsSubtype(t1, t2 Type) bool {
 	// candidate filtering, most checker conformance checks) off the cache
 	// entirely.
 	a1, app1 := t1.(*App)
-	if !app1 || !a1.fp.ready() || !fingerprintReady(t2) || cachingDisabled.Load() {
-		return isSubtypeUncached(t1, t2)
+	if !app1 || !a1.fp.ready() || !fingerprintReady(t2) || b.Guarded() || cachingDisabled.Load() {
+		return isSubtypeUncached(b, t1, t2)
 	}
 	if a2, ok := t2.(*App); ok && a1.Ctor.Equal(a2.Ctor) {
-		return isSubtypeUncached(t1, t2)
+		return isSubtypeUncached(b, t1, t2)
 	}
 	// Memoized path: the relation is a pure function of the canonical
 	// fingerprints, so a hit returns exactly what the walk would.
-	// Recursive sub-queries re-enter IsSubtype and are memoized too.
+	// Recursive sub-queries re-enter IsSubtypeB and are memoized too.
 	bp := keyBufPool.Get().(*[]byte)
 	key := AppendFingerprint((*bp)[:0], t1)
 	key = append(key, pairSep)
@@ -122,21 +139,31 @@ func IsSubtype(t1, t2 Type) bool {
 		keyBufPool.Put(bp)
 		return val
 	}
-	val := isSubtypeUncached(t1, t2)
+	val := isSubtypeUncached(b, t1, t2)
 	storeSubtype(key, val)
 	*bp = key
 	keyBufPool.Put(bp)
 	return val
 }
 
-// isSubtypeUncached is the relation's recursive walk, past the reflexive
+// isSubtypeUncached brackets the recursive walk with the governor's depth
+// guard; re-entries through IsSubtypeB nest, so logical recursion depth is
+// what the guard sees.
+func isSubtypeUncached(b *governor.Budget, t1, t2 Type) bool {
+	b.Enter()
+	ok := isSubtypeWalk(b, t1, t2)
+	b.Exit()
+	return ok
+}
+
+// isSubtypeWalk is the relation's recursive walk, past the reflexive
 // and extremal fast paths.
-func isSubtypeUncached(t1, t2 Type) bool {
+func isSubtypeWalk(b *governor.Budget, t1, t2 Type) bool {
 	// An intersection is a subtype of t2 when any member is; t1 is a
 	// subtype of an intersection when it is a subtype of every member.
 	if x, ok := t1.(*Intersection); ok {
 		for _, m := range x.Members {
-			if IsSubtype(m, t2) {
+			if IsSubtypeB(b, m, t2) {
 				return true
 			}
 		}
@@ -144,7 +171,7 @@ func isSubtypeUncached(t1, t2 Type) bool {
 	}
 	if x, ok := t2.(*Intersection); ok {
 		for _, m := range x.Members {
-			if !IsSubtype(t1, m) {
+			if !IsSubtypeB(b, t1, m) {
 				return false
 			}
 		}
@@ -159,7 +186,8 @@ func isSubtypeUncached(t1, t2 Type) bool {
 		// (malformed, test-only) cyclic hierarchies terminate.
 		cur := a
 		for i := 0; i < 64; i++ {
-			if b, ok := t2.(*Simple); ok && cur.TypeName == b.TypeName {
+			b.Charge(1)
+			if b2, ok := t2.(*Simple); ok && cur.TypeName == b2.TypeName {
 				return true
 			}
 			if cur.Super == nil {
@@ -167,7 +195,7 @@ func isSubtypeUncached(t1, t2 Type) bool {
 			}
 			next, ok := cur.Super.(*Simple)
 			if !ok {
-				return IsSubtype(cur.Super, t2)
+				return IsSubtypeB(b, cur.Super, t2)
 			}
 			cur = next
 		}
@@ -175,36 +203,36 @@ func isSubtypeUncached(t1, t2 Type) bool {
 	case *Parameter:
 		// A type parameter is a subtype of whatever its bound is a
 		// subtype of. Nothing but itself (and ⊥) is a subtype of it.
-		return IsSubtype(a.UpperBound(), t2)
+		return IsSubtypeB(b, a.UpperBound(), t2)
 	case *App:
 		// Same capped climb for constructor hierarchies.
 		cur := a
 		for i := 0; i < 64; i++ {
-			if b, ok := t2.(*App); ok && cur.Ctor.Equal(b.Ctor) {
-				return argsConform(cur, b)
+			if b2, ok := t2.(*App); ok && cur.Ctor.Equal(b2.Ctor) {
+				return argsConform(b, cur, b2)
 			}
-			sup := Supertype(cur)
+			sup := SupertypeB(b, cur)
 			if _, isTop := sup.(Top); isTop {
 				return false
 			}
 			next, ok := sup.(*App)
 			if !ok {
-				return IsSubtype(sup, t2)
+				return IsSubtypeB(b, sup, t2)
 			}
 			cur = next
 		}
 		return false
 	case *Func:
-		b, ok := t2.(*Func)
-		if !ok || len(a.Params) != len(b.Params) {
+		b2, ok := t2.(*Func)
+		if !ok || len(a.Params) != len(b2.Params) {
 			return false
 		}
 		for i := range a.Params {
-			if !IsSubtype(b.Params[i], a.Params[i]) {
+			if !IsSubtypeB(b, b2.Params[i], a.Params[i]) {
 				return false
 			}
 		}
-		return IsSubtype(a.Ret, b.Ret)
+		return IsSubtypeB(b, a.Ret, b2.Ret)
 	case *Constructor:
 		// Raw constructors only relate to themselves (handled by Equal).
 		return false
@@ -215,7 +243,7 @@ func isSubtypeUncached(t1, t2 Type) bool {
 // argsConform checks the type arguments of two applications of the same
 // constructor, honouring declaration-site variance and use-site
 // projections (Java wildcard containment).
-func argsConform(a, b *App) bool {
+func argsConform(bud *governor.Budget, a, b *App) bool {
 	// Equal constructors guarantee equal parameter counts, but a malformed
 	// or partially-erased application may carry a mismatched argument
 	// list; such an application conforms to nothing.
@@ -225,14 +253,14 @@ func argsConform(a, b *App) bool {
 	}
 	for i := range a.Args {
 		v := a.Ctor.Params[i].Var
-		if !argConforms(a.Args[i], b.Args[i], v) {
+		if !argConforms(bud, a.Args[i], b.Args[i], v) {
 			return false
 		}
 	}
 	return true
 }
 
-func argConforms(sub, sup Type, v Variance) bool {
+func argConforms(b *governor.Budget, sub, sup Type, v Variance) bool {
 	// Use-site projection on the supertype side: containment.
 	if ps, ok := sup.(*Projection); ok {
 		switch inner := sub.(type) {
@@ -242,14 +270,14 @@ func argConforms(sub, sup Type, v Variance) bool {
 				return false
 			}
 			if ps.Var == Covariant {
-				return IsSubtype(inner.Bound, ps.Bound)
+				return IsSubtypeB(b, inner.Bound, ps.Bound)
 			}
-			return IsSubtype(ps.Bound, inner.Bound)
+			return IsSubtypeB(b, ps.Bound, inner.Bound)
 		default:
 			if ps.Var == Covariant {
-				return IsSubtype(sub, ps.Bound)
+				return IsSubtypeB(b, sub, ps.Bound)
 			}
-			return IsSubtype(ps.Bound, sub)
+			return IsSubtypeB(b, ps.Bound, sub)
 		}
 	}
 	if ps, ok := sub.(*Projection); ok {
@@ -257,18 +285,18 @@ func argConforms(sub, sup Type, v Variance) bool {
 		// matching declaration-site variance: Cls<out Number> <= Cls<Number>
 		// when Cls's parameter is declared `out`.
 		if v == Covariant && ps.Var == Covariant {
-			return IsSubtype(ps.Bound, sup)
+			return IsSubtypeB(b, ps.Bound, sup)
 		}
 		if v == Contravariant && ps.Var == Contravariant {
-			return IsSubtype(sup, ps.Bound)
+			return IsSubtypeB(b, sup, ps.Bound)
 		}
 		return false
 	}
 	switch v {
 	case Covariant:
-		return IsSubtype(sub, sup)
+		return IsSubtypeB(b, sub, sup)
 	case Contravariant:
-		return IsSubtype(sup, sub)
+		return IsSubtypeB(b, sup, sub)
 	default:
 		return sub.Equal(sup)
 	}
@@ -277,8 +305,13 @@ func argConforms(sub, sup Type, v Variance) bool {
 // SuperChain returns the chain of supertypes of t from t itself up to ⊤,
 // inclusive on both ends. Cyclic hierarchies are cut after 64 links; the
 // capped chain is still terminated with ⊤ so that consumers iterating "up
-// to Top" (lub2, UnifyPrime) keep their invariant.
-func SuperChain(t Type) []Type {
+// to Top" (lub2, UnifyPrime) keep their invariant — and the truncation is
+// counted and reported through SetSuperChainTruncationHook so silent caps
+// stop reading as "covered everything".
+func SuperChain(t Type) []Type { return SuperChainB(nil, t) }
+
+// SuperChainB is SuperChain metered by a governor budget (nil = unmetered).
+func SuperChainB(b *governor.Budget, t Type) []Type {
 	var chain []Type
 	cur := t
 	for i := 0; i < 64; i++ { // guard against cyclic hierarchies
@@ -286,8 +319,9 @@ func SuperChain(t Type) []Type {
 		if _, ok := cur.(Top); ok {
 			return chain
 		}
-		cur = Supertype(cur)
+		cur = SupertypeB(b, cur)
 	}
+	noteSuperChainTruncation()
 	return append(chain, Top{})
 }
 
@@ -296,28 +330,32 @@ func SuperChain(t Type) []Type {
 // arguments disagree, the result covariantly projects the disagreeing
 // arguments (mirroring what Kotlin does before approximation); when no
 // informative bound exists, the result is ⊤.
-func Lub(ts ...Type) Type {
+func Lub(ts ...Type) Type { return LubB(nil, ts...) }
+
+// LubB is Lub metered by a governor budget (nil = unmetered).
+func LubB(b *governor.Budget, ts ...Type) Type {
 	if len(ts) == 0 {
 		return Top{}
 	}
 	acc := ts[0]
 	for _, t := range ts[1:] {
-		acc = lub2(acc, t)
+		acc = lub2(b, acc, t)
 	}
 	return acc
 }
 
-func lub2(a, b Type) Type {
+func lub2(bud *governor.Budget, a, b Type) Type {
 	if a == nil {
 		return b
 	}
 	if b == nil {
 		return a
 	}
-	if IsSubtype(a, b) {
+	bud.Charge(1)
+	if IsSubtypeB(bud, a, b) {
 		return b
 	}
-	if IsSubtype(b, a) {
+	if IsSubtypeB(bud, b, a) {
 		return a
 	}
 	// Function types combine pointwise: results join at their least upper
@@ -333,9 +371,9 @@ func lub2(a, b Type) Type {
 				switch {
 				case fa.Params[i].Equal(fb.Params[i]):
 					params[i] = fa.Params[i]
-				case IsSubtype(fa.Params[i], fb.Params[i]):
+				case IsSubtypeB(bud, fa.Params[i], fb.Params[i]):
 					params[i] = fa.Params[i]
-				case IsSubtype(fb.Params[i], fa.Params[i]):
+				case IsSubtypeB(bud, fb.Params[i], fa.Params[i]):
 					params[i] = fb.Params[i]
 				default:
 					meetable = false
@@ -345,7 +383,7 @@ func lub2(a, b Type) Type {
 				}
 			}
 			if meetable {
-				return &Func{Params: params, Ret: Lub(fa.Ret, fb.Ret)}
+				return &Func{Params: params, Ret: LubB(bud, fa.Ret, fb.Ret)}
 			}
 			return Top{}
 		}
@@ -356,18 +394,18 @@ func lub2(a, b Type) Type {
 	// entry that b conforms to is the join directly. Since a <: sa for
 	// every chain entry and the chain ends at ⊤, this terminates with the
 	// most specific common supertype.
-	chainA, chainB := SuperChain(a), SuperChain(b)
+	chainA, chainB := SuperChainB(bud, a), SuperChainB(bud, b)
 	for _, sa := range chainA {
 		if appA, ok := sa.(*App); ok {
 			for _, sb := range chainB {
 				if appB, ok := sb.(*App); ok && appA.Ctor.Equal(appB.Ctor) {
-					if merged, ok := mergeApps(appA, appB); ok {
+					if merged, ok := mergeApps(bud, appA, appB); ok {
 						return merged
 					}
 				}
 			}
 		}
-		if IsSubtype(b, sa) {
+		if IsSubtypeB(bud, b, sa) {
 			return sa
 		}
 	}
@@ -382,7 +420,7 @@ func lub2(a, b Type) Type {
 // would need greatest lower bounds; merging there is not an upper bound,
 // so the merge reports failure and the caller falls back to a plainer
 // common supertype.
-func mergeApps(a, b *App) (Type, bool) {
+func mergeApps(bud *governor.Budget, a, b *App) (Type, bool) {
 	n := len(a.Ctor.Params)
 	if len(a.Args) != n || len(b.Args) != n {
 		return nil, false // malformed/partially-erased application
@@ -397,7 +435,7 @@ func mergeApps(a, b *App) (Type, bool) {
 			a.Ctor.Params[i].Var == Contravariant {
 			return nil, false
 		}
-		join := Lub(stripProjection(a.Args[i]), stripProjection(b.Args[i]))
+		join := LubB(bud, stripProjection(a.Args[i]), stripProjection(b.Args[i]))
 		if a.Ctor.Params[i].Var == Covariant {
 			args[i] = join
 			continue

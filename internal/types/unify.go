@@ -1,5 +1,7 @@
 package types
 
+import "repro/internal/governor"
+
 // Unify implements type unification (Definition 3.2): it computes a
 // substitution σ such that σ·t1 <: t2, or returns nil when no such
 // substitution exists.
@@ -18,9 +20,12 @@ package types
 // Bounds are respected: binding α ↦ t fails when t does not conform to α's
 // upper bound. (The paper's KT-48765 is precisely a compiler forgetting
 // this check; the reference checker must not.)
-func Unify(t1, t2 Type) *Substitution {
+func Unify(t1, t2 Type) *Substitution { return UnifyB(nil, t1, t2) }
+
+// UnifyB is Unify metered by a governor budget (nil = unmetered).
+func UnifyB(b *governor.Budget, t1, t2 Type) *Substitution {
 	sigma := NewSubstitution()
-	if unifyInto(t1, t2, sigma, true) && groundVerified(sigma, t1, t2) {
+	if unifyInto(b, t1, t2, sigma, true) && groundVerified(b, sigma, t1, t2) {
 		return sigma
 	}
 	return nil
@@ -32,36 +37,47 @@ func Unify(t1, t2 Type) *Substitution {
 // return-type resolution, and t2 <: σ·t1 for argument-driven inference —
 // the supertype-chain climbs over-approximate both, and callers of
 // partially bound results re-check the conformance they need.)
-func groundVerified(sigma *Substitution, t1, t2 Type) bool {
-	inst := sigma.Apply(t1)
+func groundVerified(b *governor.Budget, sigma *Substitution, t1, t2 Type) bool {
+	inst := sigma.ApplyB(b, t1)
 	if HasFreeParameters(inst) || HasFreeParameters(t2) {
 		return true
 	}
-	return IsSubtype(inst, t2) || IsSubtype(t2, inst)
+	return IsSubtypeB(b, inst, t2) || IsSubtypeB(b, t2, inst)
 }
 
 // UnifyUnchecked is Unify without the upper-bound conformance check on
 // parameter bindings. Simulated compiler bugs use it to model unsound
 // inference engines; the reference checker never does.
-func UnifyUnchecked(t1, t2 Type) *Substitution {
+func UnifyUnchecked(t1, t2 Type) *Substitution { return UnifyUncheckedB(nil, t1, t2) }
+
+// UnifyUncheckedB is UnifyUnchecked metered by a governor budget.
+func UnifyUncheckedB(b *governor.Budget, t1, t2 Type) *Substitution {
 	sigma := NewSubstitution()
-	if unifyInto(t1, t2, sigma, false) && groundVerified(sigma, t1, t2) {
+	if unifyInto(b, t1, t2, sigma, false) && groundVerified(b, sigma, t1, t2) {
 		return sigma
 	}
 	return nil
 }
 
-func unifyInto(t1, t2 Type, sigma *Substitution, checkBounds bool) bool {
+func unifyInto(b *governor.Budget, t1, t2 Type, sigma *Substitution, checkBounds bool) bool {
 	if t1 == nil || t2 == nil {
 		return false
 	}
+	b.Charge(1)
+	b.Enter()
+	ok := unifyIntoWalk(b, t1, t2, sigma, checkBounds)
+	b.Exit()
+	return ok
+}
+
+func unifyIntoWalk(b *governor.Budget, t1, t2 Type, sigma *Substitution, checkBounds bool) bool {
 	// unify(α, t) = [α ↦ t], provided the bound admits t.
 	if p, ok := t1.(*Parameter); ok {
 		target := stripProjection(t2)
 		if prev, bound := sigma.Lookup(p); bound {
 			return prev.Equal(target)
 		}
-		if checkBounds && !boundAdmits(p, target, sigma) {
+		if checkBounds && !boundAdmits(b, p, target, sigma) {
 			return false
 		}
 		sigma.Bind(p, target)
@@ -70,9 +86,9 @@ func unifyInto(t1, t2 Type, sigma *Substitution, checkBounds bool) bool {
 	// Apply the accumulated substitution once; the instantiation is reused
 	// for the conformance probe, the groundness check, and — unless the
 	// supertype climbs below extended sigma — the ground fallback.
-	inst := sigma.Apply(t1)
+	inst := sigma.ApplyB(b, t1)
 	bindings0 := sigma.Len()
-	if inst.Equal(t2) || IsSubtype(inst, t2) {
+	if inst.Equal(t2) || IsSubtypeB(b, inst, t2) {
 		// Already conformant under the accumulated substitution; make
 		// sure remaining free parameters of t1 also get bound when the
 		// shapes line up, but structural success is enough here.
@@ -91,7 +107,7 @@ func unifyInto(t1, t2 Type, sigma *Substitution, checkBounds bool) bool {
 			return false
 		}
 		for i := range a1.Args {
-			if !unifyArg(a1.Args[i], a2.Args[i], sigma, checkBounds) {
+			if !unifyArg(b, a1.Args[i], a2.Args[i], sigma, checkBounds) {
 				return false
 			}
 		}
@@ -101,9 +117,9 @@ func unifyInto(t1, t2 Type, sigma *Substitution, checkBounds bool) bool {
 	// Climb the subtype side's supertype chain: if σ·S(t1) <: t2 then
 	// σ·t1 <: t2.
 	if ok1 {
-		sup := Supertype(a1)
+		sup := SupertypeB(b, a1)
 		if _, isTop := sup.(Top); !isTop {
-			if unifyInto(sup, t2, sigma, checkBounds) {
+			if unifyInto(b, sup, t2, sigma, checkBounds) {
 				return true
 			}
 		}
@@ -111,9 +127,9 @@ func unifyInto(t1, t2 Type, sigma *Substitution, checkBounds bool) bool {
 	// Heuristic direction from the paper: unify(t1, S(t2)). Callers
 	// re-check σt1 <: t2 afterwards, so over-approximation is safe.
 	if ok2 {
-		sup := Supertype(a2)
+		sup := SupertypeB(b, a2)
 		if _, isTop := sup.(Top); !isTop {
-			if unifyInto(t1, sup, sigma, checkBounds) {
+			if unifyInto(b, t1, sup, sigma, checkBounds) {
 				return true
 			}
 		}
@@ -122,37 +138,38 @@ func unifyInto(t1, t2 Type, sigma *Substitution, checkBounds bool) bool {
 	// The failed climbs above may still have bound parameters (they bind
 	// before refuting); re-instantiate only in that case.
 	if sigma.Len() != bindings0 {
-		inst = sigma.Apply(t1)
+		inst = sigma.ApplyB(b, t1)
 	}
-	return IsSubtype(inst, t2)
+	return IsSubtypeB(b, inst, t2)
 }
 
-func unifyArg(a1, a2 Type, sigma *Substitution, checkBounds bool) bool {
+func unifyArg(b *governor.Budget, a1, a2 Type, sigma *Substitution, checkBounds bool) bool {
+	b.Charge(1)
 	p1, proj1 := a1.(*Projection)
 	p2, proj2 := a2.(*Projection)
 	switch {
 	case proj1 && proj2:
-		return unifyInto(p1.Bound, p2.Bound, sigma, checkBounds)
+		return unifyInto(b, p1.Bound, p2.Bound, sigma, checkBounds)
 	case proj1:
 		// A projected position is a containment constraint, not an
 		// equality: bind any parameters inside the bound structurally,
 		// otherwise accept when the concrete side is contained
 		// (t2 <: bound for `out`, bound <: t2 for `in`).
 		if HasFreeParameters(p1.Bound) {
-			return unifyInto(p1.Bound, a2, sigma, checkBounds)
+			return unifyInto(b, p1.Bound, a2, sigma, checkBounds)
 		}
 		if p1.Var == Covariant {
-			return IsSubtype(a2, sigma.Apply(p1.Bound))
+			return IsSubtypeB(b, a2, sigma.ApplyB(b, p1.Bound))
 		}
-		return IsSubtype(sigma.Apply(p1.Bound), a2)
+		return IsSubtypeB(b, sigma.ApplyB(b, p1.Bound), a2)
 	case proj2:
-		return unifyInto(a1, p2.Bound, sigma, checkBounds)
+		return unifyInto(b, a1, p2.Bound, sigma, checkBounds)
 	default:
 		if p, ok := a1.(*Parameter); ok {
 			if prev, bound := sigma.Lookup(p); bound {
 				return prev.Equal(a2)
 			}
-			if checkBounds && !boundAdmits(p, a2, sigma) {
+			if checkBounds && !boundAdmits(b, p, a2, sigma) {
 				return false
 			}
 			sigma.Bind(p, a2)
@@ -165,7 +182,7 @@ func unifyArg(a1, a2 Type, sigma *Substitution, checkBounds bool) bool {
 					return false
 				}
 				for i := range na1.Args {
-					if !unifyArg(na1.Args[i], na2.Args[i], sigma, checkBounds) {
+					if !unifyArg(b, na1.Args[i], na2.Args[i], sigma, checkBounds) {
 						return false
 					}
 				}
@@ -173,20 +190,20 @@ func unifyArg(a1, a2 Type, sigma *Substitution, checkBounds bool) bool {
 			}
 		}
 		// Invariant positions demand equality of ground types.
-		return sigma.Apply(a1).Equal(a2)
+		return sigma.ApplyB(b, a1).Equal(a2)
 	}
 }
 
 // boundAdmits reports whether binding p ↦ t respects p's upper bound under
 // the substitution accumulated so far (the bound itself may mention other
 // parameters, as in fun <T, K : T>).
-func boundAdmits(p *Parameter, t Type, sigma *Substitution) bool {
-	bound := sigma.Apply(p.UpperBound())
+func boundAdmits(b *governor.Budget, p *Parameter, t Type, sigma *Substitution) bool {
+	bound := sigma.ApplyB(b, p.UpperBound())
 	if HasFreeParameters(bound) {
 		// Bound still mentions unbound parameters; defer judgement.
 		return true
 	}
-	return IsSubtype(t, bound)
+	return IsSubtypeB(b, t, bound)
 }
 
 // UnifyPrime implements the unify' variant of Section 3.3.2, which detects
@@ -201,7 +218,10 @@ func boundAdmits(p *Parameter, t Type, sigma *Substitution) bool {
 // subtype side's parameter to the supertype side's. UnifyPrime also maps
 // parameter positions to the *concrete* types they are instantiated with,
 // which the type-graph builder turns into inf-edges.
-func UnifyPrime(t1, t2 Type) *Substitution {
+func UnifyPrime(t1, t2 Type) *Substitution { return UnifyPrimeB(nil, t1, t2) }
+
+// UnifyPrimeB is UnifyPrime metered by a governor budget.
+func UnifyPrimeB(b *governor.Budget, t1, t2 Type) *Substitution {
 	sigma := NewSubstitution()
 	a1, ok1 := t1.(*App)
 	a2, ok2 := t2.(*App)
@@ -221,7 +241,7 @@ func UnifyPrime(t1, t2 Type) *Substitution {
 	}
 	// Walk a2's supertype chain looking for a1's constructor, tracking the
 	// substituted arguments (class B<T> : A<T> relates B's T to A's).
-	for _, sup := range SuperChain(a2) {
+	for _, sup := range SuperChainB(b, a2) {
 		if sa, ok := sup.(*App); ok && sa.Ctor.Equal(a1.Ctor) && sameArity(sa, a1) {
 			for i := range sa.Args {
 				recordDependency(a1.Args[i], sa.Args[i], a1.Ctor.Params[i], sigma)
@@ -230,7 +250,7 @@ func UnifyPrime(t1, t2 Type) *Substitution {
 		}
 	}
 	// Or a1's chain for a2's constructor.
-	for _, sup := range SuperChain(a1) {
+	for _, sup := range SuperChainB(b, a1) {
 		if sa, ok := sup.(*App); ok && sa.Ctor.Equal(a2.Ctor) && sameArity(sa, a2) {
 			for i := range sa.Args {
 				recordDependency(sa.Args[i], a2.Args[i], a2.Ctor.Params[i], sigma)
