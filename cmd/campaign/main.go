@@ -122,6 +122,7 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("found %d distinct bugs (TEM repairs: %d)\n\n", report.TotalFound(), report.TEMRepairs)
+		printDifferential(report)
 		if report.Faults.Faults() {
 			fmt.Println(report.Faults)
 		}
@@ -281,10 +282,26 @@ func runFabric(ctx context.Context, cfg *cli.Config, obs *cli.Observability, rep
 		os.Exit(1)
 	}
 	fmt.Printf("found %d distinct bugs (TEM repairs: %d)\n\n", report.TotalFound(), report.TEMRepairs)
+	printDifferential(report)
 	if report.Faults.Faults() {
 		fmt.Println(report.Faults)
 	}
 	return report
+}
+
+// printDifferential renders the differential oracle's findings — the
+// distinct-disagreement summary and the cross-compiler conflict
+// matrix; a no-op under the ground-truth oracle. CI's differential
+// smoke greps the summary line.
+func printDifferential(report *campaign.Report) {
+	if report.Opts.Oracle != campaign.Differential {
+		return
+	}
+	fmt.Printf("differential oracle: %d distinct disagreements\n\n", len(report.Disagreements))
+	if len(report.Disagreements) > 0 {
+		fmt.Println(report.DiffSummary())
+		fmt.Println(report.DiffPairs())
+	}
 }
 
 // writeReportDoc writes the deterministic report document, encoded

@@ -130,6 +130,7 @@ func main() {
 				fmt.Printf("  %-22s %-8s %-6s found by %-9s (seed %d)\n",
 					f.BugID, f.Compiler, f.Symptom, f.Technique, f.FirstSeed)
 			}
+			printDifferential(report)
 			fmt.Println(report.Figure7c().String())
 			if report.Faults.Faults() {
 				fmt.Println(report.Faults)
@@ -150,6 +151,7 @@ func main() {
 				f.BugID, f.Compiler, f.Symptom, f.Technique, f.FirstSeed)
 		}
 		fmt.Println()
+		printDifferential(report)
 		fmt.Println(report.Figure7c().String())
 		if report.Faults.Faults() {
 			fmt.Println(report.Faults)
@@ -204,4 +206,18 @@ func emit(h *core.Hephaestus, p *ir.Program, lang string) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: hephaestus <generate|mutate|translate|fuzz|reduce|typegraph> [flags]`)
+}
+
+// printDifferential renders the differential oracle's findings when
+// that mode is active: the distinct-disagreement summary and the
+// cross-compiler conflict matrix.
+func printDifferential(report *campaign.Report) {
+	if report.Opts.Oracle != campaign.Differential {
+		return
+	}
+	fmt.Printf("differential oracle: %d distinct disagreements\n\n", len(report.Disagreements))
+	if len(report.Disagreements) > 0 {
+		fmt.Println(report.DiffSummary())
+		fmt.Println(report.DiffPairs())
+	}
 }

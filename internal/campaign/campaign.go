@@ -12,6 +12,7 @@ package campaign
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"sync"
 
@@ -23,6 +24,47 @@ import (
 	"repro/internal/oracle"
 	"repro/internal/pipeline"
 )
+
+// OracleMode selects the campaign's test oracle.
+type OracleMode int
+
+const (
+	// GroundTruth is the paper's derivation-based oracle: how a program
+	// was built fixes the expected verdict (generated/TEM must compile,
+	// TOM must be rejected).
+	GroundTruth OracleMode = iota
+	// Differential is the ground-truth-free cross-compiler oracle
+	// (internal/difforacle): the same program compiles with every
+	// compiler under test, a split accept/reject vote is a Disagreement
+	// finding with majority-vote suspect attribution, and the three
+	// translator backends' renderings are checked for verdict
+	// equivalence.
+	Differential
+)
+
+func (m OracleMode) String() string {
+	switch m {
+	case GroundTruth:
+		return "ground-truth"
+	case Differential:
+		return "differential"
+	default:
+		return fmt.Sprintf("unknown(%d)", int(m))
+	}
+}
+
+// ParseOracleMode maps the CLI/JSON spelling onto the mode; the empty
+// string means the default ground-truth oracle.
+func ParseOracleMode(s string) (OracleMode, error) {
+	switch s {
+	case "", "ground-truth":
+		return GroundTruth, nil
+	case "differential":
+		return Differential, nil
+	default:
+		return 0, fmt.Errorf("campaign: unknown oracle mode %q (have ground-truth, differential)", s)
+	}
+}
 
 // Options configures a campaign run.
 type Options struct {
@@ -39,6 +81,10 @@ type Options struct {
 	Workers int
 	// Compilers under test; nil means all three.
 	Compilers []*compilers.Compiler
+	// Oracle selects the test oracle; the zero value is the paper's
+	// derivation-based ground-truth oracle. Verdict-affecting, so it
+	// folds into the campaign fingerprint.
+	Oracle OracleMode
 	// GenConfig configures the program generator.
 	GenConfig generator.Config
 	// Mutate enables the TEM/TOM/TEM∘TOM/REM pipeline stages.
@@ -137,6 +183,30 @@ func (r *BugRecord) Technique() string {
 	}
 }
 
+// DisagreementRecord tracks one distinct cross-compiler (or
+// cross-translator) disagreement found by the differential oracle.
+// Distinctness is by canonical verdict vector: the same split between
+// the same compilers is one finding however many programs hit it,
+// mirroring how BugRecord dedups by bug ID.
+type DisagreementRecord struct {
+	// ID is the dedup key: "xlate:" for translator-conformance findings
+	// plus the canonical (name-sorted) verdict vector.
+	ID string
+	// Translators marks a translator-conformance disagreement.
+	Translators bool
+	// Vector is the canonical verdict vector, lanes sorted by name.
+	Vector string
+	// Suspects is the minority side of the vote, sorted; empty when the
+	// vote tied (unattributed).
+	Suspects []string
+	// FoundBy records which input kinds hit the disagreement.
+	FoundBy map[oracle.InputKind]bool
+	// FirstSeed is the lowest seed whose unit hit it.
+	FirstSeed int64
+	// Hits counts total occurrences (before deduplication).
+	Hits int
+}
+
 // Report is the outcome of a campaign.
 type Report struct {
 	Opts Options
@@ -168,6 +238,16 @@ type Report struct {
 	// — a resumed campaign's series continues where the killed run's
 	// left off.
 	BugRate map[int]*RateBucket
+	// Disagreements maps a disagreement's canonical ID (source prefix +
+	// sorted verdict vector) to its record; populated only by the
+	// differential oracle. Folded commutatively like Found.
+	Disagreements map[string]*DisagreementRecord
+	// DiffMatrix counts cross-compiler verdict conflicts per unordered
+	// voting pair, keyed "a|b" with the names sorted — the paper's
+	// Fig. 8 version matrix generalized to a compiler×compiler (and
+	// translator×translator) matrix. Every disagreement hit counts, so
+	// the matrix measures conflict mass, not distinct findings.
+	DiffMatrix map[string]int
 	// Corpus is the cross-campaign persistent bug corpus, after this
 	// run's merge; nil unless the campaign is durable (StateDir set).
 	Corpus *Corpus
@@ -306,14 +386,7 @@ func (fuzzPlan) run(ctx context.Context, c *Campaign, resume bool) error {
 		opts.Resume = true
 	}
 
-	report := &Report{
-		Opts:        opts,
-		Found:       map[string]*BugRecord{},
-		Verdicts:    map[string]map[oracle.InputKind]map[oracle.Verdict]int{},
-		ProgramsRun: map[oracle.InputKind]int{},
-		BugRate:     map[int]*RateBucket{},
-		Faults:      harness.NewLedger(),
-	}
+	report := newReport(opts)
 	agg := &reportAggregator{
 		report:   report,
 		bugIndex: bugIndexFor(opts.Compilers),
@@ -342,7 +415,7 @@ func (fuzzPlan) run(ctx context.Context, c *Campaign, resume bool) error {
 	}
 	stages = append(stages,
 		&pipeline.Execute{Compilers: opts.Compilers, Harness: h, Targets: targets},
-		pipeline.Judge{})
+		pipeline.Judge{Differential: opts.Oracle == Differential})
 
 	// Durable state: restore snapshot + journal before the pipeline
 	// starts, skip restored units, journal and checkpoint the rest.
@@ -389,6 +462,22 @@ func (fuzzPlan) run(ctx context.Context, c *Campaign, resume bool) error {
 	}
 	report.Err = err
 	return err
+}
+
+// newReport returns an empty report for the options, with every folded
+// map initialized — the one constructor the live run and the fabric
+// merger share, so the two paths cannot drift on what a report holds.
+func newReport(opts Options) *Report {
+	return &Report{
+		Opts:          opts,
+		Found:         map[string]*BugRecord{},
+		Verdicts:      map[string]map[oracle.InputKind]map[oracle.Verdict]int{},
+		ProgramsRun:   map[oracle.InputKind]int{},
+		BugRate:       map[int]*RateBucket{},
+		Disagreements: map[string]*DisagreementRecord{},
+		DiffMatrix:    map[string]int{},
+		Faults:        harness.NewLedger(),
+	}
 }
 
 // reportAggregator folds finished pipeline units into a Report. The
@@ -484,6 +573,27 @@ func (a *reportAggregator) fold(rec *unitRecord) {
 	for name, counts := range rec.Injected {
 		r.Faults.AddInjected(name, counts)
 	}
+	for i := range rec.Diffs {
+		d := &rec.Diffs[i]
+		for _, p := range d.Pairs {
+			r.DiffMatrix[p[0]+"|"+p[1]]++
+		}
+		id := d.id()
+		drec := r.Disagreements[id]
+		if drec == nil {
+			drec = &DisagreementRecord{
+				ID: id, Translators: d.Xlate, Vector: d.vector(),
+				Suspects:  append([]string(nil), d.Sus...),
+				FoundBy:   map[oracle.InputKind]bool{},
+				FirstSeed: rec.Seed,
+			}
+			r.Disagreements[id] = drec
+		} else if rec.Seed < drec.FirstSeed {
+			drec.FirstSeed = rec.Seed
+		}
+		drec.FoundBy[d.Kind] = true
+		drec.Hits++
+	}
 }
 
 // restoreFound rebuilds the Found map from snapshot state, resolving
@@ -499,5 +609,20 @@ func (a *reportAggregator) restoreFound(found []foundState) {
 			rec.FoundBy[k] = true
 		}
 		a.report.Found[f.ID] = rec
+	}
+}
+
+// restoreDiffs rebuilds the Disagreements map from snapshot state.
+func (a *reportAggregator) restoreDiffs(diffs []diffState) {
+	for _, d := range diffs {
+		rec := &DisagreementRecord{
+			ID: d.ID, Translators: d.Translators, Vector: d.Vector,
+			Suspects: d.Suspects, FoundBy: map[oracle.InputKind]bool{},
+			FirstSeed: d.FirstSeed, Hits: d.Hits,
+		}
+		for _, k := range d.FoundBy {
+			rec.FoundBy[k] = true
+		}
+		a.report.Disagreements[d.ID] = rec
 	}
 }

@@ -42,8 +42,31 @@ type ReportDoc struct {
 	Verdicts map[string]map[string]map[string]int `json:"verdicts"`
 	// BugRate is the derived bug-rate-over-time series.
 	BugRate []SeriesPoint `json:"bug_rate,omitempty"`
+	// Disagreements lists the differential oracle's distinct findings,
+	// sorted by ID; absent under the ground-truth oracle.
+	Disagreements []DiffDoc `json:"disagreements,omitempty"`
+	// DiffMatrix is the compiler×compiler conflict-mass matrix, keyed
+	// "a|b" (names sorted; Go marshals map keys in sorted order).
+	DiffMatrix map[string]int `json:"diff_matrix,omitempty"`
 	// Faults is the fault ledger (deterministic: folded in unit order).
 	Faults *FaultsDoc `json:"faults,omitempty"`
+}
+
+// DiffDoc is one differential-oracle disagreement in a ReportDoc.
+type DiffDoc struct {
+	ID string `json:"id"`
+	// Source is "compilers" for a verdict-vector split, "translators"
+	// for a conformance split.
+	Source string `json:"source"`
+	// Vector is the canonical verdict vector.
+	Vector string `json:"vector"`
+	// Suspects is the minority side of the vote ("unattributed" never
+	// appears here; an empty list means the vote tied).
+	Suspects []string `json:"suspects,omitempty"`
+	// FoundBy lists the input kinds that hit the disagreement, sorted.
+	FoundBy   []string `json:"found_by"`
+	FirstSeed int64    `json:"first_seed"`
+	Hits      int      `json:"hits"`
 }
 
 // FaultsDoc mirrors harness.Ledger with JSON-stable field names.
@@ -113,6 +136,35 @@ func (r *Report) Doc() *ReportDoc {
 			m[kind.String()] = vm
 		}
 		doc.Verdicts[comp] = m
+	}
+	for id, rec := range r.Disagreements {
+		dd := DiffDoc{
+			ID:        id,
+			Source:    "compilers",
+			Vector:    rec.Vector,
+			Suspects:  rec.Suspects,
+			FirstSeed: rec.FirstSeed,
+			Hits:      rec.Hits,
+		}
+		if rec.Translators {
+			dd.Source = "translators"
+		}
+		for kind, on := range rec.FoundBy {
+			if on {
+				dd.FoundBy = append(dd.FoundBy, kind.String())
+			}
+		}
+		sort.Strings(dd.FoundBy)
+		doc.Disagreements = append(doc.Disagreements, dd)
+	}
+	sort.Slice(doc.Disagreements, func(i, j int) bool {
+		return doc.Disagreements[i].ID < doc.Disagreements[j].ID
+	})
+	if len(r.DiffMatrix) > 0 {
+		doc.DiffMatrix = map[string]int{}
+		for pair, n := range r.DiffMatrix {
+			doc.DiffMatrix[pair] = n
+		}
 	}
 	if r.Faults != nil && len(r.Faults.PerCompiler) > 0 {
 		doc.Faults = &FaultsDoc{PerCompiler: map[string]FaultDoc{}}

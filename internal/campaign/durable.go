@@ -15,10 +15,12 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/bugs"
 	"repro/internal/compilers"
+	"repro/internal/difforacle"
 	"repro/internal/harness"
 	"repro/internal/journal"
 	"repro/internal/metrics"
@@ -60,6 +62,42 @@ type gapRecord struct {
 	Flaky    bool             `json:"f,omitempty"`
 }
 
+// laneRecord is one compiler's (or translator's) normalized lane in a
+// journaled disagreement.
+type laneRecord struct {
+	Compiler string          `json:"c"`
+	Lane     difforacle.Lane `json:"l"`
+}
+
+// diffRecord is one differential-oracle disagreement in a journaled
+// unit: the verdict vector plus the attribution the fold consumes.
+type diffRecord struct {
+	Kind  oracle.InputKind `json:"k"`
+	Xlate bool             `json:"t,omitempty"`
+	Vec   []laneRecord     `json:"v"`
+	Sus   []string         `json:"s,omitempty"`
+	Pairs [][2]string      `json:"p,omitempty"`
+}
+
+// vector renders the record's canonical verdict vector.
+func (d *diffRecord) vector() string {
+	samples := make([]difforacle.Sample, len(d.Vec))
+	for i, l := range d.Vec {
+		samples[i] = difforacle.Sample{Compiler: l.Compiler, Lane: l.Lane}
+	}
+	return difforacle.VectorString(samples)
+}
+
+// id is the disagreement's dedup key: translator findings are
+// namespaced so a compiler vector and a translator vector over the
+// same names never collide.
+func (d *diffRecord) id() string {
+	if d.Xlate {
+		return "xlate:" + d.vector()
+	}
+	return d.vector()
+}
+
 // unitRecord is the journal schema: everything the fold needs from one
 // finished pipeline unit. Both the live aggregator and journal replay
 // fold through this type, so a replayed unit is bit-for-bit equivalent
@@ -71,6 +109,7 @@ type unitRecord struct {
 	Inputs   []oracle.InputKind                 `json:"in,omitempty"`
 	Execs    []execRecord                       `json:"x,omitempty"`
 	Gaps     []gapRecord                        `json:"g,omitempty"`
+	Diffs    []diffRecord                       `json:"d,omitempty"`
 	Injected map[string]harness.InjectionCounts `json:"inj,omitempty"`
 }
 
@@ -98,6 +137,13 @@ func recordOf(u *pipeline.Unit) *unitRecord {
 		}
 		rec.Execs = append(rec.Execs, er)
 	}
+	for _, d := range u.Diffs {
+		dr := diffRecord{Kind: d.Kind, Xlate: d.Translators, Sus: d.Suspects, Pairs: d.Pairs}
+		for _, s := range d.Samples {
+			dr.Vec = append(dr.Vec, laneRecord{Compiler: s.Compiler, Lane: s.Lane})
+		}
+		rec.Diffs = append(rec.Diffs, dr)
+	}
 	return rec
 }
 
@@ -108,6 +154,17 @@ type foundState struct {
 	FoundBy   []oracle.InputKind `json:"found_by"`
 	FirstSeed int64              `json:"first_seed"`
 	Hits      int                `json:"hits"`
+}
+
+// diffState is one DisagreementRecord in a snapshot.
+type diffState struct {
+	ID          string             `json:"id"`
+	Translators bool               `json:"translators,omitempty"`
+	Vector      string             `json:"vector"`
+	Suspects    []string           `json:"suspects,omitempty"`
+	FoundBy     []oracle.InputKind `json:"found_by"`
+	FirstSeed   int64              `json:"first_seed"`
+	Hits        int                `json:"hits"`
 }
 
 // snapshotState is the snapshot schema: the folded report for the
@@ -125,6 +182,10 @@ type snapshotState struct {
 	// BugRate carries the bug-rate series, so a resumed campaign's
 	// series continues instead of restarting at the resume point.
 	BugRate map[int]*RateBucket `json:"rate,omitempty"`
+	// Diffs and DiffMatrix carry the differential oracle's findings;
+	// absent under the ground-truth oracle.
+	Diffs      []diffState    `json:"diffs,omitempty"`
+	DiffMatrix map[string]int `json:"diff_matrix,omitempty"`
 }
 
 // metaState is the meta.json side document: which campaign owns the
@@ -179,6 +240,32 @@ func (c *Corpus) MergeReport(report *Report) {
 		e.Campaigns++
 		e.FoundBy = unionKinds(e.FoundBy, rec.FoundBy)
 	}
+	// Differential-oracle findings accumulate under a "diff:" key prefix
+	// so they never collide with catalog bug IDs; the entry's compiler
+	// column carries the suspect attribution.
+	for id, rec := range report.Disagreements {
+		key := "diff:" + id
+		e := c.Bugs[key]
+		if e == nil {
+			e = &CorpusEntry{Compiler: suspectLabel(rec.Suspects), FirstSeed: rec.FirstSeed}
+			c.Bugs[key] = e
+		} else if rec.FirstSeed < e.FirstSeed {
+			e.FirstSeed = rec.FirstSeed
+		}
+		e.Hits += rec.Hits
+		e.Campaigns++
+		e.FoundBy = unionKinds(e.FoundBy, rec.FoundBy)
+	}
+}
+
+// suspectLabel renders a disagreement's suspect set for corpus and
+// report tables: the sorted suspects joined, or "unattributed" for a
+// tied vote.
+func suspectLabel(suspects []string) string {
+	if len(suspects) == 0 {
+		return "unattributed"
+	}
+	return strings.Join(suspects, "+")
 }
 
 // RecoveryInfo describes what a resumed run restored from disk.
@@ -206,6 +293,11 @@ type RecoveryInfo struct {
 func fingerprint(opts Options) string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "seed=%d programs=%d mutate=%v", opts.Seed, opts.Programs, opts.Mutate)
+	if opts.Oracle != GroundTruth {
+		// Appended only for non-default oracles so pre-existing
+		// ground-truth state directories keep their fingerprints.
+		fmt.Fprintf(h, " oracle=%d", int(opts.Oracle))
+	}
 	// Observability is not campaign-defining: a resumed run may toggle
 	// metrics without changing what the campaign computes.
 	hopts := opts.Harness
@@ -363,7 +455,11 @@ func (st *durableState) restore(report *Report, agg *reportAggregator, h *harnes
 		for i, b := range snap.BugRate {
 			report.BugRate[i] = b
 		}
+		for pair, n := range snap.DiffMatrix {
+			report.DiffMatrix[pair] = n
+		}
 		agg.restoreFound(snap.Found)
+		agg.restoreDiffs(snap.Diffs)
 		h.ImportBreakers(snap.Breakers)
 		snapNext = snap.NextSeq
 		for seq := 0; seq < snapNext; seq++ {
@@ -456,6 +552,12 @@ func (st *durableState) checkpoint(report *Report, h *harness.Harness, nextSeq i
 		Faults:      report.Faults,
 		Breakers:    h.ExportBreakers(),
 		BugRate:     report.BugRate,
+	}
+	if len(report.Disagreements) > 0 {
+		snap.Diffs = diffStates(report.Disagreements)
+	}
+	if len(report.DiffMatrix) > 0 {
+		snap.DiffMatrix = report.DiffMatrix
 	}
 	payload, err := json.Marshal(&snap)
 	if err != nil {
@@ -568,6 +670,27 @@ func foundStates(found map[string]*BugRecord) []foundState {
 		}
 		sort.Slice(fs.FoundBy, func(i, j int) bool { return fs.FoundBy[i] < fs.FoundBy[j] })
 		out = append(out, fs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// diffStates flattens the Disagreements map for a snapshot, sorted by
+// ID so snapshot bytes are deterministic.
+func diffStates(diffs map[string]*DisagreementRecord) []diffState {
+	out := make([]diffState, 0, len(diffs))
+	for id, rec := range diffs {
+		ds := diffState{
+			ID: id, Translators: rec.Translators, Vector: rec.Vector,
+			Suspects: rec.Suspects, FirstSeed: rec.FirstSeed, Hits: rec.Hits,
+		}
+		for k, on := range rec.FoundBy {
+			if on {
+				ds.FoundBy = append(ds.FoundBy, k)
+			}
+		}
+		sort.Slice(ds.FoundBy, func(i, j int) bool { return ds.FoundBy[i] < ds.FoundBy[j] })
+		out = append(out, ds)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out

@@ -59,6 +59,59 @@ func (t *Table) String() string {
 // compilerOrder is the paper's column order.
 var compilerOrder = []string{"groovyc", "kotlinc", "javac"}
 
+// DiffSummary renders the differential oracle's findings: one row per
+// distinct disagreement, sorted by ID, with the suspect attribution and
+// the input kinds that hit it.
+func (r *Report) DiffSummary() *Table {
+	t := &Table{
+		Title:  fmt.Sprintf("Differential oracle: %d distinct disagreements", len(r.Disagreements)),
+		Header: []string{"Suspect", "Source", "Vector", "Found by", "First seed", "Hits"},
+	}
+	ids := make([]string, 0, len(r.Disagreements))
+	for id := range r.Disagreements {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		rec := r.Disagreements[id]
+		source := "compilers"
+		if rec.Translators {
+			source = "translators"
+		}
+		var kinds []string
+		for k, on := range rec.FoundBy {
+			if on {
+				kinds = append(kinds, k.String())
+			}
+		}
+		sort.Strings(kinds)
+		t.Rows = append(t.Rows, []string{
+			suspectLabel(rec.Suspects), source, rec.Vector,
+			strings.Join(kinds, ","), fmt.Sprint(rec.FirstSeed), fmt.Sprint(rec.Hits),
+		})
+	}
+	return t
+}
+
+// DiffPairs renders the compiler×compiler conflict matrix — the
+// paper's Fig. 8 version matrix generalized to compiler pairs — as one
+// row per unordered pair with a nonzero conflict count.
+func (r *Report) DiffPairs() *Table {
+	t := &Table{
+		Title:  "Cross-compiler disagreement matrix",
+		Header: []string{"Pair", "Conflicts"},
+	}
+	pairs := make([]string, 0, len(r.DiffMatrix))
+	for p := range r.DiffMatrix {
+		pairs = append(pairs, p)
+	}
+	sort.Strings(pairs)
+	for _, p := range pairs {
+		t.Rows = append(t.Rows, []string{strings.Replace(p, "|", " vs ", 1), fmt.Sprint(r.DiffMatrix[p])})
+	}
+	return t
+}
+
 // Figure7a reports the status of found bugs per compiler (Figure 7a).
 func (r *Report) Figure7a() *Table {
 	statuses := []bugs.Status{bugs.Reported, bugs.Confirmed, bugs.Fixed, bugs.Duplicate, bugs.WontFix}

@@ -356,6 +356,9 @@ type Status struct {
 	Units    int `json:"units"`
 	Execs    int `json:"execs"`
 	Bugs     int `json:"bugs"`
+	// Disagreements is the number of distinct differential-oracle
+	// findings the fold has seen; 0 under the ground-truth oracle.
+	Disagreements int `json:"disagreements,omitempty"`
 	// BugRate is the derived bug-rate-over-time series so far.
 	BugRate []SeriesPoint `json:"bug_rate,omitempty"`
 	// Faults is a deep copy of the fault ledger.
@@ -398,6 +401,7 @@ func (c *Campaign) Status() Status {
 		s.Execs += b.Execs
 	}
 	s.Bugs = len(report.Found)
+	s.Disagreements = len(report.Disagreements)
 	s.BugRate = report.BugRateSeries()
 	s.Faults = report.Faults.Clone()
 	s.Recovery = report.Recovery

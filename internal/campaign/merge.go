@@ -18,8 +18,6 @@ import (
 	"fmt"
 
 	"repro/internal/compilers"
-	"repro/internal/harness"
-	"repro/internal/oracle"
 )
 
 // Merger folds shipped shard journals into one global report. Not safe
@@ -42,14 +40,7 @@ func NewMerger(opts Options) *Merger {
 	if opts.BatchSize <= 0 {
 		opts.BatchSize = 1
 	}
-	report := &Report{
-		Opts:        opts,
-		Found:       map[string]*BugRecord{},
-		Verdicts:    map[string]map[oracle.InputKind]map[oracle.Verdict]int{},
-		ProgramsRun: map[oracle.InputKind]int{},
-		BugRate:     map[int]*RateBucket{},
-		Faults:      harness.NewLedger(),
-	}
+	report := newReport(opts)
 	return &Merger{
 		report: report,
 		agg:    &reportAggregator{report: report, bugIndex: bugIndexFor(opts.Compilers)},

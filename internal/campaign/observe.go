@@ -28,6 +28,7 @@ type observer struct {
 	units *metrics.Counter
 	execs *metrics.Counter
 	bugs  *metrics.Gauge
+	diffs *metrics.Counter
 }
 
 // newObserver returns nil when the campaign is unobserved — the hot
@@ -42,6 +43,7 @@ func newObserver(reg *metrics.Registry, trace *metrics.Trace) *observer {
 		units: reg.Counter("campaign.units"),
 		execs: reg.Counter("campaign.execs"),
 		bugs:  reg.Gauge("campaign.bugs"),
+		diffs: reg.Counter("campaign.disagreements"),
 	}
 }
 
@@ -67,6 +69,22 @@ func (o *observer) observeUnit(rec *unitRecord, foundBugs int) {
 			Verdict:  e.Verdict.String(),
 		})
 	}
+	for i := range rec.Diffs {
+		d := &rec.Diffs[i]
+		o.diffs.Inc()
+		for _, p := range d.Pairs {
+			o.reg.Counter(diffPairCounterName(p[0], p[1])).Inc()
+		}
+		o.trace.Emit(metrics.Event{
+			Kind:     "diff",
+			Seq:      rec.Seq,
+			Unit:     rec.Seed,
+			Stage:    d.Kind.String(),
+			Compiler: suspectLabel(d.Sus),
+			Verdict:  "disagreement",
+			Detail:   d.vector(),
+		})
+	}
 }
 
 // prime folds state restored from a snapshot and journal replay into
@@ -86,6 +104,14 @@ func (o *observer) prime(report *Report) {
 			for verdict, n := range perVerdict {
 				o.reg.Counter(verdictCounterName(comp, kind, verdict)).Add(int64(n))
 			}
+		}
+	}
+	for _, rec := range report.Disagreements {
+		o.diffs.Add(int64(rec.Hits))
+	}
+	for pair, n := range report.DiffMatrix {
+		if i := strings.IndexByte(pair, '|'); i >= 0 {
+			o.reg.Counter(diffPairCounterName(pair[:i], pair[i+1:])).Add(int64(n))
 		}
 	}
 }
@@ -116,6 +142,12 @@ func verdictCounterName(comp string, kind oracle.InputKind, verdict oracle.Verdi
 	return "campaign.verdicts." + comp + "." + kind.String() + "." + verdict.String()
 }
 
+// diffPairCounterName names the per-pair disagreement counter for the
+// unordered (sorted) compiler pair a, b.
+func diffPairCounterName(a, b string) string {
+	return "campaign.diff_pairs." + a + "__" + b
+}
+
 // HeartbeatLine renders one progress line from a pair of status
 // snapshots: units done (and units/s against the previous snapshot
 // over elapsed), executions, distinct bugs, breaker states, and — for
@@ -133,6 +165,9 @@ func HeartbeatLine(prev, cur Status, elapsed time.Duration) string {
 		fmt.Fprintf(&b, "/%d", cur.Programs)
 	}
 	fmt.Fprintf(&b, " (%.1f/s) execs %d bugs %d", rate, cur.Execs, cur.Bugs)
+	if cur.Disagreements > 0 {
+		fmt.Fprintf(&b, " diffs %d", cur.Disagreements)
+	}
 	b.WriteString(" breakers " + breakerSummary(cur.Breakers))
 	if cur.Durable {
 		fmt.Fprintf(&b, " journal lag %d", cur.JournalLag)

@@ -72,6 +72,12 @@ type Config struct {
 	Compilers []string `json:"compilers,omitempty"`
 	// NoMutate disables the TEM/TOM/TEM∘TOM/REM mutation stages.
 	NoMutate bool `json:"no_mutate,omitempty"`
+	// Oracle selects the test oracle: "" or "ground-truth" for the
+	// paper's derivation-based oracle, "differential" for cross-compiler
+	// vote comparison plus translator conformance. Verdict-affecting: it
+	// is part of the JSON submission surface, ships to fabric workers
+	// inside the lease config, and folds into the campaign fingerprint.
+	Oracle string `json:"oracle,omitempty"`
 	// CompileTimeout bounds one compile under the watchdog (0 disables).
 	CompileTimeout Duration `json:"compile_timeout,omitempty"`
 	// Fuel is the per-compile deterministic step budget of the resource
@@ -135,6 +141,7 @@ func (c *Config) RegisterCampaignFlags(fs *flag.FlagSet) {
 	fs.Int64Var(&c.Seed, "seed", c.Seed, "base seed")
 	fs.IntVar(&c.Programs, "n", c.Programs, "number of generated programs")
 	fs.IntVar(&c.Workers, "workers", c.Workers, "pipeline workers per stage (0 = GOMAXPROCS)")
+	fs.StringVar(&c.Oracle, "oracle", c.Oracle, "test oracle: ground-truth (derivation fixes the expected verdict) or differential (cross-compiler vote comparison + translator conformance)")
 	fs.BoolVar(&c.Stats, "stats", c.Stats, "print per-stage pipeline statistics")
 	fs.DurationVar((*time.Duration)(&c.CompileTimeout), "compile-timeout", time.Duration(c.CompileTimeout), "per-compile watchdog budget (0 disables)")
 	fs.Int64Var(&c.Fuel, "fuel", c.Fuel, "deterministic per-compile step budget; exhaustion is a reportable result (0 disables)")
@@ -221,6 +228,10 @@ func (c *Config) CampaignOptions() (campaign.Options, error) {
 	if err != nil {
 		return campaign.Options{}, err
 	}
+	mode, err := campaign.ParseOracleMode(c.Oracle)
+	if err != nil {
+		return campaign.Options{}, err
+	}
 	gen := generator.DefaultConfig()
 	gen.Stress.Every = c.StressEvery
 	return campaign.Options{
@@ -229,6 +240,7 @@ func (c *Config) CampaignOptions() (campaign.Options, error) {
 		BatchSize:     c.BatchSize,
 		Workers:       c.Workers,
 		Compilers:     comps,
+		Oracle:        mode,
 		GenConfig:     gen,
 		Mutate:        !c.NoMutate,
 		Harness:       c.HarnessOptions(),
@@ -247,9 +259,14 @@ func (c *Config) CoreConfig() (core.Config, error) {
 	if err != nil {
 		return core.Config{}, err
 	}
+	mode, err := campaign.ParseOracleMode(c.Oracle)
+	if err != nil {
+		return core.Config{}, err
+	}
 	return core.Config{
 		Seed:          c.Seed,
 		Compilers:     comps,
+		Oracle:        mode,
 		Workers:       c.Workers,
 		Harness:       c.HarnessOptions(),
 		Chaos:         c.ChaosOptions(),
@@ -294,6 +311,9 @@ func (c *Config) Validate(maxPrograms, maxWorkers int) error {
 		return fmt.Errorf("cli: stress cadence must be non-negative, got %d", c.StressEvery)
 	}
 	if _, err := c.ResolveCompilers(); err != nil {
+		return err
+	}
+	if _, err := campaign.ParseOracleMode(c.Oracle); err != nil {
 		return err
 	}
 	return nil

@@ -15,7 +15,7 @@ package compilers
 import (
 	"context"
 	"fmt"
-	"strings"
+	"regexp"
 
 	"repro/internal/bugs"
 	"repro/internal/checker"
@@ -302,7 +302,24 @@ func (c *Compiler) CompileAtVersionContext(ctx context.Context, p *ir.Program, v
 // recorder and the invocation accounting. Programs must carry distinct
 // package names (GenerateBatch guarantees this); a conflict aborts the
 // whole batch the way a real compiler invocation would.
+//
+// CompileBatch is unmetered; budgeted or cancellable batches go through
+// CompileBatchContext.
 func (c *Compiler) CompileBatch(batch []*ir.Program, cov coverage.Recorder) ([]*Result, error) {
+	return c.CompileBatchContext(context.Background(), batch, cov)
+}
+
+// CompileBatchContext is CompileBatch under the resource budget and
+// cancellation carried by ctx: every program in the batch compiles
+// through CompileAtVersionContext, so one shared fuel/depth budget
+// meters the whole batch exactly as it would the equivalent sequence of
+// single CompileContext calls, and cancellation aborts the remainder.
+// The first cancellation error aborts the batch (like a real compiler
+// invocation dying mid-run); per-program governor exhaustion is not an
+// error — it yields that program's ResourceExhausted Result and the
+// batch continues, since the budget position is deterministic either
+// way.
+func (c *Compiler) CompileBatchContext(ctx context.Context, batch []*ir.Program, cov coverage.Recorder) ([]*Result, error) {
 	seen := map[string]bool{}
 	for _, p := range batch {
 		if p.Package != "" && seen[p.Package] {
@@ -313,14 +330,56 @@ func (c *Compiler) CompileBatch(batch []*ir.Program, cov coverage.Recorder) ([]*
 	}
 	out := make([]*Result, len(batch))
 	for i, p := range batch {
-		out[i] = c.Compile(p, cov)
+		res, err := c.CompileAtVersionContext(ctx, p, c.MasterVersion(), cov)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
 	}
 	return out, nil
 }
 
-// IsCrashOutput mirrors the paper's per-language crash detector: "a
+// Crash detection mirrors the paper's per-language detectors: "a
 // regular expression that distinguishes compiler crashes from compiler
-// diagnostic messages" (Section 3.6).
+// diagnostic messages" (Section 3.6). The patterns are anchored to the
+// two shapes a crash actually takes here — a sandbox-captured panic and
+// a catalog crash banner — so an ordinary rejection diagnostic that
+// merely quotes the words "internal error" is never misclassified.
+var (
+	// sandboxCrashPattern matches the diagnostic the harness sandbox
+	// synthesizes when a compiler panics; language-neutral because the
+	// sandbox sits above every compiler.
+	sandboxCrashPattern = regexp.MustCompile(`^internal error: panic: `)
+	// crashPatterns holds each compiler's anchored crash-banner detector.
+	crashPatterns = map[string]*regexp.Regexp{}
+)
+
+func init() {
+	for _, name := range []string{"javac", "kotlinc", "groovyc"} {
+		crashPatterns[name] = regexp.MustCompile(`^` + name + `: internal error: exception in \S+ phase \[`)
+	}
+}
+
+// IsCrashOutputFor reports whether diag is a crash banner of the named
+// compiler (or a sandbox-captured panic, which any compiler can emit).
+func IsCrashOutputFor(compiler, diag string) bool {
+	if sandboxCrashPattern.MatchString(diag) {
+		return true
+	}
+	re := crashPatterns[compiler]
+	return re != nil && re.MatchString(diag)
+}
+
+// IsCrashOutput reports whether diag is a crash banner of any compiler
+// under test.
 func IsCrashOutput(diag string) bool {
-	return strings.Contains(diag, "internal error")
+	if sandboxCrashPattern.MatchString(diag) {
+		return true
+	}
+	for _, re := range crashPatterns {
+		if re.MatchString(diag) {
+			return true
+		}
+	}
+	return false
 }

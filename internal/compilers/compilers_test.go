@@ -1,12 +1,14 @@
 package compilers
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
 	"repro/internal/bugs"
 	"repro/internal/coverage"
 	"repro/internal/generator"
+	"repro/internal/governor"
 	"repro/internal/ir"
 	"repro/internal/mutation"
 	"repro/internal/types"
@@ -183,12 +185,71 @@ func TestCoverageProbesFlowThroughCompiler(t *testing.T) {
 	}
 }
 
+// TestIsCrashOutput pins the anchored per-language crash detector
+// against every crash diagnostic the three bug catalogs can actually
+// emit, the sandbox's synthesized panic banner, and near-miss rejection
+// diagnostics that merely quote the words "internal error" — the shape
+// the old substring detector misclassified.
 func TestIsCrashOutput(t *testing.T) {
 	if !IsCrashOutput("kotlinc: internal error: exception in types phase [X]") {
 		t.Error("crash output not detected")
 	}
 	if IsCrashOutput("type mismatch: inferred type is Int") {
 		t.Error("diagnostic misclassified as crash")
+	}
+	// Every crash-symptom bug in every catalog must be detected, and
+	// attributed to its own compiler only; every UCTE/URB diagnostic
+	// must not be.
+	crashes, others := 0, 0
+	for _, comp := range All() {
+		for _, b := range comp.Catalog() {
+			diag := b.Diagnostic()
+			if b.Symptom == bugs.Crash {
+				crashes++
+				if !IsCrashOutput(diag) {
+					t.Errorf("catalog crash not detected: %q", diag)
+				}
+				if !IsCrashOutputFor(comp.Name(), diag) {
+					t.Errorf("crash not attributed to %s: %q", comp.Name(), diag)
+				}
+				for _, other := range All() {
+					if other.Name() != comp.Name() && IsCrashOutputFor(other.Name(), diag) {
+						t.Errorf("%s crash misattributed to %s: %q", comp.Name(), other.Name(), diag)
+					}
+				}
+				continue
+			}
+			others++
+			if IsCrashOutput(diag) {
+				t.Errorf("%s diagnostic misclassified as crash: %q", b.Symptom, diag)
+			}
+		}
+	}
+	if crashes == 0 || others == 0 {
+		t.Fatalf("catalog coverage too thin: %d crash, %d non-crash diagnostics", crashes, others)
+	}
+	// The sandbox's synthesized panic banner is a crash for any compiler.
+	if !IsCrashOutput("internal error: panic: runtime error: index out of range") {
+		t.Error("sandbox panic banner not detected")
+	}
+	if !IsCrashOutputFor("javac", "internal error: panic: boom") {
+		t.Error("sandbox panic banner must attribute to any compiler")
+	}
+	// Near-misses: ordinary diagnostics quoting "internal error"
+	// mid-string, wrong-position banners, unknown compilers.
+	for _, diag := range []string{
+		"kotlinc: cannot resolve symbol; report an internal error if this persists",
+		"warning: internal errors are reported at https://example.invalid",
+		"note: see internal error: exception in types phase [X] (quoted from another run)",
+		"javac: internal error: exception in  phase [X]", // no phase word
+		"scalac: internal error: exception in types phase [X]",
+	} {
+		if IsCrashOutput(diag) {
+			t.Errorf("near-miss misclassified as crash: %q", diag)
+		}
+	}
+	if IsCrashOutputFor("kotlinc", "javac: internal error: exception in types phase [B]") {
+		t.Error("javac banner must not attribute to kotlinc")
 	}
 }
 
@@ -222,5 +283,72 @@ func TestCompileBatch(t *testing.T) {
 	batch[1].Package = batch[0].Package
 	if _, err := comp.CompileBatch(batch, nil); err == nil {
 		t.Error("duplicate packages must abort the batch")
+	}
+}
+
+// TestCompileBatchContextHonorsGovernor pins the batched-compile
+// governor fix: CompileBatchContext must exhaust a shared fuel budget
+// at exactly the same step count as the equivalent sequence of single
+// CompileContext calls. The old CompileBatch compiled each program
+// under a background context, silently bypassing the budget.
+func TestCompileBatchContextHonorsGovernor(t *testing.T) {
+	g := generator.New(generator.DefaultConfig().WithSeed(3))
+	batch := g.GenerateBatch(6)
+	comp := Kotlinc()
+
+	// Measure the batch's unconstrained appetite, then afford half.
+	free := governor.New(1<<40, 0)
+	if _, err := comp.CompileBatchContext(governor.WithBudget(context.Background(), free), batch, nil); err != nil {
+		t.Fatalf("unmetered batch: %v", err)
+	}
+	fuel := free.Spent() / 2
+	if fuel == 0 {
+		t.Fatal("batch consumed no fuel; cannot exercise exhaustion")
+	}
+
+	govBatch := governor.New(fuel, 0)
+	batched, err := comp.CompileBatchContext(governor.WithBudget(context.Background(), govBatch), batch, nil)
+	if err != nil {
+		t.Fatalf("metered batch: %v", err)
+	}
+
+	govSingle := governor.New(fuel, 0)
+	ctx := governor.WithBudget(context.Background(), govSingle)
+	singles := make([]*Result, len(batch))
+	for i, p := range batch {
+		if singles[i], err = comp.CompileContext(ctx, p, nil); err != nil {
+			t.Fatalf("metered single %d: %v", i, err)
+		}
+	}
+
+	exhausted := 0
+	for i := range batch {
+		if batched[i].Status != singles[i].Status {
+			t.Errorf("program %d: batch status %v, singles status %v", i, batched[i].Status, singles[i].Status)
+		}
+		if batched[i].Status == ResourceExhausted {
+			exhausted++
+		}
+	}
+	if exhausted == 0 {
+		t.Error("half the batch's fuel exhausted nothing; budget not shared across the batch")
+	}
+	if govBatch.Spent() != govSingle.Spent() {
+		t.Errorf("batch spent %d steps, equivalent singles spent %d; paths must meter identically",
+			govBatch.Spent(), govSingle.Spent())
+	}
+}
+
+// TestCompileBatchContextCancellation: a cancelled context aborts the
+// batch with the context's error, like a single CompileContext call.
+func TestCompileBatchContextCancellation(t *testing.T) {
+	g := generator.New(generator.DefaultConfig().WithSeed(5))
+	batch := g.GenerateBatch(2)
+	ctx, cancel := context.WithCancel(context.Background())
+	gov := governor.New(1<<40, 0)
+	gov.Bind(ctx)
+	cancel()
+	if _, err := Javac().CompileBatchContext(governor.WithBudget(ctx, gov), batch, nil); err == nil {
+		t.Error("cancelled batch must surface the context error")
 	}
 }

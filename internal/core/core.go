@@ -41,6 +41,9 @@ type Config struct {
 	Generator generator.Config
 	// Compilers under test; nil means the three simulated JVM compilers.
 	Compilers []*compilers.Compiler
+	// Oracle selects the fuzzing campaign's test oracle; the zero value
+	// is the paper's derivation-based ground-truth oracle.
+	Oracle campaign.OracleMode
 	// Workers is the per-stage worker count for fuzzing campaigns;
 	// 0 means GOMAXPROCS.
 	Workers int
@@ -161,6 +164,7 @@ func (h *Hephaestus) CampaignOptions(n int) campaign.Options {
 		Workers:       h.cfg.Workers,
 		GenConfig:     h.cfg.Generator,
 		Compilers:     h.compilers,
+		Oracle:        h.cfg.Oracle,
 		Mutate:        true,
 		Harness:       h.cfg.Harness,
 		Chaos:         h.cfg.Chaos,

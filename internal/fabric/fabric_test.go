@@ -467,3 +467,45 @@ func foldImage(m *campaign.Merger, image []byte, offset int) (int, error) {
 	}
 	return folded, err
 }
+
+// TestWorkerStatusNeverPhantomFails hammers the status endpoint across
+// a healthy lease's completion. The status handler must never pair a
+// stale pre-terminal campaign state with an observed-closed done
+// channel — the race that intermittently reported a clean lease as
+// "failed" with no error.
+func TestWorkerStatusNeverPhantomFails(t *testing.T) {
+	t.Parallel()
+	w := NewWorker(WorkerOptions{Dir: t.TempDir(), Name: "phantom"})
+	srv := httptest.NewServer(w)
+	t.Cleanup(srv.Close)
+	t.Cleanup(w.Close)
+	client := NewClientWith("phantom", srv.URL, &http.Client{Timeout: 5 * time.Second})
+	ctx := context.Background()
+
+	for round := 0; round < 8; round++ {
+		lease := Lease{ID: fmt.Sprintf("s%03d-a0", round), Shard: round, Lo: 0, Hi: 2,
+			Config: soakConfig(2)}
+		if err := client.Lease(ctx, lease); err != nil {
+			t.Fatalf("round %d: lease: %v", round, err)
+		}
+		deadline := time.Now().Add(time.Minute)
+		for {
+			st, err := client.Status(ctx, lease.ID)
+			if err != nil {
+				t.Fatalf("round %d: status: %v", round, err)
+			}
+			if st.State == "done" {
+				break
+			}
+			if st.State != "running" {
+				t.Fatalf("round %d: healthy lease reported %q (err %q)", round, st.State, st.Err)
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("round %d: lease never finished", round)
+			}
+		}
+		if _, err := client.Journal(ctx, lease.ID); err != nil {
+			t.Fatalf("round %d: journal after done: %v", round, err)
+		}
+	}
+}

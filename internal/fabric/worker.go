@@ -385,9 +385,13 @@ func (w *Worker) handleStatus(rw http.ResponseWriter, r *http.Request) {
 		<-r.Context().Done()
 		return
 	}
-	st := LeaseStatus{ID: lr.lease.ID, State: lr.camp.State().String(), Units: lr.camp.Status().Units}
+	st := LeaseStatus{ID: lr.lease.ID, Units: lr.camp.Status().Units}
 	select {
 	case <-lr.done:
+		// Read the state only after observing done: reading it first
+		// races the final transition, pairing a stale "running" with a
+		// closed done channel — a phantom "failed" lease.
+		st.State = lr.camp.State().String()
 		if lr.err != nil {
 			st.Err = lr.err.Error()
 		}
@@ -398,11 +402,11 @@ func (w *Worker) handleStatus(rw http.ResponseWriter, r *http.Request) {
 			st.State = "failed"
 		}
 	default:
-		if st.State == "new" {
-			// Granted but not yet started (Start runs off the grant
-			// path); to the coordinator that is simply "running".
-			st.State = "running"
-		}
+		// Until done closes the lease is "running", whatever the
+		// campaign state says: "new" means granted-but-not-started, and
+		// a terminal state means the run goroutine hasn't published yet
+		// — the journal is not shippable until it has.
+		st.State = "running"
 	}
 	rw.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(rw).Encode(st)

@@ -88,6 +88,15 @@ const (
 	// watchdog it reproduces at the same step count on any machine, so
 	// exhausted programs are first-class, deduplicable report entries.
 	ResourceExhausted
+	// Disagreement: the differential cross-compiler oracle found a
+	// non-uniform verdict vector — the same IR program was accepted by at
+	// least one compiler under test and rejected by another (see
+	// internal/difforacle). Unlike the derivation-based verdicts above it
+	// needs no ground truth: whatever the program's true typing status,
+	// at least one side of the vote is wrong. Attached to the minority
+	// ("suspect") side's executions when the vote is decided, and to
+	// every voting execution when it ties.
+	Disagreement
 )
 
 func (v Verdict) String() string {
@@ -104,6 +113,8 @@ func (v Verdict) String() string {
 		return "crash"
 	case ResourceExhausted:
 		return "exhausted"
+	case Disagreement:
+		return "disagreement"
 	default:
 		// Never mislabel a future verdict: surface it as unknown rather
 		// than silently folding it into "crash" counts.

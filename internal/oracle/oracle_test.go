@@ -113,6 +113,7 @@ func TestInputKindStrings(t *testing.T) {
 		oracle.CompilerCrash:              "crash",
 		oracle.CompilerHang:               "hang",
 		oracle.ResourceExhausted:          "exhausted",
+		oracle.Disagreement:               "disagreement",
 	}
 	for v, want := range verdicts {
 		if v.String() != want {
@@ -130,7 +131,7 @@ func TestUnknownValuesNeverMislabel(t *testing.T) {
 			t.Errorf("InputKind(%d).String() = %q, want %q", n, got, want)
 		}
 	}
-	for _, n := range []int{6, 42, -3} {
+	for _, n := range []int{7, 42, -3} {
 		if got, want := oracle.Verdict(n).String(), fmt.Sprintf("unknown(%d)", n); got != want {
 			t.Errorf("Verdict(%d).String() = %q, want %q", n, got, want)
 		}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/compilers"
 	"repro/internal/coverage"
+	"repro/internal/difforacle"
 	"repro/internal/generator"
 	"repro/internal/harness"
 	"repro/internal/ir"
@@ -27,8 +28,12 @@ type Input struct {
 type Execution struct {
 	Compiler string
 	Kind     oracle.InputKind
-	Result   *compilers.Result
-	Verdict  oracle.Verdict
+	// Input is the index into the unit's Inputs this execution compiled,
+	// so the differential Judge can group the per-compiler executions of
+	// one program without relying on Kind uniqueness.
+	Input   int
+	Result  *compilers.Result
+	Verdict oracle.Verdict
 	// Inv is the harness's record of the compile: how it ended, retries
 	// spent, flaky-verdict flag, captured stack on a sandboxed panic.
 	Inv harness.Invocation
@@ -68,6 +73,10 @@ type Unit struct {
 	// Gaps are the compiles that yielded no result (quarantined by a
 	// circuit breaker, or errored past the retry budget).
 	Gaps []Gap
+	// Diffs are the verdict-vector disagreements the differential Judge
+	// found in this unit (compiler votes and translator conformance);
+	// empty under the derivation-based oracle.
+	Diffs []Diff
 	// Repairs counts TEM verification-pass rollbacks in this unit.
 	Repairs int
 	// Stress marks a unit whose base program came from the pathological
@@ -333,6 +342,7 @@ func (e *Execute) Run(ctx context.Context, u *Unit) error {
 				u.Execs = append(u.Execs, Execution{
 					Compiler: t.Name(),
 					Kind:     in.Kind,
+					Input:    i,
 					Result:   inv.Result,
 					Inv:      inv,
 				})
@@ -360,19 +370,122 @@ func (e *Execute) Run(ctx context.Context, u *Unit) error {
 	return nil
 }
 
-// Judge classifies every execution against the derivation-based oracle
-// (Figure 3's output checker). It is a separate stage so alternative
-// oracles — differential cross-compiler judging, say — can replace it
-// without touching execution.
-type Judge struct{}
+// Diff records one verdict-vector disagreement the differential Judge
+// found: the normalized per-compiler vector (or per-translator
+// conformance vector), the suspect attribution, and the disagreeing
+// pairs for the report's compiler×compiler matrix.
+type Diff struct {
+	// Kind is the derivation of the input whose vector split.
+	Kind oracle.InputKind
+	// Translators marks a translator-conformance disagreement: the
+	// samples grade renderings of the three translate backends rather
+	// than compiler verdicts.
+	Translators bool
+	// Samples is the verdict vector, in execution (target) order.
+	Samples []difforacle.Sample
+	// Suspects is the minority side of the vote, sorted; empty for a tie.
+	Suspects []string
+	// Pairs lists the disagreeing pairs, each and all sorted.
+	Pairs [][2]string
+}
+
+// Judge classifies every execution against the test oracle (Figure 3's
+// output checker). By default that is the derivation-based oracle; with
+// Differential set it is the cross-compiler differential oracle of
+// internal/difforacle instead. Judging is a separate stage exactly so
+// the two oracles swap without touching execution.
+type Judge struct {
+	// Differential switches from derivation-fixed expectations to
+	// ground-truth-free cross-compiler vote comparison: per input, the
+	// per-compiler results normalize into a verdict vector, a split
+	// accept/reject vote marks the minority executions with
+	// oracle.Disagreement, and the three translate backends' renderings
+	// of the same program are checked for verdict equivalence under one
+	// shared reference check. Crash/hang/exhausted results keep their
+	// status verdicts in both modes.
+	Differential bool
+}
 
 // Name implements Stage.
 func (Judge) Name() string { return "judge" }
 
 // Run implements Stage.
-func (Judge) Run(_ context.Context, u *Unit) error {
+func (j Judge) Run(_ context.Context, u *Unit) error {
+	if !j.Differential {
+		for i := range u.Execs {
+			u.Execs[i].Verdict = oracle.Judge(u.Execs[i].Kind, u.Execs[i].Result)
+		}
+		return nil
+	}
+	// Differential mode: status outcomes (crash, hang, exhausted) are
+	// bugs or findings without any vote; accept/reject becomes a vote.
+	lanes := make([]difforacle.Lane, len(u.Execs))
+	byInput := map[int][]int{}
 	for i := range u.Execs {
-		u.Execs[i].Verdict = oracle.Judge(u.Execs[i].Kind, u.Execs[i].Result)
+		e := &u.Execs[i]
+		lanes[i] = difforacle.Normalize(e.Result)
+		e.Verdict = laneVerdict(lanes[i])
+		byInput[e.Input] = append(byInput[e.Input], i)
+	}
+	for ii, in := range u.Inputs {
+		idxs := byInput[ii]
+		samples := make([]difforacle.Sample, 0, len(idxs))
+		for _, i := range idxs {
+			samples = append(samples, difforacle.Sample{
+				Compiler: u.Execs[i].Compiler,
+				Lane:     lanes[i],
+			})
+		}
+		if an := difforacle.Analyze(samples); an.Disagree {
+			suspect := map[string]bool{}
+			for _, s := range an.Suspects {
+				suspect[s] = true
+			}
+			for _, i := range idxs {
+				if !lanes[i].Votes() {
+					continue
+				}
+				// A decided vote marks the minority; a tie marks every
+				// voting lane — someone is wrong, we cannot say who.
+				if len(an.Suspects) == 0 || suspect[u.Execs[i].Compiler] {
+					u.Execs[i].Verdict = oracle.Disagreement
+				}
+			}
+			u.Diffs = append(u.Diffs, Diff{
+				Kind: in.Kind, Samples: an.Samples,
+				Suspects: an.Suspects, Pairs: an.Pairs,
+			})
+		}
+		// Translator conformance rides the same oracle. Stress units are
+		// skipped: the Java backend re-runs the reference checker
+		// unbudgeted, and a pathological program would stall it (the
+		// same reason Mutate skips stress units).
+		if u.Stress {
+			continue
+		}
+		if an := difforacle.AnalyzeConformance(difforacle.CheckTranslators(in.Prog)); an.Disagree {
+			u.Diffs = append(u.Diffs, Diff{
+				Kind: in.Kind, Translators: true, Samples: an.Samples,
+				Suspects: an.Suspects, Pairs: an.Pairs,
+			})
+		}
 	}
 	return nil
+}
+
+// laneVerdict maps a normalized lane onto its derivation-independent
+// verdict: crash/hang/exhausted lanes are findings in their own right,
+// while accept/reject lanes stay Pass until the differential vote says
+// otherwise.
+func laneVerdict(l difforacle.Lane) oracle.Verdict {
+	switch l {
+	case difforacle.Crash:
+		return oracle.CompilerCrash
+	case difforacle.Hang:
+		return oracle.CompilerHang
+	case difforacle.Exhausted:
+		return oracle.ResourceExhausted
+	default:
+		return oracle.Pass
+	}
 }
