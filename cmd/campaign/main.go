@@ -6,6 +6,7 @@
 //	campaign -fig 8          affected-versions histogram
 //	campaign -fig 9          TEM/TOM coverage increase (RQ3)
 //	campaign -fig 10         test-suite vs random coverage (RQ4)
+//	campaign -fig synth      generated vs mutated vs synthesized coverage
 //	campaign -fig all        everything
 //
 // -n scales the campaign size (default 400 programs); larger campaigns
@@ -52,6 +53,7 @@ import (
 
 	"strings"
 
+	"repro/internal/apisynth"
 	"repro/internal/campaign"
 	"repro/internal/cli"
 	"repro/internal/compilers"
@@ -63,7 +65,7 @@ import (
 func main() {
 	cfg := cli.NewConfig()
 	cfg.Programs = 400
-	fig := flag.String("fig", "all", "figure to reproduce: 7a, 7b, 7c, 8, 9, 10, all")
+	fig := flag.String("fig", "all", "figure to reproduce: 7a, 7b, 7c, 8, 9, 10, synth, all")
 	covN := flag.Int("covn", 150, "programs for the coverage experiments")
 	reportJSON := flag.String("report-json", "", "write the deterministic report document (JSON) to this file")
 	cfg.RegisterCampaignFlags(flag.CommandLine)
@@ -176,6 +178,22 @@ func main() {
 		fmt.Println("Figure 10: test-suite coverage plus random programs (RQ4)")
 		for _, c := range compilers.All() {
 			cov, err := campaign.RunSuiteCoverageContext(ctx, c, *covN, cfg.Seed+5000, generator.DefaultConfig(), cfg.Workers)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "coverage experiment aborted: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Println(cov)
+			if cfg.Stats {
+				fmt.Println("pipeline stages:")
+				fmt.Println(cov.Stats)
+			}
+		}
+	}
+	if show("synth") {
+		fmt.Println("Coverage by input kind: generated vs mutated vs synthesized")
+		for _, c := range compilers.All() {
+			cov, err := campaign.RunSynthCoverageContext(ctx, c, *covN, cfg.Seed+9000,
+				generator.DefaultConfig(), apisynth.Config{Corpus: cfg.SynthCorpus}, cfg.Workers)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "coverage experiment aborted: %v\n", err)
 				os.Exit(1)

@@ -1,0 +1,266 @@
+package apisynth_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/apisynth"
+	"repro/internal/checker"
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+// TestDefaultCorpusResolves pins that the built-in corpus (synthetic
+// stdlib + mined paper-bug signatures) materializes into a well-typed
+// skeleton a synthesizer can be built from.
+func TestDefaultCorpusResolves(t *testing.T) {
+	c := apisynth.DefaultCorpus()
+	if len(c.Classes) == 0 || len(c.Funcs) == 0 {
+		t.Fatalf("default corpus is degenerate: %d classes, %d funcs", len(c.Classes), len(c.Funcs))
+	}
+	if _, err := apisynth.NewSynthesizer(c); err != nil {
+		t.Fatalf("NewSynthesizer(DefaultCorpus()) = %v", err)
+	}
+	// The stdlib must survive the validated merge intact: mined
+	// signatures extend it, never displace it.
+	names := c.Names()
+	for _, want := range []string{"Box", "Pair", "IntBox", "Chain", "Stat", "Printer"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("stdlib class %s missing from default corpus %v", want, names)
+		}
+	}
+}
+
+// TestSynthesizedProgramsWellTyped is the core acceptance property:
+// every synthesized program passes the reference checker and carries a
+// non-trivial test body.
+func TestSynthesizedProgramsWellTyped(t *testing.T) {
+	s, err := apisynth.NewSynthesizer(apisynth.DefaultCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(0); seed < 200; seed++ {
+		p := s.Program(seed)
+		r := checker.Check(p, s.Builtins(), checker.Options{})
+		if r.Bailout != nil {
+			t.Fatalf("seed %d: checker bailout: %v", seed, r.Bailout)
+		}
+		if !r.OK() {
+			t.Fatalf("seed %d: synthesized program ill-typed: %v\n%s", seed, r.Diags, ir.Print(p))
+		}
+		var test *ir.FuncDecl
+		for _, fn := range p.Functions() {
+			if fn.Name == "test" {
+				test = fn
+			}
+		}
+		if test == nil {
+			t.Fatalf("seed %d: no test entry point", seed)
+		}
+		if body, ok := test.Body.(*ir.Block); !ok || len(body.Stmts) == 0 {
+			t.Fatalf("seed %d: test body empty — repair loop dropped everything", seed)
+		}
+	}
+}
+
+// TestSynthesisDeterministic pins that synthesis is a pure function of
+// (corpus, seed): two independently constructed synthesizers render
+// byte-identical programs for the same seed, and distinct seeds
+// actually vary.
+func TestSynthesisDeterministic(t *testing.T) {
+	s1, err := apisynth.NewSynthesizer(apisynth.DefaultCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := apisynth.NewSynthesizer(apisynth.DefaultCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := map[string]bool{}
+	for seed := int64(0); seed < 64; seed++ {
+		a, b := ir.Print(s1.Program(seed)), ir.Print(s2.Program(seed))
+		if a != b {
+			t.Fatalf("seed %d: programs differ across synthesizer instances:\n%s\n---\n%s", seed, a, b)
+		}
+		distinct[a] = true
+	}
+	if len(distinct) < 32 {
+		t.Fatalf("only %d distinct programs from 64 seeds — synthesis barely varies", len(distinct))
+	}
+}
+
+// TestCorpusJSONRoundTrip pins the serialization contract -synth-corpus
+// depends on: a corpus written as JSON loads back with an identical
+// fingerprint.
+func TestCorpusJSONRoundTrip(t *testing.T) {
+	c := apisynth.SyntheticStdlib()
+	path := filepath.Join(t.TempDir(), "corpus.json")
+	if err := os.WriteFile(path, []byte(c.Fingerprint()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := apisynth.LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if got.Fingerprint() != c.Fingerprint() {
+		t.Fatalf("round-trip changed the corpus:\n%s\n---\n%s", got.Fingerprint(), c.Fingerprint())
+	}
+	if _, err := apisynth.NewSynthesizer(got); err != nil {
+		t.Fatalf("reloaded corpus does not build: %v", err)
+	}
+}
+
+// TestLoadFileRejectsInvalidCorpus pins that validation happens at load
+// time — a corpus referencing unknown types is a configuration error
+// surfaced before any campaign starts.
+func TestLoadFileRejectsInvalidCorpus(t *testing.T) {
+	cases := map[string]string{
+		"unknown type":    `{"classes":[{"name":"C","fields":[{"name":"x","type":{"name":"Nope"}}]}]}`,
+		"shadows builtin": `{"classes":[{"name":"Int"}]}`,
+		"bad json":        `{"classes":`,
+		"closed super":    `{"classes":[{"name":"A"},{"name":"B","super":{"name":"A"}}]}`,
+	}
+	for name, doc := range cases {
+		path := filepath.Join(t.TempDir(), "bad.json")
+		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := apisynth.LoadFile(path); err == nil {
+			t.Errorf("%s: LoadFile accepted an invalid corpus", name)
+		}
+	}
+	if _, err := apisynth.LoadFile(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Error("LoadFile accepted a missing file")
+	}
+}
+
+// TestExtractMinesConservatively pins Extract's contract: regular
+// superless classes and expressible functions are mined, the test entry
+// point and override-bearing members are skipped, and the result
+// resolves stand-alone.
+func TestExtractMinesConservatively(t *testing.T) {
+	b := types.NewBuiltins()
+	cls := &ir.ClassDecl{
+		Name:   "Mined",
+		Fields: []*ir.FieldDecl{{Name: "x", Type: b.Int}},
+		Methods: []*ir.FuncDecl{
+			{Name: "get", Ret: b.Int, Body: &ir.Const{Type: b.Int}},
+		},
+	}
+	fn := &ir.FuncDecl{
+		Name:   "twice",
+		Params: []*ir.ParamDecl{{Name: "n", Type: b.Int}},
+		Ret:    b.Int,
+		Body:   &ir.Const{Type: b.Int},
+	}
+	testFn := &ir.FuncDecl{Name: "test", Ret: b.Unit, Body: &ir.Block{}}
+	got := apisynth.Extract(&ir.Program{Decls: []ir.Decl{cls, fn, testFn}})
+	if len(got.Classes) != 1 || got.Classes[0].Name != "Mined" {
+		t.Fatalf("classes = %+v, want exactly Mined", got.Classes)
+	}
+	if len(got.Funcs) != 1 || got.Funcs[0].Name != "twice" {
+		t.Fatalf("funcs = %+v, want exactly twice (test skipped)", got.Funcs)
+	}
+	if _, err := got.Resolve(types.NewBuiltins()); err != nil {
+		t.Fatalf("extracted corpus does not resolve: %v", err)
+	}
+}
+
+// TestMergeFirstWriterWins pins Merge's determinism contract: on a name
+// collision the receiver's signature survives, and declaration order is
+// preserved.
+func TestMergeFirstWriterWins(t *testing.T) {
+	a := apisynth.Corpus{Classes: []apisynth.ClassSig{
+		{Name: "C", Fields: []apisynth.FieldSig{{Name: "a", Type: apisynth.T("Int")}}},
+	}}
+	b := apisynth.Corpus{Classes: []apisynth.ClassSig{
+		{Name: "C", Fields: []apisynth.FieldSig{{Name: "b", Type: apisynth.T("String")}}},
+		{Name: "D"},
+	}}
+	got := a.Merge(b)
+	if len(got.Classes) != 2 || got.Classes[0].Name != "C" || got.Classes[1].Name != "D" {
+		t.Fatalf("merged classes = %+v", got.Classes)
+	}
+	if got.Classes[0].Fields[0].Name != "a" {
+		t.Fatalf("collision resolved wrong way: %+v", got.Classes[0])
+	}
+}
+
+// TestMergeValidatedDropsPoison pins that a candidate whose signature
+// references something outside the merged surface is dropped without
+// poisoning the additions after it.
+func TestMergeValidatedDropsPoison(t *testing.T) {
+	base := apisynth.SyntheticStdlib()
+	candidates := apisynth.Corpus{
+		Classes: []apisynth.ClassSig{
+			{Name: "Broken", Fields: []apisynth.FieldSig{{Name: "x", Type: apisynth.T("NoSuchType")}}},
+			{Name: "Fine", Fields: []apisynth.FieldSig{{Name: "x", Type: apisynth.T("Int")}}},
+		},
+		Funcs: []apisynth.FuncSig{
+			{Name: "brokenFn", Ret: apisynth.T("NoSuchType")},
+			{Name: "fineFn", Ret: apisynth.T("Int")},
+		},
+	}
+	got := base.MergeValidated(candidates)
+	names := strings.Join(got.Names(), ",")
+	if strings.Contains(names, "Broken") {
+		t.Fatalf("poisoned class survived the validated merge: %s", names)
+	}
+	if !strings.Contains(names, "Fine") {
+		t.Fatalf("valid class after the poisoned one was dropped: %s", names)
+	}
+	var haveFine, haveBroken bool
+	for _, f := range got.Funcs {
+		haveFine = haveFine || f.Name == "fineFn"
+		haveBroken = haveBroken || f.Name == "brokenFn"
+	}
+	if haveBroken || !haveFine {
+		t.Fatalf("func merge wrong: brokenFn=%v fineFn=%v", haveBroken, haveFine)
+	}
+	if _, err := got.Resolve(types.NewBuiltins()); err != nil {
+		t.Fatalf("validated merge result does not resolve: %v", err)
+	}
+}
+
+// TestSynthSeedCadence pins the seed-keyed schedule every shard and
+// resumed run must agree on, including the disabled and every-unit
+// edges.
+func TestSynthSeedCadence(t *testing.T) {
+	if (apisynth.Config{}).Enabled() {
+		t.Error("zero config must be disabled")
+	}
+	if (apisynth.Config{Every: 0}).SynthSeed(7) {
+		t.Error("disabled cadence claimed a seed")
+	}
+	every1 := apisynth.Config{Every: 1}
+	for seed := int64(0); seed < 10; seed++ {
+		if !every1.SynthSeed(seed) {
+			t.Fatalf("every=1 must claim every seed, missed %d", seed)
+		}
+	}
+	every4 := apisynth.Config{Every: 4}
+	var claimed []int64
+	for seed := int64(0); seed < 12; seed++ {
+		if every4.SynthSeed(seed) {
+			claimed = append(claimed, seed)
+		}
+	}
+	want := []int64{3, 7, 11}
+	if len(claimed) != len(want) {
+		t.Fatalf("every=4 claimed %v, want %v", claimed, want)
+	}
+	for i := range want {
+		if claimed[i] != want[i] {
+			t.Fatalf("every=4 claimed %v, want %v", claimed, want)
+		}
+	}
+}

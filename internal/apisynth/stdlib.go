@@ -1,0 +1,175 @@
+package apisynth
+
+import (
+	"repro/internal/corpus"
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+// SyntheticStdlib returns the built-in API corpus: a small
+// collections-flavoured surface designed to concentrate on what
+// grammar-driven generation under-exercises — overload sets that force
+// resolution to rank candidates, generic methods whose explicit
+// instantiation hits the bound-conformance check, inheritance from
+// instantiated generic classes so member lookup walks the superclass
+// chain under a receiver substitution, and bounded type parameters.
+func SyntheticStdlib() Corpus {
+	return Corpus{
+		Classes: []ClassSig{
+			{
+				Name: "Box", Open: true,
+				TypeParams: []TypeParamSig{{Name: "T"}},
+				Fields:     []FieldSig{{Name: "value", Type: T("T")}},
+				Methods: []MethodSig{
+					{Name: "get", Ret: T("T")},
+					{Name: "swap", Params: []ParamSig{{Name: "other", Type: T("Box", T("T"))}}, Ret: T("Box", T("T"))},
+					{Name: "zip", TypeParams: []TypeParamSig{{Name: "U"}},
+						Params: []ParamSig{{Name: "other", Type: T("Box", T("U"))}},
+						Ret:    T("Pair", T("T"), T("U"))},
+					{Name: "rebox", TypeParams: []TypeParamSig{{Name: "U"}},
+						Params: []ParamSig{{Name: "seed", Type: T("U")}},
+						Ret:    T("Box", T("U"))},
+				},
+			},
+			{
+				Name:       "Pair",
+				TypeParams: []TypeParamSig{{Name: "A"}, {Name: "B"}},
+				Fields:     []FieldSig{{Name: "first", Type: T("A")}, {Name: "second", Type: T("B")}},
+				Methods: []MethodSig{
+					{Name: "flip", Ret: T("Pair", T("B"), T("A"))},
+					{Name: "withFirst", TypeParams: []TypeParamSig{{Name: "C"}},
+						Params: []ParamSig{{Name: "c", Type: T("C")}},
+						Ret:    T("Pair", T("C"), T("B"))},
+					{Name: "left", Ret: T("A")},
+					{Name: "right", Ret: T("B")},
+				},
+			},
+			{
+				// Inherits from an instantiated generic class: member
+				// lookup on IntBox walks into Box under [T ↦ Int].
+				Name: "IntBox", Super: ref(T("Box", T("Int"))),
+				Fields: []FieldSig{{Name: "label", Type: T("String")}},
+				Methods: []MethodSig{
+					{Name: "tag", Ret: T("String")},
+					{Name: "boxed", Ret: T("Box", T("Int"))},
+				},
+			},
+			{
+				Name: "Chain", Open: true,
+				TypeParams: []TypeParamSig{{Name: "T"}},
+				Fields:     []FieldSig{{Name: "head", Type: T("T")}},
+				Methods: []MethodSig{
+					{Name: "first", Ret: T("T")},
+					{Name: "append", Params: []ParamSig{{Name: "x", Type: T("T")}}, Ret: T("Chain", T("T"))},
+					{Name: "concat", Params: []ParamSig{{Name: "other", Type: T("Chain", T("T"))}}, Ret: T("Chain", T("T"))},
+					{Name: "mapTo", TypeParams: []TypeParamSig{{Name: "U"}},
+						Params: []ParamSig{{Name: "seed", Type: T("U")}},
+						Ret:    T("Chain", T("U"))},
+					{Name: "pairUp", Ret: T("Pair", T("T"), T("T"))},
+				},
+			},
+			{
+				// Bounded type parameter: instantiating Stat, and calling
+				// widen, must pass the bound-conformance check.
+				Name:       "Stat",
+				TypeParams: []TypeParamSig{{Name: "T", Bound: boundRef(T("Number"))}},
+				Fields:     []FieldSig{{Name: "sample", Type: T("T")}},
+				Methods: []MethodSig{
+					{Name: "sum", Ret: T("T")},
+					{Name: "widen", TypeParams: []TypeParamSig{{Name: "U", Bound: boundRef(T("Number"))}},
+						Params: []ParamSig{{Name: "u", Type: T("U")}},
+						Ret:    T("Stat", T("U"))},
+					{Name: "count", Ret: T("Int")},
+				},
+			},
+			{
+				// An overload set: resolution has to rank the candidates
+				// by parameter type, including the Any catch-all.
+				Name: "Printer",
+				Methods: []MethodSig{
+					{Name: "show", Params: []ParamSig{{Name: "x", Type: T("Int")}}, Ret: T("String")},
+					{Name: "show", Params: []ParamSig{{Name: "x", Type: T("String")}}, Ret: T("String")},
+					{Name: "show", Params: []ParamSig{{Name: "x", Type: T("Boolean")}}, Ret: T("String")},
+					{Name: "show", Params: []ParamSig{{Name: "x", Type: T("Any")}}, Ret: T("String")},
+					{Name: "render", TypeParams: []TypeParamSig{{Name: "T"}},
+						Params: []ParamSig{{Name: "x", Type: T("Box", T("T"))}},
+						Ret:    T("String")},
+				},
+			},
+		},
+		Funcs: []FuncSig{
+			{Name: "identity", TypeParams: []TypeParamSig{{Name: "T"}},
+				Params: []ParamSig{{Name: "x", Type: T("T")}}, Ret: T("T")},
+			{Name: "pairOf", TypeParams: []TypeParamSig{{Name: "A"}, {Name: "B"}},
+				Params: []ParamSig{{Name: "a", Type: T("A")}, {Name: "b", Type: T("B")}},
+				Ret:    T("Pair", T("A"), T("B"))},
+			{Name: "boxOf", TypeParams: []TypeParamSig{{Name: "T"}},
+				Params: []ParamSig{{Name: "x", Type: T("T")}}, Ret: T("Box", T("T"))},
+			{Name: "firstOf", TypeParams: []TypeParamSig{{Name: "T"}},
+				Params: []ParamSig{{Name: "c", Type: T("Chain", T("T"))}}, Ret: T("T")},
+			{Name: "choose", Params: []ParamSig{
+				{Name: "cond", Type: T("Boolean")}, {Name: "a", Type: T("Int")}, {Name: "b", Type: T("Int")},
+			}, Ret: T("Int")},
+		},
+	}
+}
+
+func ref(t TypeSig) *TypeSig      { return &t }
+func boundRef(t TypeSig) *TypeSig { return &t }
+
+// DefaultCorpus is the corpus a -synth campaign uses when -synth-corpus
+// is not given: the synthetic stdlib, extended with every signature
+// that can be conservatively mined from the paper-bug regression
+// programs in internal/corpus. The merge is validated class-by-class
+// so a mined signature that references something outside the merged
+// surface is dropped rather than poisoning the corpus.
+func DefaultCorpus() Corpus {
+	var progs []*ir.Program
+	for _, p := range corpus.PaperPrograms() {
+		if p.WellTyped {
+			progs = append(progs, p.Program)
+		}
+	}
+	return SyntheticStdlib().MergeValidated(Extract(progs...))
+}
+
+// MergeValidated merges other into c, keeping only additions under
+// which the combined corpus still resolves. Deterministic: candidates
+// are tried in declaration order, first-writer-wins on names.
+func (c Corpus) MergeValidated(other Corpus) Corpus {
+	b := types.NewBuiltins()
+	out := c
+	have := map[string]bool{}
+	for _, cs := range c.Classes {
+		have[cs.Name] = true
+	}
+	for _, cs := range other.Classes {
+		if have[cs.Name] {
+			continue
+		}
+		trial := out
+		trial.Classes = append(append([]ClassSig{}, out.Classes...), cs)
+		if _, err := trial.Resolve(b); err != nil {
+			continue
+		}
+		have[cs.Name] = true
+		out = trial
+	}
+	haveF := map[string]bool{}
+	for _, fs := range c.Funcs {
+		haveF[fs.Name] = true
+	}
+	for _, fs := range other.Funcs {
+		if haveF[fs.Name] {
+			continue
+		}
+		trial := out
+		trial.Funcs = append(append([]FuncSig{}, out.Funcs...), fs)
+		if _, err := trial.Resolve(b); err != nil {
+			continue
+		}
+		haveF[fs.Name] = true
+		out = trial
+	}
+	return out
+}

@@ -1,0 +1,412 @@
+package apisynth
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/checker"
+	"repro/internal/ir"
+	"repro/internal/types"
+)
+
+// Config controls API-driven synthesis inside a campaign. It is
+// JSON-tagged so fabric leases and server submissions ship it
+// verbatim, and it folds into the campaign fingerprint (a different
+// cadence or corpus is a different campaign).
+type Config struct {
+	// Every is the synthesis cadence: unit seeds with
+	// seed % Every == Every-1 are synthesized instead of generated
+	// (the same seed-keyed scheme as the stress generator, so every
+	// shard, worker, and resumed run agrees on which units are
+	// synthesized without coordination). 1 synthesizes every unit;
+	// 0 disables synthesis.
+	Every int `json:"every"`
+	// Corpus is the path of a JSON API-corpus document; empty means
+	// the built-in DefaultCorpus (synthetic stdlib + signatures mined
+	// from the paper-bug regression programs).
+	Corpus string `json:"corpus,omitempty"`
+}
+
+// Enabled reports whether any units will be synthesized.
+func (c Config) Enabled() bool { return c.Every > 0 }
+
+// SynthSeed reports whether the unit with this seed is synthesized.
+// Pure in the seed: shards and resumes must agree.
+func (c Config) SynthSeed(seed int64) bool {
+	if c.Every <= 0 {
+		return false
+	}
+	e := uint64(c.Every)
+	return uint64(seed)%e == e-1
+}
+
+// Load resolves the configured corpus: the file when a path is given,
+// the built-in default otherwise.
+func (c Config) Load() (Corpus, error) {
+	if c.Corpus == "" {
+		return DefaultCorpus(), nil
+	}
+	return LoadFile(c.Corpus)
+}
+
+// Synthesizer builds well-typed programs bottom-up against one
+// resolved API corpus. Safe for concurrent use: synthesis state is
+// per-call, and the shared corpus declarations are never mutated.
+type Synthesizer struct {
+	b      *types.Builtins
+	res    *Resolved
+	env    *checker.Env
+	decls  []ir.Decl
+	ground []types.Type
+}
+
+// NewSynthesizer resolves and verifies the corpus: the materialized
+// API skeleton must itself pass the reference checker, so every
+// synthesized program starts from a well-typed base.
+func NewSynthesizer(c Corpus) (*Synthesizer, error) {
+	b := types.NewBuiltins()
+	res, err := c.Resolve(b)
+	if err != nil {
+		return nil, err
+	}
+	s := &Synthesizer{b: b, res: res, decls: res.Decls()}
+	skeleton := &ir.Program{Decls: s.decls}
+	if r := checker.Check(skeleton, b, checker.Options{}); !r.OK() {
+		return nil, fmt.Errorf("apisynth: corpus skeleton does not type-check: %v", r.Diags[0])
+	}
+	s.env = checker.NewEnv(skeleton, b)
+	s.ground = append([]types.Type{}, b.Defaultable()...)
+	return s, nil
+}
+
+// Builtins exposes the type universe the corpus was resolved against.
+func (s *Synthesizer) Builtins() *types.Builtins { return s.b }
+
+// Program synthesizes one program for the seed: the corpus
+// declarations plus a test entry point whose body instantiates API
+// classes and chains method, function, and field lookups over them.
+// Deterministic in the seed, and always well-typed: the assembled
+// candidate is verified against the reference checker, and any
+// statement the checker rejects (a construction-logic gap, not a
+// compiler-under-test) is deterministically dropped from the end.
+func (s *Synthesizer) Program(seed int64) *ir.Program {
+	rng := rand.New(rand.NewSource(seed ^ 0x517e57a1))
+	st := &synthState{s: s, rng: rng}
+	st.seedPool()
+	n := 3 + rng.Intn(6)
+	for i := 0; i < n; i++ {
+		st.step()
+	}
+	test := &ir.FuncDecl{Name: "test", Ret: s.b.Unit, Body: &ir.Block{Stmts: st.stmts}}
+	prog := &ir.Program{Decls: append(append([]ir.Decl{}, s.decls...), test)}
+	for !s.check(prog) && len(st.stmts) > 0 {
+		st.stmts = st.stmts[:len(st.stmts)-1]
+		test.Body = &ir.Block{Stmts: st.stmts}
+	}
+	return prog
+}
+
+func (s *Synthesizer) check(p *ir.Program) bool {
+	r := checker.Check(p, s.b, checker.Options{})
+	return r.Bailout == nil && r.OK()
+}
+
+// synthState is the per-program assembly state: the statement list and
+// the pool of typed locals later steps draw receivers and arguments
+// from.
+type synthState struct {
+	s     *Synthesizer
+	rng   *rand.Rand
+	pool  []poolVar
+	stmt  int
+	stmts []ir.Node
+}
+
+type poolVar struct {
+	name string
+	typ  types.Type
+}
+
+// declare appends `var vN[: t] = init` and adds vN to the pool. The
+// declared type is made explicit or left for inference at random —
+// both paths are checker surface worth exercising.
+func (st *synthState) declare(t types.Type, init ir.Expr, forceExplicit bool) {
+	name := fmt.Sprintf("v%d", st.stmt)
+	st.stmt++
+	var declType types.Type
+	if forceExplicit || st.rng.Intn(2) == 0 {
+		declType = t
+	}
+	st.stmts = append(st.stmts, &ir.VarDecl{Name: name, DeclType: declType, Init: init})
+	st.pool = append(st.pool, poolVar{name: name, typ: t})
+}
+
+// seedPool declares a few builtin-typed locals (argument fodder) and
+// one or two API-class instantiations so every later step has
+// receivers to work with.
+func (st *synthState) seedPool() {
+	for i := 0; i < 2; i++ {
+		t := st.s.ground[st.rng.Intn(len(st.s.ground))]
+		st.declare(t, &ir.Const{Type: t}, false)
+	}
+	for i := 0; i < 2; i++ {
+		st.instantiate()
+	}
+}
+
+// step performs one synthesis move, biased toward call chains (the
+// paths the corpus exists to exercise).
+func (st *synthState) step() {
+	switch st.rng.Intn(10) {
+	case 0, 1:
+		st.instantiate()
+	case 2:
+		st.fieldAccess()
+	case 3, 4:
+		st.funcCall()
+	default:
+		st.methodCall()
+	}
+}
+
+// instantiate picks a corpus class, grounds its type parameters
+// (respecting bounds), and declares a local holding `new C<t̄>(ē)`.
+// When every type parameter is mentioned in a field, the diamond form
+// is sometimes emitted instead, exercising constructor-argument
+// inference.
+func (st *synthState) instantiate() {
+	s := st.s
+	if len(s.res.Classes) == 0 {
+		return
+	}
+	cls := s.res.Classes[st.rng.Intn(len(s.res.Classes))]
+	sigma, typeArgs, ok := st.groundParams(cls.TypeParams, nil)
+	if !ok {
+		return
+	}
+	var instType types.Type
+	switch t := cls.Type().(type) {
+	case *types.Constructor:
+		instType = t.Apply(typeArgs...)
+	default:
+		instType = t
+	}
+	ctorParams := s.env.ConstructorParams(cls, sigma)
+	args := make([]ir.Expr, len(ctorParams))
+	exact := true
+	for i, pt := range ctorParams {
+		var wasExact bool
+		args[i], wasExact = st.arg(pt)
+		exact = exact && wasExact
+	}
+	nw := &ir.New{Class: cls.Type(), TypeArgs: typeArgs, Args: args}
+	forceExplicit := false
+	if len(typeArgs) > 0 && exact && st.allParamsInFields(cls) && st.rng.Intn(3) == 0 {
+		// Diamond form: `new C<>(ē)` — the arguments (exact-typed by
+		// construction) drive inference.
+		nw.TypeArgs = nil
+		forceExplicit = true
+	}
+	st.declare(instType, nw, forceExplicit)
+}
+
+// allParamsInFields reports whether every class type parameter occurs
+// in some field type, i.e. diamond inference has a constraint for each.
+func (st *synthState) allParamsInFields(cls *ir.ClassDecl) bool {
+	for _, p := range cls.TypeParams {
+		found := false
+		for _, f := range cls.Fields {
+			if types.ContainsParameter(f.Type, p) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return len(cls.TypeParams) > 0
+}
+
+// methodCall picks a pool receiver, enumerates its callable methods
+// (superclass chain, receiver substitution applied), grounds the
+// chosen method's own type parameters, and declares a local holding
+// the call's result.
+func (st *synthState) methodCall() {
+	recv, ok := st.pickReceiver()
+	if !ok {
+		return
+	}
+	sigs := st.s.env.MethodsOf(recv.typ)
+	if len(sigs) == 0 {
+		return
+	}
+	name := sigs[st.rng.Intn(len(sigs))].Name
+	cands := st.s.env.MethodCandidates(recv.typ, name)
+	if len(cands) == 0 {
+		return
+	}
+	sig := cands[st.rng.Intn(len(cands))]
+	st.emitCall(&ir.VarRef{Name: recv.name}, sig)
+}
+
+// funcCall invokes a top-level corpus function the same way.
+func (st *synthState) funcCall() {
+	s := st.s
+	if len(s.res.Funcs) == 0 {
+		return
+	}
+	f := s.res.Funcs[st.rng.Intn(len(s.res.Funcs))]
+	sig, ok := s.env.TopLevelSig(f.Name)
+	if !ok {
+		return
+	}
+	st.emitCall(nil, sig)
+}
+
+// emitCall grounds sig's type parameters, assembles arguments from the
+// pool (or val(t) constants), and declares the result. Generic calls
+// are mostly explicit (`m<t̄>(ē)` — the bound-conformance path); when
+// every type parameter is inferable from an argument position and the
+// arguments are exact, the type arguments are sometimes omitted to
+// exercise inference instead.
+func (st *synthState) emitCall(recv ir.Expr, sig checker.MethodSig) {
+	msigma, typeArgs, ok := st.groundParams(sig.TypeParams, sig.Sigma)
+	if !ok {
+		return
+	}
+	args := make([]ir.Expr, len(sig.Params))
+	exact := true
+	for i, pt := range sig.Params {
+		t := msigma.Apply(pt)
+		if types.HasFreeParameters(t) {
+			return
+		}
+		var wasExact bool
+		// Inferable calls need exact argument types, so inference
+		// reconstructs precisely the instantiation we predicted.
+		args[i], wasExact = st.arg(t)
+		exact = exact && wasExact
+	}
+	ret := msigma.Apply(sig.Ret)
+	if ret == nil || types.HasFreeParameters(ret) {
+		return
+	}
+	call := &ir.Call{Recv: recv, Name: sig.Name, TypeArgs: typeArgs, Args: args}
+	forceExplicit := false
+	if len(typeArgs) > 0 && exact && st.paramsInferable(sig) && st.rng.Intn(3) == 0 {
+		call.TypeArgs = nil
+		forceExplicit = true
+	}
+	if ret.Equal(st.s.b.Unit) {
+		st.stmts = append(st.stmts, call)
+		return
+	}
+	st.declare(ret, call, forceExplicit)
+}
+
+// paramsInferable reports whether every method type parameter occurs
+// in some value-parameter position.
+func (st *synthState) paramsInferable(sig checker.MethodSig) bool {
+	for _, tp := range sig.TypeParams {
+		found := false
+		for _, pt := range sig.Params {
+			if types.ContainsParameter(pt, tp) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// fieldAccess reads a field off a pool receiver.
+func (st *synthState) fieldAccess() {
+	recv, ok := st.pickReceiver()
+	if !ok {
+		return
+	}
+	fields := st.s.env.FieldsOf(recv.typ)
+	if len(fields) == 0 {
+		return
+	}
+	f := fields[st.rng.Intn(len(fields))]
+	if types.HasFreeParameters(f.Type) {
+		return
+	}
+	st.declare(f.Type, &ir.FieldAccess{Recv: &ir.VarRef{Name: recv.name}, Field: f.Name}, false)
+}
+
+// pickReceiver draws a pool variable of a corpus-class type.
+func (st *synthState) pickReceiver() (poolVar, bool) {
+	var cands []poolVar
+	for _, v := range st.pool {
+		switch v.typ.(type) {
+		case *types.Simple, *types.App:
+			if st.s.env.Class(v.typ.Name()) != nil {
+				cands = append(cands, v)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return poolVar{}, false
+	}
+	return cands[st.rng.Intn(len(cands))], true
+}
+
+// arg builds an expression of (a subtype of) t: a pool variable when
+// one conforms, else val(t). The second result reports whether the
+// expression's static type is exactly t (needed for inference-driven
+// call forms).
+func (st *synthState) arg(t types.Type) (ir.Expr, bool) {
+	var cands []poolVar
+	for _, v := range st.pool {
+		if types.IsSubtype(v.typ, t) {
+			cands = append(cands, v)
+		}
+	}
+	if len(cands) > 0 && st.rng.Intn(3) != 0 {
+		v := cands[st.rng.Intn(len(cands))]
+		return &ir.VarRef{Name: v.name}, v.typ.Equal(t)
+	}
+	return &ir.Const{Type: t}, true
+}
+
+// groundParams grounds one signature's type parameters: for each, a
+// ground candidate satisfying the (substituted) upper bound is chosen
+// at random. outer is the receiver substitution, applied to bounds
+// that mention the receiver's class parameters. Fails (ok=false) when
+// some parameter has no satisfying ground candidate.
+func (st *synthState) groundParams(params []*types.Parameter, outer *types.Substitution) (*types.Substitution, []types.Type, bool) {
+	sigma := types.NewSubstitution()
+	if len(params) == 0 {
+		return sigma, nil, true
+	}
+	typeArgs := make([]types.Type, 0, len(params))
+	for _, p := range params {
+		bound := p.UpperBound()
+		if outer != nil {
+			bound = outer.Apply(bound)
+		}
+		bound = sigma.Apply(bound)
+		if types.HasFreeParameters(bound) {
+			return nil, nil, false
+		}
+		var cands []types.Type
+		for _, g := range st.s.ground {
+			if types.IsSubtype(g, bound) {
+				cands = append(cands, g)
+			}
+		}
+		if len(cands) == 0 {
+			return nil, nil, false
+		}
+		t := cands[st.rng.Intn(len(cands))]
+		sigma.Bind(p, t)
+		typeArgs = append(typeArgs, t)
+	}
+	return sigma, typeArgs, true
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/apisynth"
 	"repro/internal/bugs"
 	"repro/internal/compilers"
 	"repro/internal/generator"
@@ -87,6 +88,13 @@ type Options struct {
 	Oracle OracleMode
 	// GenConfig configures the program generator.
 	GenConfig generator.Config
+	// Synth configures API-driven synthesis (Thalia mode): units whose
+	// seeds the cadence claims are built bottom-up from API signatures
+	// and judged as the Synthesized input kind. The zero value disables
+	// synthesis. Verdict-affecting, so it folds into the campaign
+	// fingerprint when enabled. A seed claimed by the synthesizer is
+	// synthesized even when GenConfig's stress cadence also selects it.
+	Synth apisynth.Config
 	// Mutate enables the TEM/TOM/TEM∘TOM/REM pipeline stages.
 	Mutate bool
 	// Harness configures the resilient execution layer (watchdog
@@ -162,10 +170,14 @@ type BugRecord struct {
 
 // Technique returns the Figure 7c attribution for the record: the
 // generator subsumes the mutations (a bug it finds is a generator bug);
-// otherwise a bug found by both mutations is "TEM & TOM".
+// otherwise a bug only API-driven synthesis reached is "Synthesized",
+// and a bug found by both mutations is "TEM & TOM".
 func (r *BugRecord) Technique() string {
 	if r.FoundBy[oracle.Generated] || r.FoundBy[oracle.Suite] {
 		return "Generator"
+	}
+	if r.FoundBy[oracle.Synthesized] {
+		return "Synthesized"
 	}
 	tem := r.FoundBy[oracle.TEMMutant]
 	tom := r.FoundBy[oracle.TOMMutant] || r.FoundBy[oracle.TEMTOMMutant]
@@ -394,7 +406,17 @@ func (fuzzPlan) run(ctx context.Context, c *Campaign, resume bool) error {
 		mu:       &c.fold,
 	}
 
-	stages := []pipeline.Stage{&pipeline.Generate{Config: opts.GenConfig}}
+	gen := &pipeline.Generate{Config: opts.GenConfig}
+	if opts.Synth.Enabled() {
+		prod, err := newSynthProducer(opts.Synth)
+		if err != nil {
+			report.Err = err
+			c.publish(report, nil, nil)
+			return err
+		}
+		gen.Producers = []pipeline.Producer{prod}
+	}
+	stages := []pipeline.Stage{gen}
 	if opts.Mutate {
 		stages = append(stages, &pipeline.Mutate{TEM: true, TOM: true, TEMTOM: true, REM: true})
 	}

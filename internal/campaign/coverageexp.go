@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/apisynth"
 	"repro/internal/compilers"
 	"repro/internal/corpus"
 	"repro/internal/coverage"
@@ -136,6 +137,168 @@ func (p *mutationCoveragePlan) run(ctx context.Context, c *Campaign, _ bool) err
 	for _, region := range covTEM.Regions() {
 		d := covTEM.NewSitesIn(covGen, region)
 		out.TEMByRegion[p.compiler.PackageFor(region)] = d
+	}
+	p.out = out
+	return nil
+}
+
+// SynthCoverage is the three-way input-kind comparison extending RQ3/
+// RQ4 to API-driven synthesis: coverage of N generated programs, the
+// additional distinct probe sites their TEM+TOM mutants reach, and the
+// additional sites N synthesized programs (same seeds, same budget)
+// reach — with synthesis's extra sites broken down by region, since the
+// point of walking API signatures is to land in the resolution and
+// inference paths.
+type SynthCoverage struct {
+	Compiler string
+	Programs int
+	// Generator coverage as percentages of the experiment's universe.
+	GenLine, GenFunc, GenBranch float64
+	// MutDelta is the TEM+TOM mutants' additional distinct sites over
+	// the generator baseline; SynthDelta the synthesized programs'.
+	MutDelta, SynthDelta coverage.Delta
+	// SynthByRegion maps the compiler's package names to synthesis's
+	// extra sites there.
+	SynthByRegion map[string]coverage.Delta
+	// Stats holds both pipeline runs' per-stage statistics.
+	Stats *pipeline.Stats
+}
+
+// String renders the three-way comparison, one row per input kind.
+func (s *SynthCoverage) String() string {
+	out := fmt.Sprintf("%s (over %d programs per kind)\n", s.Compiler, s.Programs)
+	out += fmt.Sprintf("  Generator     %6.2f %% line, %6.2f %% function, %6.2f %% branch (of experiment universe)\n",
+		s.GenLine, s.GenFunc, s.GenBranch)
+	out += fmt.Sprintf("  Mutants change +%d lines, +%d functions, +%d branches\n",
+		s.MutDelta.Lines, s.MutDelta.Funcs, s.MutDelta.Branches)
+	out += fmt.Sprintf("  Synth change   +%d lines, +%d functions, +%d branches\n",
+		s.SynthDelta.Lines, s.SynthDelta.Funcs, s.SynthDelta.Branches)
+	for region, d := range s.SynthByRegion {
+		if d.Lines+d.Funcs+d.Branches == 0 {
+			continue
+		}
+		out += fmt.Sprintf("  Synth %-26s +%d lines, +%d functions, +%d branches\n",
+			region, d.Lines, d.Funcs, d.Branches)
+	}
+	return out
+}
+
+// RunSynthCoverage performs the three-way generated vs mutated vs
+// synthesized coverage experiment.
+func RunSynthCoverage(c *compilers.Compiler, programs int, seed int64, cfg generator.Config, synth apisynth.Config) *SynthCoverage {
+	out, _ := RunSynthCoverageContext(context.Background(), c, programs, seed, cfg, synth, 0)
+	return out
+}
+
+// RunSynthCoverageContext is RunSynthCoverage with cancellation and an
+// explicit worker count. Two pipelines over the same seed range: one
+// generates and mutates, one synthesizes every unit from the API corpus
+// (synth.Corpus; the built-in default when empty). Distinct-site counts
+// are deterministic regardless of worker interleaving.
+//
+// A shim over the lifecycle API: the experiment is a campaign plan.
+func RunSynthCoverageContext(ctx context.Context, c *compilers.Compiler, programs int, seed int64, cfg generator.Config, synth apisynth.Config, workers int) (*SynthCoverage, error) {
+	plan := &synthCoveragePlan{compiler: c, cfg: cfg, synth: synth}
+	camp := newCampaign(Options{
+		Seed: seed, Programs: programs, Workers: workers,
+		GenConfig: cfg, Compilers: []*compilers.Compiler{c},
+	}, plan)
+	if err := camp.Start(ctx); err != nil {
+		return nil, err
+	}
+	if _, err := camp.Wait(); err != nil {
+		return nil, err
+	}
+	return plan.out, nil
+}
+
+// synthCoveragePlan is the three-way experiment behind the lifecycle.
+// Not pausable — coverage accumulates as stage side effects with no
+// journaled fold.
+type synthCoveragePlan struct {
+	compiler *compilers.Compiler
+	cfg      generator.Config
+	synth    apisynth.Config
+	out      *SynthCoverage
+}
+
+func (p *synthCoveragePlan) name() string { return "synth-coverage" }
+
+func (p *synthCoveragePlan) pausable(*Campaign) bool { return false }
+
+func (p *synthCoveragePlan) run(ctx context.Context, c *Campaign, _ bool) error {
+	// Cadence is forced to every-unit: the experiment compares N
+	// synthesized programs against N generated ones, whatever cadence
+	// the fuzzing campaign itself would use.
+	prod, err := newSynthProducer(apisynth.Config{Every: 1, Corpus: p.synth.Corpus})
+	if err != nil {
+		return err
+	}
+
+	stats := pipeline.NewStats()
+	covGen := coverage.NewCollector()
+	covMut := coverage.NewCollector()
+	covSynth := coverage.NewCollector()
+	byKind := map[oracle.InputKind]coverage.Recorder{
+		oracle.Generated: covGen,
+		oracle.TEMMutant: covMut,
+		oracle.TOMMutant: covMut,
+	}
+
+	genRun := &pipeline.Pipeline{
+		Source: pipeline.NewGeneratorSource(c.opts.Seed, c.opts.Programs),
+		Stages: []pipeline.Stage{
+			&pipeline.Generate{Config: p.cfg},
+			&pipeline.Mutate{TEM: true, TOM: true},
+			&pipeline.Execute{
+				Compilers: []*compilers.Compiler{p.compiler},
+				Coverage:  func(kind oracle.InputKind) coverage.Recorder { return byKind[kind] },
+			},
+			pipeline.Judge{},
+		},
+		Aggregator: pipeline.Discard{},
+		Workers:    c.opts.Workers,
+		Stats:      stats,
+		Label:      "generate+mutate",
+	}
+	if _, err := genRun.Run(ctx); err != nil {
+		return err
+	}
+
+	synthRun := &pipeline.Pipeline{
+		Source: pipeline.NewGeneratorSource(c.opts.Seed, c.opts.Programs),
+		Stages: []pipeline.Stage{
+			&pipeline.Generate{Config: p.cfg, Producers: []pipeline.Producer{prod}},
+			&pipeline.Execute{
+				Compilers: []*compilers.Compiler{p.compiler},
+				Coverage:  func(oracle.InputKind) coverage.Recorder { return covSynth },
+			},
+			pipeline.Judge{},
+		},
+		Aggregator: pipeline.Discard{},
+		Workers:    c.opts.Workers,
+		Stats:      stats,
+		Label:      "synthesize",
+	}
+	if _, err := synthRun.Run(ctx); err != nil {
+		return err
+	}
+
+	universe := covGen.Clone()
+	universe.Merge(covMut)
+	universe.Merge(covSynth)
+
+	out := &SynthCoverage{
+		Compiler:      p.compiler.Name(),
+		Programs:      c.opts.Programs,
+		MutDelta:      covMut.NewSites(covGen),
+		SynthDelta:    covSynth.NewSites(covGen),
+		SynthByRegion: map[string]coverage.Delta{},
+		Stats:         stats,
+	}
+	out.GenLine, out.GenFunc, out.GenBranch = covGen.Percent(universe)
+	for _, region := range covSynth.Regions() {
+		out.SynthByRegion[p.compiler.PackageFor(region)] = covSynth.NewSitesIn(covGen, region)
 	}
 	p.out = out
 	return nil

@@ -298,11 +298,21 @@ func fingerprint(opts Options) string {
 		// ground-truth state directories keep their fingerprints.
 		fmt.Fprintf(h, " oracle=%d", int(opts.Oracle))
 	}
+	if opts.Synth.Enabled() {
+		// Appended only when synthesis is on, for the same backward
+		// compatibility: generator-only state directories keep their
+		// fingerprints. Cadence and corpus are both verdict-affecting.
+		fmt.Fprintf(h, " synth=%+v", opts.Synth)
+	}
 	// Observability is not campaign-defining: a resumed run may toggle
 	// metrics without changing what the campaign computes.
 	hopts := opts.Harness
 	hopts.Metrics, hopts.Trace = nil, nil
-	fmt.Fprintf(h, " gen=%+v harness=%+v", opts.GenConfig, hopts)
+	// Hash the effective (clamped) generator config: an out-of-range
+	// value and the minimum it clamps to run the same campaign, so
+	// they must share a fingerprint no matter which form the caller
+	// wrote down.
+	fmt.Fprintf(h, " gen=%+v harness=%+v", opts.GenConfig.Normalized(), hopts)
 	if opts.Chaos != nil {
 		fmt.Fprintf(h, " chaos=%+v", *opts.Chaos)
 	}

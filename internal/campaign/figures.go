@@ -193,6 +193,11 @@ func (r *Report) Figure7c() *Table {
 		}
 		counts[tech][rec.Bug.Compiler]++
 	}
+	// Synthesized appears only in -synth campaigns; the row is added
+	// conditionally so generator-only tables keep their historical shape.
+	if len(counts["Synthesized"]) > 0 {
+		techniques = append(techniques, "Synthesized")
+	}
 	for _, tech := range techniques {
 		row := []string{tech}
 		sum := 0

@@ -147,6 +147,12 @@ func newCampaign(opts Options, p plan) *Campaign {
 	if opts.BatchSize <= 0 {
 		opts.BatchSize = 1
 	}
+	// The generator clamps limits to workable minimums at construction;
+	// normalize here so the fingerprint and journal record the effective
+	// config rather than the caller's pre-clamp values (which would let
+	// two configs that run identically fingerprint differently, and a
+	// resume validate against state a different effective config wrote).
+	opts.GenConfig = opts.GenConfig.Normalized()
 	return &Campaign{opts: opts, plan: p, done: make(chan struct{})}
 }
 
@@ -359,6 +365,10 @@ type Status struct {
 	// Disagreements is the number of distinct differential-oracle
 	// findings the fold has seen; 0 under the ground-truth oracle.
 	Disagreements int `json:"disagreements,omitempty"`
+	// Kinds counts pipeline executions per input kind (keyed by
+	// oracle.InputKind.String()), so mixed-mode campaigns (generated +
+	// stress + synthesized) can be watched converging per kind.
+	Kinds map[string]int `json:"kinds,omitempty"`
 	// BugRate is the derived bug-rate-over-time series so far.
 	BugRate []SeriesPoint `json:"bug_rate,omitempty"`
 	// Faults is a deep copy of the fault ledger.
@@ -402,6 +412,12 @@ func (c *Campaign) Status() Status {
 	}
 	s.Bugs = len(report.Found)
 	s.Disagreements = len(report.Disagreements)
+	if len(report.ProgramsRun) > 0 {
+		s.Kinds = make(map[string]int, len(report.ProgramsRun))
+		for kind, n := range report.ProgramsRun {
+			s.Kinds[kind.String()] = n
+		}
+	}
 	s.BugRate = report.BugRateSeries()
 	s.Faults = report.Faults.Clone()
 	s.Recovery = report.Recovery

@@ -165,6 +165,9 @@ func HeartbeatLine(prev, cur Status, elapsed time.Duration) string {
 		fmt.Fprintf(&b, "/%d", cur.Programs)
 	}
 	fmt.Fprintf(&b, " (%.1f/s) execs %d bugs %d", rate, cur.Execs, cur.Bugs)
+	if n := cur.Kinds[oracle.Synthesized.String()]; n > 0 {
+		fmt.Fprintf(&b, " synth %d", n)
+	}
 	if cur.Disagreements > 0 {
 		fmt.Fprintf(&b, " diffs %d", cur.Disagreements)
 	}

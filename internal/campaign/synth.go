@@ -1,0 +1,49 @@
+package campaign
+
+import (
+	"fmt"
+
+	"repro/internal/apisynth"
+	"repro/internal/oracle"
+	"repro/internal/pipeline"
+)
+
+// synthProducer adapts the API-driven synthesizer to the pipeline's
+// Producer seam: it claims the seeds the synthesis cadence selects and
+// materializes Synthesized units for them. Claims and Produce are pure
+// functions of the seed, so shards, workers, and resumed runs agree.
+type synthProducer struct {
+	cfg apisynth.Config
+	s   *apisynth.Synthesizer
+}
+
+// newSynthProducer loads the configured corpus and builds the
+// synthesizer; a corpus that fails to load or whose materialized
+// skeleton does not type-check is a configuration error surfaced
+// before the pipeline starts.
+func newSynthProducer(cfg apisynth.Config) (*synthProducer, error) {
+	corp, err := cfg.Load()
+	if err != nil {
+		return nil, fmt.Errorf("campaign: synth corpus: %w", err)
+	}
+	s, err := apisynth.NewSynthesizer(corp)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	return &synthProducer{cfg: cfg, s: s}, nil
+}
+
+// Name implements pipeline.Producer.
+func (*synthProducer) Name() string { return "apisynth" }
+
+// Claims implements pipeline.Producer.
+func (p *synthProducer) Claims(seed int64) bool { return p.cfg.SynthSeed(seed) }
+
+// Produce implements pipeline.Producer.
+func (p *synthProducer) Produce(seed int64) pipeline.Produced {
+	return pipeline.Produced{
+		Kind:     oracle.Synthesized,
+		Program:  p.s.Program(seed),
+		Builtins: p.s.Builtins(),
+	}
+}

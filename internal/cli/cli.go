@@ -13,6 +13,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/apisynth"
 	"repro/internal/campaign"
 	"repro/internal/compilers"
 	"repro/internal/core"
@@ -92,6 +93,23 @@ type Config struct {
 	// StressEvery makes every StressEvery-th unit (keyed by seed) a
 	// pathological stress program exercising the governor (0 disables).
 	StressEvery int `json:"stress_every,omitempty"`
+	// Synth enables API-driven synthesis (Thalia mode): units are built
+	// bottom-up from API signatures instead of top-down from the type
+	// grammar, and judged as the Synthesized input kind. With no
+	// SynthEvery, every unit is synthesized. Verdict-affecting: part of
+	// the JSON submission surface, ships to fabric workers inside the
+	// lease config, and folds into the campaign fingerprint.
+	Synth bool `json:"synth,omitempty"`
+	// SynthEvery synthesizes every SynthEvery-th unit (keyed by seed,
+	// like StressEvery) and leaves the rest to the generator, so one
+	// campaign mixes input kinds deterministically. Implies Synth.
+	// A seed claimed by the synthesizer is synthesized even when the
+	// stress cadence also selects it.
+	SynthEvery int `json:"synth_every,omitempty"`
+	// SynthCorpus is the path of a JSON API-corpus document for the
+	// synthesizer; empty means the built-in corpus (synthetic stdlib +
+	// signatures mined from the paper-bug regression programs).
+	SynthCorpus string `json:"synth_corpus,omitempty"`
 	// Retries bounds transient-fault compile retries.
 	Retries int `json:"retries,omitempty"`
 	// Chaos injects seeded faults at this rate (0 disables).
@@ -147,6 +165,9 @@ func (c *Config) RegisterCampaignFlags(fs *flag.FlagSet) {
 	fs.Int64Var(&c.Fuel, "fuel", c.Fuel, "deterministic per-compile step budget; exhaustion is a reportable result (0 disables)")
 	fs.IntVar(&c.MaxTypeDepth, "max-depth", c.MaxTypeDepth, "recursion-depth cap for type relations (0 with -fuel = governor default)")
 	fs.IntVar(&c.StressEvery, "stress-every", c.StressEvery, "make every Nth unit a pathological governor-stress program (0 disables)")
+	fs.BoolVar(&c.Synth, "synth", c.Synth, "synthesize units bottom-up from API signatures (Thalia mode) instead of generating from the grammar")
+	fs.IntVar(&c.SynthEvery, "synth-every", c.SynthEvery, "synthesize every Nth unit (keyed by seed) and generate the rest; implies -synth (0 = all units when -synth is set)")
+	fs.StringVar(&c.SynthCorpus, "synth-corpus", c.SynthCorpus, "JSON API-corpus document for -synth (empty = built-in corpus)")
 	fs.IntVar(&c.Retries, "retries", c.Retries, "max retries for transient compile faults")
 	fs.Float64Var(&c.Chaos, "chaos", c.Chaos, "inject seeded faults at this rate (0 disables; exercises the harness)")
 	fs.StringVar(&c.StateDir, "state", c.StateDir, "state directory for durable campaigns (journal, snapshots, bug corpus)")
@@ -242,6 +263,7 @@ func (c *Config) CampaignOptions() (campaign.Options, error) {
 		Compilers:     comps,
 		Oracle:        mode,
 		GenConfig:     gen,
+		Synth:         c.SynthConfig(),
 		Mutate:        !c.NoMutate,
 		Harness:       c.HarnessOptions(),
 		Chaos:         c.ChaosOptions(),
@@ -250,6 +272,20 @@ func (c *Config) CampaignOptions() (campaign.Options, error) {
 		SnapshotEvery: c.SnapshotEvery,
 		SyncEvery:     c.SyncEvery,
 	}, nil
+}
+
+// SynthConfig derives the synthesis configuration from the flag
+// surface: -synth-every N sets the cadence outright, bare -synth means
+// every unit, and neither disables synthesis.
+func (c *Config) SynthConfig() apisynth.Config {
+	every := 0
+	switch {
+	case c.SynthEvery > 0:
+		every = c.SynthEvery
+	case c.Synth:
+		every = 1
+	}
+	return apisynth.Config{Every: every, Corpus: c.SynthCorpus}
 }
 
 // CoreConfig builds the core façade configuration the hephaestus CLI
@@ -263,10 +299,14 @@ func (c *Config) CoreConfig() (core.Config, error) {
 	if err != nil {
 		return core.Config{}, err
 	}
+	gen := generator.DefaultConfig()
+	gen.Stress.Every = c.StressEvery
 	return core.Config{
 		Seed:          c.Seed,
+		Generator:     gen,
 		Compilers:     comps,
 		Oracle:        mode,
+		Synth:         c.SynthConfig(),
 		Workers:       c.Workers,
 		Harness:       c.HarnessOptions(),
 		Chaos:         c.ChaosOptions(),
@@ -309,6 +349,12 @@ func (c *Config) Validate(maxPrograms, maxWorkers int) error {
 	}
 	if c.StressEvery < 0 {
 		return fmt.Errorf("cli: stress cadence must be non-negative, got %d", c.StressEvery)
+	}
+	if c.SynthEvery < 0 {
+		return fmt.Errorf("cli: synth cadence must be non-negative, got %d", c.SynthEvery)
+	}
+	if c.SynthCorpus != "" && !c.SynthConfig().Enabled() {
+		return fmt.Errorf("cli: -synth-corpus requires -synth or -synth-every")
 	}
 	if _, err := c.ResolveCompilers(); err != nil {
 		return err

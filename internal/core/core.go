@@ -19,6 +19,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/apisynth"
 	"repro/internal/campaign"
 	"repro/internal/compilers"
 	"repro/internal/generator"
@@ -44,6 +45,9 @@ type Config struct {
 	// Oracle selects the fuzzing campaign's test oracle; the zero value
 	// is the paper's derivation-based ground-truth oracle.
 	Oracle campaign.OracleMode
+	// Synth interleaves API-driven synthesized programs into fuzzing
+	// campaigns on a seed-keyed cadence; the zero value disables it.
+	Synth apisynth.Config
 	// Workers is the per-stage worker count for fuzzing campaigns;
 	// 0 means GOMAXPROCS.
 	Workers int
@@ -165,6 +169,7 @@ func (h *Hephaestus) CampaignOptions(n int) campaign.Options {
 		GenConfig:     h.cfg.Generator,
 		Compilers:     h.compilers,
 		Oracle:        h.cfg.Oracle,
+		Synth:         h.cfg.Synth,
 		Mutate:        true,
 		Harness:       h.cfg.Harness,
 		Chaos:         h.cfg.Chaos,

@@ -96,3 +96,27 @@ func (c Config) WithSeed(seed int64) Config {
 	c.Seed = seed
 	return c
 }
+
+// Normalized returns the config with every limit clamped to the
+// workable minimum the generator actually runs with. New applies the
+// same clamps internally, so generation never sees an unworkable
+// limit either way; the point of exposing them is that anything that
+// records a config — the campaign fingerprint, the journal header —
+// must record the effective values, not the caller's pre-clamp ones,
+// or a resumed run could pass fingerprint validation against state
+// produced by a different effective config.
+func (c Config) Normalized() Config {
+	clamp := func(v *int, min int) {
+		if *v < min {
+			*v = min
+		}
+	}
+	clamp(&c.MaxTopLevelDecls, 3)
+	clamp(&c.MaxDepth, 2)
+	clamp(&c.MaxTypeParams, 1)
+	clamp(&c.MaxLocals, 1)
+	clamp(&c.MaxParams, 0)
+	clamp(&c.MaxFields, 0)
+	clamp(&c.MaxMethods, 0)
+	return c
+}

@@ -23,21 +23,11 @@ type Generator struct {
 	classN, funcN, varN, fieldN, methodN int
 }
 
-// New returns a generator for the given configuration. Limits are clamped
-// to workable minimums so any configuration is safe to run.
+// New returns a generator for the given configuration. Limits are
+// clamped to workable minimums (Config.Normalized) so any
+// configuration is safe to run.
 func New(cfg Config) *Generator {
-	clamp := func(v *int, min int) {
-		if *v < min {
-			*v = min
-		}
-	}
-	clamp(&cfg.MaxTopLevelDecls, 3)
-	clamp(&cfg.MaxDepth, 2)
-	clamp(&cfg.MaxTypeParams, 1)
-	clamp(&cfg.MaxLocals, 1)
-	clamp(&cfg.MaxParams, 0)
-	clamp(&cfg.MaxFields, 0)
-	clamp(&cfg.MaxMethods, 0)
+	cfg = cfg.Normalized()
 	return &Generator{
 		cfg: cfg,
 		rng: rand.New(rand.NewSource(cfg.Seed)),

@@ -30,37 +30,99 @@ const (
 	// REMMutant: produced by the resolution mutation (well-typed; a
 	// decoy overload stresses overload resolution).
 	REMMutant
+	// Synthesized: built bottom-up from API signatures by the
+	// api-driven synthesizer (well-typed by construction; see
+	// internal/apisynth and arXiv:2311.04527).
+	Synthesized
+
+	// numInputKinds sizes the capability table below. Keep it last:
+	// adding a kind without a kindSpecs entry is a compile-time error
+	// (array length mismatch) rather than a silent default.
+	numInputKinds
 )
 
-func (k InputKind) String() string {
-	switch k {
-	case Generated:
-		return "generator"
-	case TEMMutant:
-		return "TEM"
-	case TOMMutant:
-		return "TOM"
-	case TEMTOMMutant:
-		return "TEM&TOM"
-	case REMMutant:
-		return "REM"
-	case Suite:
-		return "suite"
-	default:
-		// Never mislabel a future kind: reports, corpus keys, and the
-		// event trace must surface it as unknown, not as "suite".
-		return fmt.Sprintf("unknown(%d)", int(k))
+// kindSpec is the single authoritative record of how the rest of the
+// system treats one input kind. Every behavioural special case that
+// used to live inline in pipeline or difforacle ("stress units skip
+// mutation", "non-stress units get conformance-checked") is a column
+// here, so a new kind must answer every question exactly once.
+type kindSpec struct {
+	name string
+	// expectCompile: the derivation fixes the oracle's expectation —
+	// true for well-typed derivations, false for ill-typed ones.
+	expectCompile bool
+	// mutable: the Mutate stage may derive TEM/TOM/REM mutants from
+	// units of this kind. Only base programs are mutated; mutants are
+	// not re-mutated, and synthesized programs are a terminal mode of
+	// their own (mutating them would blur the RQ3/RQ4 comparison).
+	mutable bool
+	// conformance: the differential oracle's translator-conformance
+	// check applies — the Java/Kotlin/Groovy renderings must be
+	// verdict-equivalent under the shared reference check.
+	conformance bool
+}
+
+// kindSpecs is indexed by InputKind. The fixed array length makes the
+// table exhaustive by construction; TestKindCapabilityTable pins each
+// cell so a new kind needs an explicit, reviewed decision.
+var kindSpecs = [numInputKinds]kindSpec{
+	Generated:    {name: "generator", expectCompile: true, mutable: true, conformance: true},
+	TEMMutant:    {name: "TEM", expectCompile: true, mutable: false, conformance: true},
+	TOMMutant:    {name: "TOM", expectCompile: false, mutable: false, conformance: true},
+	TEMTOMMutant: {name: "TEM&TOM", expectCompile: false, mutable: false, conformance: true},
+	Suite:        {name: "suite", expectCompile: true, mutable: true, conformance: true},
+	REMMutant:    {name: "REM", expectCompile: true, mutable: false, conformance: true},
+	Synthesized:  {name: "synthesized", expectCompile: true, mutable: false, conformance: true},
+}
+
+// Known reports whether k is a defined input kind. Unknown values can
+// reach us from a journal written by a newer build; every predicate
+// below answers conservatively for them and Judge abstains from
+// accept/reject verdicts rather than fabricating bugs.
+func (k InputKind) Known() bool {
+	return k >= 0 && k < numInputKinds
+}
+
+// Kinds returns every defined input kind in declaration order.
+func Kinds() []InputKind {
+	ks := make([]InputKind, numInputKinds)
+	for i := range ks {
+		ks[i] = InputKind(i)
 	}
+	return ks
+}
+
+func (k InputKind) String() string {
+	if k.Known() {
+		return kindSpecs[k].name
+	}
+	// Never mislabel a future kind: reports, corpus keys, and the
+	// event trace must surface it as unknown, not as "suite".
+	return fmt.Sprintf("unknown(%d)", int(k))
 }
 
 // ExpectCompile reports the oracle's expectation for the input kind.
+// The switch over kinds is exhaustive via the capability table; an
+// unknown kind carries no expectation, so this reports false and Judge
+// additionally abstains from URB verdicts for it (it would otherwise
+// claim every compiling unknown-kind program is a bug).
 func (k InputKind) ExpectCompile() bool {
-	switch k {
-	case TOMMutant, TEMTOMMutant:
-		return false
-	default:
-		return true
-	}
+	return k.Known() && kindSpecs[k].expectCompile
+}
+
+// Mutable reports whether the Mutate stage may derive mutants from
+// units of this kind. False for unknown kinds: never mutate a program
+// whose derivation we cannot name.
+func (k InputKind) Mutable() bool {
+	return k.Known() && kindSpecs[k].mutable
+}
+
+// ConformanceCheckable reports whether the differential oracle's
+// translator-conformance check applies to units of this kind. False
+// for unknown kinds: a conformance "finding" on an unclassifiable
+// derivation is noise.
+func (k InputKind) ConformanceCheckable() bool {
+	return k.Known() && kindSpecs[k].conformance
 }
 
 // Verdict classifies one compilation against the oracle.
@@ -123,7 +185,11 @@ func (v Verdict) String() string {
 }
 
 // Judge compares a compilation result against the oracle for the input
-// kind. A crash or hang is a bug whatever the derivation.
+// kind. A crash or hang is a bug whatever the derivation. For an
+// unknown kind the derivation-based half of the oracle abstains: with
+// no ground truth about the program's typing status, neither an accept
+// nor a reject can be called a bug (crashes, hangs, and governor
+// bailouts are still reported — those are bugs under any derivation).
 func Judge(kind InputKind, res *compilers.Result) Verdict {
 	if res.Status == compilers.Crashed {
 		return CompilerCrash
@@ -133,6 +199,9 @@ func Judge(kind InputKind, res *compilers.Result) Verdict {
 	}
 	if res.Status == compilers.ResourceExhausted {
 		return ResourceExhausted
+	}
+	if !kind.Known() {
+		return Pass
 	}
 	if kind.ExpectCompile() {
 		if res.Status == compilers.Rejected {

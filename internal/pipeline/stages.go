@@ -171,12 +171,43 @@ func (s *ProgramSource) Next() (*Unit, bool) {
 	return u, true
 }
 
+// Produced is one program a Producer materialized for a unit: the
+// program, the type universe it was built against, and the derivation
+// kind the oracle should judge it under.
+type Produced struct {
+	Kind     oracle.InputKind
+	Program  *ir.Program
+	Builtins *types.Builtins
+}
+
+// Producer is a pluggable program source for the Generate stage: an
+// alternative way to materialize a unit's base program from its seed
+// (the api-driven synthesizer today; coverage-guided seed schedulers
+// are the planned next tenant). Claims must be a pure function of the
+// seed — every shard, worker, and resumed run re-asks it, and they
+// must all get the same answer — and Produce must be deterministic in
+// the seed. Producers are consulted in order; the first claimant wins
+// and the default grammar generator takes the rest.
+type Producer interface {
+	// Name identifies the producer in stage traces.
+	Name() string
+	// Claims reports whether this producer materializes the given seed.
+	Claims(seed int64) bool
+	// Produce builds the program for a claimed seed.
+	Produce(seed int64) Produced
+}
+
 // Generate materializes each unit's base program (Section 3.2): units
-// without a program are generated from their seed; units that already
-// carry one (corpus sources) pass through. Either way the base program
-// becomes the unit's first Input.
+// without a program ask each Producer in turn, then fall back to the
+// seed-driven grammar generator; units that already carry one (corpus
+// sources) pass through. Either way the base program becomes the
+// unit's first Input.
 type Generate struct {
 	Config generator.Config
+	// Producers are consulted, in order, before the default generator.
+	// A producer that claims the unit's seed supplies the program, the
+	// builtins, and the input kind.
+	Producers []Producer
 }
 
 // Name implements Stage.
@@ -193,16 +224,33 @@ func (g *Generate) Run(ctx context.Context, u *Unit) error {
 		return nil
 	}
 	if u.Program == nil {
-		gen := generator.New(g.Config.WithSeed(u.Seed))
-		if g.Config.StressSeed(u.Seed) {
-			u.Program = gen.GenerateStress()
-			u.Stress = true
+		if p := g.claimant(u.Seed); p != nil {
+			out := p.Produce(u.Seed)
+			u.Program = out.Program
+			u.Builtins = out.Builtins
+			u.Kind = out.Kind
 		} else {
-			u.Program = gen.Generate()
+			gen := generator.New(g.Config.WithSeed(u.Seed))
+			if g.Config.StressSeed(u.Seed) {
+				u.Program = gen.GenerateStress()
+				u.Stress = true
+			} else {
+				u.Program = gen.Generate()
+			}
+			u.Builtins = gen.Builtins()
 		}
-		u.Builtins = gen.Builtins()
 	}
 	u.Inputs = append(u.Inputs, Input{Kind: u.Kind, Prog: u.Program})
+	return nil
+}
+
+// claimant returns the first producer claiming the seed, if any.
+func (g *Generate) claimant(seed int64) Producer {
+	for _, p := range g.Producers {
+		if p != nil && p.Claims(seed) {
+			return p
+		}
+	}
 	return nil
 }
 
@@ -221,6 +269,16 @@ type Mutate struct {
 // Name implements Stage.
 func (*Mutate) Name() string { return "mutate" }
 
+// Mutable reports whether the Mutate stage may derive mutants from
+// this unit. The kind-level half is the oracle's capability table
+// (oracle.InputKind.Mutable — e.g. synthesized programs and mutants
+// themselves are never re-mutated); the unit-level half is the stress
+// flag, because mutation's type graph analysis runs unbudgeted and a
+// pathological program would stall it whatever its kind.
+func (u *Unit) Mutable() bool {
+	return !u.Stress && u.Kind.Mutable()
+}
+
 // Run implements Stage. Each mutation walks the whole program, so the
 // stage checks for cancellation between mutants: SIGINT aborts promptly
 // even mid-unit on large programs.
@@ -228,7 +286,7 @@ func (m *Mutate) Run(ctx context.Context, u *Unit) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
-	if u.Recovered || u.Stress {
+	if u.Recovered || !u.Mutable() {
 		return nil
 	}
 	b := u.Builtins
@@ -456,11 +514,12 @@ func (j Judge) Run(_ context.Context, u *Unit) error {
 				Suspects: an.Suspects, Pairs: an.Pairs,
 			})
 		}
-		// Translator conformance rides the same oracle. Stress units are
-		// skipped: the Java backend re-runs the reference checker
-		// unbudgeted, and a pathological program would stall it (the
-		// same reason Mutate skips stress units).
-		if u.Stress {
+		// Translator conformance rides the same oracle. The kind-level
+		// gate is the oracle's capability table; stress units are also
+		// skipped, because the Java backend re-runs the reference
+		// checker unbudgeted and a pathological program would stall it
+		// (the same reason Mutate skips stress units).
+		if u.Stress || !in.Kind.ConformanceCheckable() {
 			continue
 		}
 		if an := difforacle.AnalyzeConformance(difforacle.CheckTranslators(in.Prog)); an.Disagree {
